@@ -1,0 +1,34 @@
+# Convenience targets for the P-Grid reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper bench-quick examples clean results
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+results:
+	@ls -1 benchmarks/results/*.txt 2>/dev/null || \
+		echo "no results yet - run 'make bench' first"
+
+clean:
+	rm -rf benchmarks/.cache benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,62 @@
+"""Benchmark-suite infrastructure.
+
+Each benchmark file regenerates one paper table/figure (see DESIGN.md's
+experiment index).  Results are printed to stdout AND written under
+``benchmarks/results/`` (ASCII table + CSV + JSON) so they survive pytest's
+capture; pytest-benchmark's own table reports the wall-clock cost of each
+experiment.
+
+Scale selection: ``REPRO_SCALE=quick|scaled|paper`` (default ``scaled``)
+governs the §5.2 grid size; §5.1 tables always run at the paper's exact
+sizes, which are cheap here.  The shared §5.2 grid is built once and cached
+as a JSON snapshot under ``benchmarks/.cache``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.experiments.common import (  # noqa: E402
+    ExperimentResult,
+    build_section52_grid,
+    section52_profile,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def publish_result(result: ExperimentResult, *, float_digits: int = 2) -> None:
+    """Print the reproduced table/figure and persist it under results/."""
+    text = result.to_text(float_digits=float_digits)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    result.save(RESULTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def s52_profile():
+    """The active §5.2 profile (REPRO_SCALE)."""
+    return section52_profile()
+
+
+@pytest.fixture
+def s52_grid(s52_profile):
+    """A fresh copy of the §5.2 grid.
+
+    Function-scoped on purpose: experiments attach their own churn oracle
+    and (table 6) write index entries; reloading from the snapshot cache
+    keeps benchmarks order-independent.  The expensive *construction* still
+    happens only once — subsequent calls deserialize the cached snapshot.
+    """
+    return build_section52_grid(s52_profile)

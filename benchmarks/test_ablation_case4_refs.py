@@ -1,0 +1,33 @@
+"""AB1 — ablation: mutual reference insertion in case 4.
+
+The paper's case 4 only *forwards* the two diverged peers to referenced
+peers; they are themselves valid references for each other.  Expected
+shape: enabling mutual insertion densifies routing tables and does not
+hurt construction cost meaningfully.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_case4_refs(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_case4_refs, rounds=1, iterations=1
+    )
+    publish_result(result, float_digits=3)
+
+    by_variant = {row[0]: row for row in result.rows}
+    paper = by_variant["paper (forward only)"]
+    mutual = by_variant["mutual refs"]
+
+    # Shape 1: mutual insertion yields at least as dense routing tables.
+    assert mutual[2] >= paper[2] * 0.95, (mutual[2], paper[2])
+
+    # Shape 2: search success under churn does not degrade.
+    assert mutual[3] >= paper[3] - 0.05, (mutual[3], paper[3])
+
+    # Shape 3: construction cost stays the same order of magnitude.
+    assert mutual[1] < 3 * paper[1]

@@ -1,0 +1,37 @@
+"""AB7 — extension: construction under availability (event-driven).
+
+The paper's construction simulations run failure-free rounds; this
+benchmark rebuilds construction as a Poisson meeting process over virtual
+time with session churn, on the discrete-event kernel.  Expected shape: at
+a fixed duration, achieved depth falls monotonically with availability —
+offline endpoints thin the meeting process (~p^2) and case-4 recursion
+finds fewer live partners.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_construction_churn(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_construction_under_churn, rounds=1, iterations=1
+    )
+    publish_result(result, float_digits=3)
+
+    rows = sorted(result.rows, key=lambda row: row[0])  # by p_online asc
+
+    # Shape 1: executed meetings grow with availability (the ~p^2 thinning).
+    meetings = [row[1] for row in rows]
+    assert meetings == sorted(meetings), meetings
+    assert rows[-1][1] > 3 * rows[0][1]
+
+    # Shape 2: achieved depth is monotone (weakly) in availability.
+    depths = [row[3] for row in rows]
+    for earlier, later in zip(depths, depths[1:]):
+        assert later >= earlier - 0.05, depths
+
+    # Shape 3: full availability converges within the duration.
+    assert rows[-1][5] is True or rows[-1][4] > 0.99

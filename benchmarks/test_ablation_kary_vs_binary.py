@@ -1,0 +1,39 @@
+"""AB9 — extension: native k-ary trie vs. binary reduction for text.
+
+§6 offers two roads to text search: reduce the alphabet to {0,1} (our
+``repro.text``) or extend the access structure's alphabet itself.  This
+benchmark indexes one word corpus both ways and runs the same lookups.
+Expected shape: the native 27-ary trie answers in fewer messages (one hop
+per character instead of up to five binary levels), but stores several
+times more routing state per peer and costs more to construct — a
+latency/storage trade, not a free win.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_kary_vs_binary(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_kary_vs_binary, rounds=1, iterations=1
+    )
+    publish_result(result, float_digits=3)
+
+    binary, kary = result.rows
+    assert binary[0] == "binary reduction"
+
+    # Shape 1: the native trie resolves lookups in fewer messages.
+    assert kary[5] < 0.7 * binary[5], (kary[5], binary[5])
+
+    # Shape 2: ...at several times the per-peer routing state.
+    assert kary[3] > 2 * binary[3], (kary[3], binary[3])
+
+    # Shape 3: both deliver usable lookup reliability, binary near-perfect.
+    assert binary[4] > 0.97
+    assert kary[4] > 0.85
+
+    # Shape 4: the k-ary trie is shallower by construction.
+    assert kary[1] < binary[1]

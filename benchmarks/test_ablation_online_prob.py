@@ -1,0 +1,34 @@
+"""AB2 — ablation: search success vs. availability, validating eq. (3).
+
+Expected shape: measured success rates track and dominate the eq. (3)
+analytical bound across the availability range (the bound ignores
+depth-first backtracking), both rising monotonically with availability.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_online_prob(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_online_prob, rounds=1, iterations=1
+    )
+    publish_result(result, float_digits=4)
+
+    rows = sorted(result.rows)  # sorted by p_online
+
+    # Shape 1: measured success dominates the analytical lower bound
+    # (up to sampling noise at 2000 searches per point).
+    for p_online, measured, bound, _delta, _messages in rows:
+        assert measured >= bound - 0.03, (p_online, measured, bound)
+
+    # Shape 2: success is monotone (weakly) in availability.
+    measured_series = [row[1] for row in rows]
+    for earlier, later in zip(measured_series, measured_series[1:]):
+        assert later >= earlier - 0.03, measured_series
+
+    # Shape 3: at high availability, search is essentially certain.
+    assert rows[-1][1] > 0.99

@@ -1,0 +1,36 @@
+"""AB10 — extension: proximity-aware reference selection and routing.
+
+§6 lists "knowledge on the network topology" among the optimization
+levers.  Peers get coordinates in a unit square; the benchmark crosses
+random vs. nearest reference *retention* (construction) with random vs.
+nearest-first *routing* (search).  Expected shape: hop counts and success
+are unchanged (the trie fixes them); end-to-end latency falls step by
+step, with both levers together cutting it by more than half.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_proximity(benchmark):
+    result = benchmark.pedantic(ablations.run_proximity, rounds=1, iterations=1)
+    publish_result(result, float_digits=4)
+
+    rows = {(row[0], row[1]): row for row in result.rows}
+    baseline = rows[("random", "random")]
+    both = rows[("proximity", "proximity")]
+
+    # Shape 1: latency falls by more than half with both levers on.
+    assert both[4] < 0.6 * baseline[4], (both[4], baseline[4])
+
+    # Shape 2: each single lever already helps.
+    assert rows[("random", "proximity")][4] < baseline[4]
+    assert rows[("proximity", "random")][4] < baseline[4]
+
+    # Shape 3: success and hop counts are unaffected (within noise).
+    for row in rows.values():
+        assert row[2] > baseline[2] - 0.02
+        assert abs(row[3] - baseline[3]) < 0.5

@@ -1,0 +1,33 @@
+"""AB4 — ablation: reference exchange at all shared levels vs. only ``lc``.
+
+The paper refreshes reference sets only at the deepest shared level of the
+two meeting peers.  Expected shape: exchanging at every shared level keeps
+shallow levels fresher/denser without changing construction cost class,
+and search robustness under churn does not degrade.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_ref_exchange(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_ref_exchange, rounds=1, iterations=1
+    )
+    publish_result(result, float_digits=3)
+
+    by_variant = {row[0]: row for row in result.rows}
+    paper = by_variant["paper (level lc only)"]
+    all_levels = by_variant["all shared levels"]
+
+    # Shape 1: same construction-cost class.
+    assert all_levels[1] < 3 * paper[1], (all_levels[1], paper[1])
+
+    # Shape 2: at least comparable routing density.
+    assert all_levels[2] >= 0.9 * paper[2]
+
+    # Shape 3: search success under churn within noise or better.
+    assert all_levels[3] >= paper[3] - 0.05

@@ -1,0 +1,41 @@
+"""AB8 — extension: query-adaptive shortcut caching under skewed queries.
+
+§6 lists "knowledge on query distribution" as an optimization lever; this
+bench quantifies the simplest instance: an initiator-local LRU of recent
+responders.  Expected shape: on a Zipf query stream the cache absorbs a
+large share of searches at one direct contact each (lower average
+messages, same success); on a uniform stream over a much larger key space
+it is nearly useless.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_shortcut_cache(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_shortcut_cache, rounds=1, iterations=1
+    )
+    publish_result(result, float_digits=3)
+
+    rows = {(row[0], row[1]): row for row in result.rows}
+    zipf_label = next(label for label, _ in rows if label.startswith("zipf"))
+
+    zipf_plain = rows[(zipf_label, "plain")]
+    zipf_cached = rows[(zipf_label, "shortcut cache")]
+    uniform_plain = rows[("uniform", "plain")]
+    uniform_cached = rows[("uniform", "shortcut cache")]
+
+    # Shape 1: on Zipf queries the cache hits often and cuts message cost.
+    assert zipf_cached[4] > 0.15, zipf_cached
+    assert zipf_cached[3] < 0.9 * zipf_plain[3], (zipf_cached, zipf_plain)
+
+    # Shape 2: on uniform queries the cache barely hits.
+    assert uniform_cached[4] < 0.5 * zipf_cached[4]
+
+    # Shape 3: caching never hurts success.
+    assert zipf_cached[2] >= zipf_plain[2] - 0.03
+    assert uniform_cached[2] >= uniform_plain[2] - 0.03

@@ -1,0 +1,33 @@
+"""AB3 — ablation: Zipf-skewed workloads (the §6 future-work gap).
+
+This P-Grid variant partitions the key space data-agnostically, so skewed
+keys must concentrate index entries and query traffic on the peers owning
+popular prefixes.  Expected shape: storage and query-load imbalance (gini,
+max/mean) clearly higher under Zipf than under uniform keys.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import publish_result
+
+
+def test_ablation_skew(benchmark):
+    result = benchmark.pedantic(ablations.run_skew, rounds=1, iterations=1)
+    publish_result(result, float_digits=3)
+
+    uniform, zipf = result.rows
+    assert uniform[0] == "uniform"
+
+    # Shape 1: query-load concentration rises under skew.
+    assert zipf[4] > uniform[4], (zipf[4], uniform[4])
+
+    # Shape 2: storage concentration rises under skew.
+    assert zipf[1] > uniform[1], (zipf[1], uniform[1])
+
+    # Shape 3: the hottest peer under Zipf carries a larger multiple of the
+    # mean load than under uniform keys.
+    zipf_ratio = zipf[5] / max(zipf[6], 1e-9)
+    uniform_ratio = uniform[5] / max(uniform[6], 1e-9)
+    assert zipf_ratio > uniform_ratio, (zipf_ratio, uniform_ratio)

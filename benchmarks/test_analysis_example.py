@@ -1,0 +1,23 @@
+"""A1 — §4 worked example: Gnutella-scale sizing via the planner.
+
+All four paper numbers must reproduce exactly (closed form): key length
+k = 10, refmax = 20, at least 20 409 peers, success probability > 99%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import analysis_example
+
+from conftest import publish_result
+
+
+def test_analysis_example(benchmark):
+    result = benchmark.pedantic(analysis_example.run, rounds=1, iterations=1)
+    publish_result(result, float_digits=4)
+
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["key length k"] == 10
+    assert values["refmax"] == 20
+    assert values["min peers (eq. 2)"] == 20409
+    assert values["success probability (eq. 3)"] > 0.99
+    assert values["storage used (bytes)"] == 10**5

@@ -1,0 +1,44 @@
+"""C1 — supplementary: convergence trajectory of construction.
+
+Expected shape: average depth grows monotonically with diminishing
+returns (each deeper level costs about twice the previous one — the T2
+law seen as a curve), and the recursive variant (recmax=2) reaches the
+threshold with several times fewer exchanges than recmax=0 at the paper's
+N=500 / maxl=6 size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import convergence
+
+from conftest import publish_result
+
+
+def test_convergence_trajectory(benchmark):
+    result = benchmark.pedantic(convergence.run, rounds=1, iterations=1)
+    publish_result(result)
+
+    by_recmax: dict[int, list[tuple[float, float]]] = {}
+    for recmax, exchanges, depth in result.rows:
+        by_recmax.setdefault(recmax, []).append((exchanges, depth))
+
+    # Shape 1: monotone trajectories.
+    for recmax, points in by_recmax.items():
+        exchange_series = [e for e, _ in points]
+        depth_series = [d for _, d in points]
+        assert exchange_series == sorted(exchange_series), recmax
+        assert depth_series == sorted(depth_series), recmax
+
+    # Shape 2: diminishing returns for recmax=0 — the second half of the
+    # exchanges buys less than half of the final depth gain.
+    points = by_recmax[0]
+    final_exchanges, final_depth = points[-1]
+    halfway_depth = max(
+        depth for exchanges, depth in points
+        if exchanges <= final_exchanges / 2
+    )
+    assert halfway_depth > final_depth / 2
+
+    # Shape 3: recursion dominates at this size (paper T3: ~3x cheaper).
+    finals = result.config["final_exchanges"]
+    assert finals[2] < 0.6 * finals[0], finals

@@ -1,0 +1,45 @@
+"""D1 — §6 table: P-Grid vs. central server vs. flooding, measured.
+
+Paper shape (asymptotic, here measured): P-Grid queries cost O(log N)
+messages and per-peer storage stays small; flooding queries cost O(N);
+the central server stores O(D) and serves every query itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import scaling_comparison
+
+from conftest import publish_result
+
+
+def test_discussion_scaling(benchmark):
+    result = benchmark.pedantic(
+        scaling_comparison.run, rounds=1, iterations=1
+    )
+    publish_result(result)
+
+    rows = {row[0]: row for row in result.rows}
+    ns = sorted(rows)
+    smallest, largest = ns[0], ns[-1]
+    growth = largest / smallest
+
+    # Shape 1: flooding messages grow ~linearly with N.
+    flood_growth = rows[largest][7] / rows[smallest][7]
+    assert flood_growth > 0.5 * growth, (flood_growth, growth)
+
+    # Shape 2: P-Grid messages grow ~logarithmically — far slower than N.
+    pgrid_growth = rows[largest][1] / rows[smallest][1]
+    assert pgrid_growth < 0.25 * growth, (pgrid_growth, growth)
+    assert rows[largest][1] <= 3 * math.log2(largest)
+
+    # Shape 3: central server storage grows linearly with D while P-Grid
+    # per-peer storage stays orders of magnitude below it at scale.
+    assert rows[largest][6] > 10 * rows[largest][3]
+
+    # Shape 4: P-Grid answers queries reliably in the failure-free setting.
+    assert all(rows[n][2] > 0.95 for n in ns)
+
+    # Shape 5: a central query is always exactly one message.
+    assert all(rows[n][4] == 1 for n in ns)

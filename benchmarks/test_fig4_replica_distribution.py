@@ -1,0 +1,41 @@
+"""F4 — §5.2 Fig. 4: distribution of replication factors.
+
+Paper shape: a fairly uniform, unimodal distribution of replicas per path
+with mean ≈ N / 2^maxl (19.46 at the paper's 20000/10 scale) — the
+opposite-bit splitting rule balances the trie.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments import fig4_replicas
+
+from conftest import publish_result
+
+
+def test_fig4_replica_distribution(benchmark, s52_profile, s52_grid):
+    run = functools.partial(fig4_replicas.run, s52_profile, grid=s52_grid)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_result(result)
+
+    mean = result.config["mean_replication"]
+    ideal = result.config["ideal_mean"]
+
+    # Shape 1: the mean replication factor sits near the uniform ideal
+    # N / 2^maxl (the paper's 19.46 vs 19.53).
+    assert 0.5 * ideal <= mean <= 1.5 * ideal, (mean, ideal)
+
+    # Shape 2: unimodal mass around the mean — most peers live within
+    # [mean/2, 2*mean].
+    total = sum(count for _, count in result.rows)
+    central = sum(
+        count for factor, count in result.rows
+        if mean / 2 <= factor <= 2 * mean
+    )
+    assert central / total > 0.6, (central, total)
+
+    # Shape 3: no runaway hot group — the largest replication factor stays
+    # within a small multiple of the mean.
+    max_factor = max(factor for factor, _ in result.rows)
+    assert max_factor < 4 * ideal, (max_factor, ideal)

@@ -1,0 +1,60 @@
+"""F5 — §5.2 Fig. 5: fraction of replicas found vs. messages spent.
+
+Paper shape: breadth-first search is by far superior — at comparable
+message budgets it identifies a much larger fraction of replicas; repeated
+depth-first and depth-first+buddies perform comparably to each other.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments import fig5_update_strategies
+
+from conftest import publish_result
+
+
+def _interpolate_coverage(points, budget):
+    """Best coverage achievable within *budget* messages for a strategy."""
+    feasible = [coverage for messages, coverage in points if messages <= budget]
+    return max(feasible, default=0.0)
+
+
+def test_fig5_update_strategies(benchmark, s52_profile, s52_grid):
+    run = functools.partial(
+        fig5_update_strategies.run, s52_profile, grid=s52_grid
+    )
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_result(result, float_digits=3)
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    for strategy, _effort, messages, coverage in result.rows:
+        series.setdefault(strategy, []).append((messages, coverage))
+
+    bfs = series["breadth-first"]
+    dfs = series["repeated DFS"]
+    buddies = series["DFS + buddies"]
+
+    # Shape 1: at the DFS strategies' largest budget, BFS achieves strictly
+    # better coverage than repeated DFS at the same or lower cost.
+    budget = max(messages for messages, _ in dfs)
+    assert _interpolate_coverage(bfs, budget) > _interpolate_coverage(
+        dfs, budget
+    ), (bfs, dfs)
+
+    # Shape 2: BFS reaches most replicas at its higher effort levels.
+    assert max(coverage for _, coverage in bfs) > 0.5
+
+    # Shape 3: repeated DFS and DFS+buddies are the same order of
+    # magnitude (the paper: "perform comparably"), with buddies at least
+    # as good since forwarding only adds coverage.
+    assert (
+        _interpolate_coverage(buddies, budget)
+        >= 0.8 * _interpolate_coverage(dfs, budget)
+    )
+
+    # Shape 4: every strategy's coverage is monotone in effort (more
+    # messages, more replicas) up to sampling noise.
+    for name, points in series.items():
+        coverages = [coverage for _, coverage in points]
+        assert coverages[-1] >= coverages[0], (name, coverages)

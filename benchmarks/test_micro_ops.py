@@ -1,0 +1,111 @@
+"""Micro-benchmarks of the core operations (proper multi-round timing).
+
+The table/figure benchmarks above are macro experiments run once; these
+time the primitive operations a deployment's throughput hangs on — one
+search, one exchange meeting, one breadth-first update, one range query,
+one snapshot round trip — with pytest-benchmark's statistical machinery.
+No paper claims here; these guard against performance regressions in the
+library itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from repro.core.search import SearchEngine
+from repro.core.storage import DataRef
+from repro.core.updates import UpdateEngine, UpdateStrategy
+from repro.sim.builder import GridBuilder
+from repro.sim.persistence import grid_from_dict, grid_to_dict
+from repro.sim.workload import UniformKeyWorkload
+
+
+@pytest.fixture(scope="module")
+def micro_grid():
+    grid = PGrid(
+        PGridConfig(maxl=7, refmax=5, recmax=2, recursion_fanout=2),
+        rng=random.Random(1234),
+    )
+    grid.add_peers(1024)
+    GridBuilder(grid).build(max_exchanges=2_000_000)
+    return grid
+
+
+def test_micro_search(benchmark, micro_grid):
+    engine = SearchEngine(micro_grid)
+    keys = UniformKeyWorkload(6, random.Random(1)).keys(512)
+    starts = random.Random(2).choices(micro_grid.addresses(), k=512)
+    cycle = itertools.cycle(zip(starts, keys))
+
+    def one_search():
+        start, key = next(cycle)
+        return engine.query_from(start, key)
+
+    result = benchmark(one_search)
+    assert result is not None
+
+
+def test_micro_exchange_meeting(benchmark):
+    grid = PGrid(
+        PGridConfig(maxl=7, refmax=5, recmax=2, recursion_fanout=2),
+        rng=random.Random(5),
+    )
+    grid.add_peers(1024)
+    from repro.core.exchange import ExchangeEngine
+
+    engine = ExchangeEngine(grid)
+    rng = random.Random(6)
+    addresses = grid.addresses()
+
+    def one_meeting():
+        a, b = rng.sample(addresses, 2)
+        engine.meet(a, b)
+
+    benchmark(one_meeting)
+
+
+def test_micro_bfs_update(benchmark, micro_grid):
+    engine = UpdateEngine(micro_grid)
+    keys = UniformKeyWorkload(6, random.Random(3)).keys(256)
+    starts = random.Random(4).choices(micro_grid.addresses(), k=256)
+    counter = itertools.count()
+    cycle = itertools.cycle(zip(starts, keys))
+
+    def one_update():
+        start, key = next(cycle)
+        return engine.propagate(
+            start,
+            DataRef(key=key, holder=0, version=next(counter) + 1),
+            strategy=UpdateStrategy.BFS,
+            recbreadth=2,
+        )
+
+    result = benchmark(one_update)
+    assert result.reached
+
+
+def test_micro_range_query(benchmark, micro_grid):
+    engine = SearchEngine(micro_grid)
+    rng = random.Random(7)
+
+    def one_range():
+        low_value = rng.randrange(0, 2**6 - 4)
+        low = format(low_value, "06b")
+        high = format(low_value + 3, "06b")
+        return engine.query_range(rng.randrange(1024), low, high)
+
+    result = benchmark(one_range)
+    assert result.cover
+
+
+def test_micro_snapshot_roundtrip(benchmark, micro_grid):
+    def roundtrip():
+        return grid_from_dict(grid_to_dict(micro_grid))
+
+    clone = benchmark(roundtrip)
+    assert len(clone) == len(micro_grid)

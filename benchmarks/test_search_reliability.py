@@ -1,0 +1,37 @@
+"""S1 — §5.2 text: search reliability at 30% availability.
+
+Paper shape: 10 000 random searches succeed 99.97% of the time at ~5.6
+messages each, beating the eq. (3) analytical bound (depth-first
+backtracking helps).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments import search_reliability
+
+from conftest import publish_result
+
+
+def test_search_reliability(benchmark, s52_profile, s52_grid):
+    run = functools.partial(
+        search_reliability.run, s52_profile, grid=s52_grid
+    )
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_result(result, float_digits=4)
+
+    (row,) = result.rows
+    searches, success, _paper, bound, avg_messages = row[0], row[1], row[2], row[3], row[4]
+
+    assert searches == s52_profile.n_searches
+
+    # Shape 1: search is reliable — success at or above the eq.(3) bound
+    # (sampling slack) and near-certain overall.
+    assert success >= bound - 0.02, (success, bound)
+    assert success > 0.98, success
+
+    # Shape 2: a successful search costs only a handful of messages,
+    # bounded by the query length (paper: 5.56 for 9-bit queries).
+    assert avg_messages <= s52_profile.query_key_length
+    assert avg_messages >= 1.0

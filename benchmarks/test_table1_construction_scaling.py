@@ -1,0 +1,35 @@
+"""T1 — §5.1 table 1: construction cost vs. community size.
+
+Paper shape: ``e`` linear in N (``e/N`` ≈ 70–80 at recmax=0, ≈ 25 at
+recmax=2), reproduced at the paper's exact sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1_construction_scaling
+
+from conftest import publish_result
+
+
+def test_table1_construction_scaling(benchmark):
+    result = benchmark.pedantic(
+        table1_construction_scaling.run, rounds=1, iterations=1
+    )
+    publish_result(result)
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {200, 400, 600, 800, 1000}
+
+    # Shape 1: e/N roughly constant in N for both recursion bounds
+    # (linearity), within a generous factor across the sweep.
+    for column in (2, 5):  # e/N at recmax=0 and recmax=2
+        ratios = [rows[n][column] for n in sorted(rows)]
+        assert max(ratios) < 1.8 * min(ratios), ratios
+
+    # Shape 2: recmax=2 is substantially cheaper than recmax=0 (paper: ~3x).
+    for n in rows:
+        assert rows[n][4] < 0.6 * rows[n][1], (n, rows[n])
+
+    # Shape 3: same ballpark as the paper's absolute e/N bands.
+    assert all(40 <= rows[n][2] <= 130 for n in rows)   # paper 69-80
+    assert all(12 <= rows[n][5] <= 50 for n in rows)    # paper 23-26

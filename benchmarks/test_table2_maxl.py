@@ -1,0 +1,31 @@
+"""T2 — §5.1 table 2: construction cost vs. maximal path length.
+
+Paper shape: without recursion the cost roughly doubles per level
+(ratios ≈ 1.85–2.36); with recmax=2 growth is much flatter (≈ 1.1–1.6).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_maxl
+
+from conftest import publish_result
+
+
+def test_table2_maxl(benchmark):
+    result = benchmark.pedantic(table2_maxl.run, rounds=1, iterations=1)
+    publish_result(result)
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {2, 3, 4, 5, 6, 7}
+
+    # Shape 1: recmax=0 ratios hover around 2 from maxl>=4 on (exponential).
+    ratios0 = [rows[maxl][3] for maxl in (4, 5, 6, 7)]
+    assert all(1.5 <= ratio <= 2.8 for ratio in ratios0), ratios0
+
+    # Shape 2: recmax=2 ratios are consistently smaller than recmax=0's.
+    for maxl in (4, 5, 6, 7):
+        assert rows[maxl][7] < rows[maxl][3], (maxl, rows[maxl])
+
+    # Shape 3: at maxl=7 the recursive variant wins by a wide margin
+    # (paper: 171770 vs 27998, a factor ~6).
+    assert rows[7][5] < 0.4 * rows[7][1]

@@ -1,0 +1,29 @@
+"""T3 — §5.1 table 3: effect of the recursion bound.
+
+Paper shape: U-shaped construction cost over recmax with the optimum at a
+small bound (2 in the paper), recmax=0 the most expensive.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table3_recmax
+
+from conftest import publish_result
+
+
+def test_table3_recmax(benchmark):
+    result = benchmark.pedantic(table3_recmax.run, rounds=1, iterations=1)
+    publish_result(result)
+
+    costs = {row[0]: row[1] for row in result.rows}
+    assert set(costs) == {0, 1, 2, 3, 4, 5, 6}
+
+    # Shape 1: any recursion beats none.
+    assert all(costs[r] < costs[0] for r in range(1, 7)), costs
+
+    # Shape 2: the optimum sits at a small recursion bound (paper: 2).
+    optimum = min(costs, key=costs.get)
+    assert optimum in (1, 2, 3), costs
+
+    # Shape 3: cost rises again beyond the optimum (the U's right branch).
+    assert costs[6] > costs[optimum], costs

@@ -1,0 +1,33 @@
+"""T4 — §5.1 table 4: refmax vs. cost, unbounded recursion fan-out.
+
+Paper shape: ``e`` grows steeply (the paper says "exponentially") with
+refmax when every reference is recursed into — 25k → 126k over refmax 1→4,
+a factor ~5.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments import table4_refmax
+
+from conftest import publish_result
+
+
+def test_table4_refmax_unbounded(benchmark):
+    run = functools.partial(table4_refmax.run, bounded_fanout=False)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_result(result)
+
+    costs = {row[0]: row[1] for row in result.rows}
+    assert set(costs) == {1, 2, 3, 4}
+
+    # Shape 1: monotone growth in refmax.
+    assert costs[1] < costs[2] < costs[4]
+
+    # Shape 2: super-linear blow-up — refmax 4 costs several times refmax 1
+    # (paper factor ~5).
+    assert costs[4] > 3.0 * costs[1], costs
+
+    # Shape 3: the growth accelerates (convex): the 3->4 jump exceeds 1->2.
+    assert costs[4] - costs[3] > costs[2] - costs[1], costs

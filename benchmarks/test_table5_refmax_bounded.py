@@ -1,0 +1,51 @@
+"""T5 — §5.1 table 5: refmax vs. cost with recursion fan-out bounded to 2.
+
+Paper shape: "the results become very stable" — cost grows only mildly
+with refmax (24k → 44k over refmax 1→4) instead of blowing up.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments import table4_refmax
+
+from conftest import publish_result
+
+
+def test_table5_refmax_bounded(benchmark):
+    run = functools.partial(table4_refmax.run, bounded_fanout=True)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_result(result)
+
+    costs = {row[0]: row[1] for row in result.rows}
+    assert set(costs) == {1, 2, 3, 4}
+
+    # Shape 1: no blow-up — refmax 4 costs at most ~2.5x refmax 1
+    # (paper factor ~1.8; the unbounded variant's is ~5).
+    assert costs[4] < 2.5 * costs[1], costs
+
+    # Shape 2: beyond refmax=2 the curve is nearly flat (paper: 38k/41k/44k).
+    assert costs[4] < 1.5 * costs[2], costs
+
+
+def test_fanout_bound_beats_unbounded_at_high_refmax(benchmark):
+    """Cross-table shape: at refmax=4 the bounded variant is far cheaper."""
+
+    def run_both():
+        unbounded = table4_refmax.run(
+            bounded_fanout=False, refmax_values=(4,), seed=44
+        )
+        bounded = table4_refmax.run(
+            bounded_fanout=True, refmax_values=(4,), seed=44
+        )
+        return unbounded.rows[0][1], bounded.rows[0][1]
+
+    cost_unbounded, cost_bounded = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    print(
+        f"\nrefmax=4: unbounded fan-out e={cost_unbounded}, "
+        f"fan-out<=2 e={cost_bounded}"
+    )
+    assert cost_bounded < 0.7 * cost_unbounded

@@ -1,0 +1,72 @@
+"""T6 — §5.2 table 6: the update-cost / query-cost trade-off.
+
+Paper shape: repetitive search pins the success rate at ~1.0 with a query
+cost that falls steeply as updates cover more replicas; non-repetitive
+search keeps ~5-message queries but its success rate stays below 1.0,
+rising with insertion effort; insertion cost grows steeply with recbreadth
+and linearly with repetition.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments import table6_tradeoff
+
+from conftest import publish_result
+
+
+def test_table6_update_query_tradeoff(benchmark, s52_profile, s52_grid):
+    run = functools.partial(table6_tradeoff.run, s52_profile, grid=s52_grid)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_result(result, float_digits=3)
+
+    rows = {
+        (row[0], row[1], row[2]): {
+            "success": row[3],
+            "query_cost": row[4],
+            "insertion_cost": row[5],
+        }
+        for row in result.rows
+    }
+
+    # Shape 1: repetitive search dominates non-repetitive success for every
+    # configuration and is near-perfect.
+    for recbreadth in (2, 3):
+        for repetition in (1, 2, 3):
+            repetitive = rows[("repetitive", recbreadth, repetition)]
+            single = rows[("non-repetitive", recbreadth, repetition)]
+            assert repetitive["success"] >= single["success"] - 1e-9
+            assert repetitive["success"] > 0.9
+
+    # Shape 2: non-repetitive success rises with insertion effort
+    # (paper: 0.65 -> 0.89 over repetition 1 -> 3 at recbreadth 2).
+    assert (
+        rows[("non-repetitive", 2, 3)]["success"]
+        > rows[("non-repetitive", 2, 1)]["success"]
+    )
+
+    # Shape 3: repetitive query cost falls as updates cover more replicas
+    # (paper: 137 -> 17 over repetition 1 -> 3 at recbreadth 2).
+    assert (
+        rows[("repetitive", 2, 3)]["query_cost"]
+        < rows[("repetitive", 2, 1)]["query_cost"]
+    )
+
+    # Shape 4: insertion cost grows with repetition and with recbreadth.
+    for mode in ("repetitive", "non-repetitive"):
+        assert (
+            rows[(mode, 2, 3)]["insertion_cost"]
+            > rows[(mode, 2, 1)]["insertion_cost"]
+        )
+        assert (
+            rows[(mode, 3, 1)]["insertion_cost"]
+            > rows[(mode, 2, 1)]["insertion_cost"]
+        )
+
+    # Shape 5: non-repetitive queries stay cheap (a handful of messages).
+    for recbreadth in (2, 3):
+        for repetition in (1, 2, 3):
+            assert rows[("non-repetitive", recbreadth, repetition)][
+                "query_cost"
+            ] <= s52_profile.query_key_length

@@ -1,0 +1,14 @@
+"""Root conftest: make ``src/`` importable even without installation.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot build a PEP 660 editable wheel; ``python setup.py develop`` works and
+is the documented path, but this shim keeps ``pytest`` self-sufficient
+either way.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Capacity planning with the §4 analysis — "how big must the community be?"
+
+Reproduces the paper's Gnutella-scale worked example and then sweeps a few
+what-if scenarios: more data, flakier peers, smaller index budgets.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import plan_grid, search_success_probability
+from repro.report.tables import render_table
+
+
+def main() -> None:
+    # --- the paper's worked example --------------------------------------
+    plan = plan_grid(
+        d_global=10**7,
+        reference_bytes=10,
+        storage_bytes_per_peer=10**5,
+        p_online=0.3,
+        refmax=20,
+        i_leaf=10**4 - 200,
+    )
+    print("Paper §4 example (10^7 files, 100 KB/peer, 30% online):")
+    print(f"  key length k         = {plan.key_length}   (paper: 10)")
+    print(f"  min peers            = {plan.min_peers}   (paper: 20409)")
+    print(
+        f"  search success       = {plan.success_probability:.4f} "
+        f"(paper: > 0.99)"
+    )
+    print(f"  storage used         = {plan.storage_used} bytes")
+    print()
+
+    # --- what-if sweeps ------------------------------------------------------
+    rows = []
+    for d_global, storage, p_online, refmax in [
+        (10**7, 10**5, 0.3, 20),   # the paper's setting
+        (10**8, 10**5, 0.3, 20),   # 10x the data
+        (10**7, 10**4, 0.3, 10),   # 10x smaller index budget
+        (10**7, 10**5, 0.1, 20),   # much flakier peers
+        (10**7, 10**5, 0.1, 40),   # ...compensated by more references
+    ]:
+        plan = plan_grid(
+            d_global,
+            storage_bytes_per_peer=storage,
+            p_online=p_online,
+            refmax=refmax,
+        )
+        rows.append(
+            [
+                f"{d_global:.0e}",
+                storage,
+                p_online,
+                refmax,
+                plan.key_length,
+                plan.min_peers,
+                plan.success_probability,
+            ]
+        )
+    print(
+        render_table(
+            ["files", "bytes/peer", "p_online", "refmax", "k",
+             "min peers", "success"],
+            rows,
+            title="What-if capacity plans",
+            float_digits=4,
+        )
+    )
+    print()
+
+    # --- the refmax lever ------------------------------------------------------
+    print("Reliability vs. refmax at 30% availability, k = 10:")
+    for refmax in (1, 2, 5, 10, 20, 40):
+        probability = search_success_probability(0.3, refmax, 10)
+        bar = "#" * int(probability * 40)
+        print(f"  refmax {refmax:>2}: {probability:8.4f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""File sharing at Gnutella scale — the paper's §1 motivation.
+
+A community of peers shares files under 30% availability.  The same
+workload runs against
+
+* a P-Grid (searches route over the distributed trie), and
+* a Gnutella-style flooding overlay (no index, broadcast search),
+
+and the script reports hit rates and message costs side by side.  The
+P-Grid side runs over the explicit message transport so the costs are
+counted by the network substrate, not inferred.
+
+Run:  python examples/file_sharing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    DataItem,
+    GridBuilder,
+    PGrid,
+    PGridConfig,
+    UpdateEngine,
+    UpdateStrategy,
+)
+from repro.baselines.flooding import GnutellaNetwork
+from repro.net.node import attach_nodes
+from repro.net.transport import LocalTransport
+from repro.sim.churn import BernoulliChurn
+from repro.sim.workload import UniformKeyWorkload
+
+N_PEERS = 512
+FILES_PER_PEER = 3
+N_SEARCHES = 300
+P_ONLINE = 0.3
+KEY_LENGTH = 8
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    # ---- shared workload: every peer shares a few files -----------------
+    workload = UniformKeyWorkload(KEY_LENGTH, random.Random(11))
+    library = {
+        holder: workload.keys(FILES_PER_PEER) for holder in range(N_PEERS)
+    }
+    queries = [
+        (rng.randrange(N_PEERS), rng.choice(library[rng.randrange(N_PEERS)]))
+        for _ in range(N_SEARCHES)
+    ]
+
+    # ---- P-Grid --------------------------------------------------------------
+    config = PGridConfig(maxl=6, refmax=10, recmax=2, recursion_fanout=2)
+    grid = PGrid(config, rng=random.Random(13))
+    grid.add_peers(N_PEERS)
+    report = GridBuilder(grid).build()
+    print(
+        f"P-Grid constructed: {report.exchanges} exchanges, "
+        f"avg depth {report.average_depth:.2f}"
+    )
+    updates = UpdateEngine(grid)
+    publish_messages = 0
+    for holder, keys in library.items():
+        for key in keys:
+            result = updates.publish(
+                holder,
+                DataItem(key=key, value=f"file-{holder}-{key}"),
+                holder,
+                strategy=UpdateStrategy.BFS,
+                recbreadth=2,
+            )
+            publish_messages += result.messages
+    print(
+        f"P-Grid indexed {N_PEERS * FILES_PER_PEER} files "
+        f"({publish_messages / (N_PEERS * FILES_PER_PEER):.1f} messages/file)"
+    )
+
+    # searches run over the message transport, under churn
+    grid.online_oracle = BernoulliChurn(P_ONLINE, random.Random(17))
+    transport = LocalTransport(grid)
+    nodes = attach_nodes(grid, transport)
+    pgrid_hits = 0
+    pgrid_messages = 0
+    for start, key in queries:
+        outcome = nodes[start].search(key)
+        pgrid_hits += int(outcome.found)
+        pgrid_messages += outcome.messages_sent
+
+    # ---- Gnutella flooding ----------------------------------------------------
+    flood = GnutellaNetwork(
+        N_PEERS,
+        extra_edges_per_peer=3,
+        rng=random.Random(19),
+        p_online=P_ONLINE,
+        default_ttl=7,
+    )
+    for holder, keys in library.items():
+        for key in keys:
+            flood.publish(DataItem(key=key), holder)
+    flood_hits = 0
+    flood_messages = 0
+    for start, key in queries:
+        result = flood.search(start, key)
+        flood_hits += int(result.found)
+        flood_messages += result.messages
+
+    # ---- comparison -------------------------------------------------------------
+    print()
+    print(f"{N_SEARCHES} searches at {P_ONLINE:.0%} availability:")
+    print(
+        f"  P-Grid   : hit rate {pgrid_hits / N_SEARCHES:6.1%}   "
+        f"avg messages {pgrid_messages / N_SEARCHES:8.1f}"
+    )
+    print(
+        f"  Gnutella : hit rate {flood_hits / N_SEARCHES:6.1%}   "
+        f"avg messages {flood_messages / N_SEARCHES:8.1f}"
+    )
+    print()
+    print(
+        "P-Grid answers from a handful of routed messages; flooding pays "
+        "hundreds of messages per query to reach the same files."
+    )
+
+
+if __name__ == "__main__":
+    main()

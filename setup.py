@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which must build a wheel) fail.  This shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path:
+
+    pip install -e . --no-build-isolation
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,150 @@
+"""repro — a full reproduction of *P-Grid: A Self-organizing Access
+Structure for P2P Information Systems* (Karl Aberer, 2002).
+
+Quickstart
+----------
+>>> import random
+>>> from repro import PGrid, PGridConfig, GridBuilder, SearchEngine
+>>> grid = PGrid(PGridConfig(maxl=4, refmax=2, recmax=2),
+...              rng=random.Random(7))
+>>> _ = grid.add_peers(64)
+>>> report = GridBuilder(grid).build()
+>>> engine = SearchEngine(grid)
+>>> result = engine.query_from(start=0, query="1010")
+>>> result.found
+True
+
+Package layout
+--------------
+``repro.core``
+    The paper's contribution: key space, peer state, search (Fig. 2),
+    construction (Fig. 3), update strategies, §4 analysis.
+``repro.sim``
+    Simulation substrate: seeded RNG, meeting schedulers, churn models,
+    grid builder, workloads, snapshots.
+``repro.net``
+    Simulated message transport with traffic accounting.
+``repro.baselines``
+    Gnutella-style flooding and central/replicated index servers (§1, §6).
+``repro.text``
+    Prefix text search over P-Grid (§6 trie extension).
+``repro.experiments``
+    One runner per paper table/figure (see DESIGN.md experiment index).
+``repro.report``
+    ASCII tables/histograms and CSV output.
+"""
+
+from repro.core import (
+    Address,
+    AlwaysOnline,
+    BreadthSearchResult,
+    DataItem,
+    DataRef,
+    DataStore,
+    ExchangeEngine,
+    ExchangeStats,
+    GridPlan,
+    JoinReport,
+    LeaveReport,
+    MembershipEngine,
+    PAPER_SECTION51_CONFIG,
+    PAPER_SECTION52_CONFIG,
+    Peer,
+    PGrid,
+    PGridConfig,
+    RangeSearchResult,
+    ReadEngine,
+    ReadResult,
+    RepairReport,
+    RoutingTable,
+    SearchConfig,
+    SearchEngine,
+    SearchResult,
+    ShortcutCache,
+    ShortcutSearchEngine,
+    ShortcutStats,
+    UpdateConfig,
+    UpdateEngine,
+    UpdateResult,
+    UpdateStrategy,
+    min_peers_for_replication,
+    plan_grid,
+    required_key_length,
+    search_success_probability,
+)
+from repro.errors import (
+    DuplicatePeerError,
+    InvalidConfigError,
+    InvalidKeyError,
+    NotConvergedError,
+    PGridError,
+    PeerOfflineError,
+    RoutingInvariantError,
+    SnapshotFormatError,
+    TransportError,
+    UnknownPeerError,
+)
+from repro.sim import (
+    BernoulliChurn,
+    ConstructionReport,
+    GridBuilder,
+    SessionChurn,
+    UniformMeetings,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "AlwaysOnline",
+    "BernoulliChurn",
+    "BreadthSearchResult",
+    "ConstructionReport",
+    "DataItem",
+    "DataRef",
+    "DataStore",
+    "DuplicatePeerError",
+    "ExchangeEngine",
+    "ExchangeStats",
+    "GridBuilder",
+    "GridPlan",
+    "InvalidConfigError",
+    "InvalidKeyError",
+    "JoinReport",
+    "LeaveReport",
+    "MembershipEngine",
+    "NotConvergedError",
+    "PAPER_SECTION51_CONFIG",
+    "PAPER_SECTION52_CONFIG",
+    "PGrid",
+    "PGridConfig",
+    "PGridError",
+    "Peer",
+    "PeerOfflineError",
+    "RangeSearchResult",
+    "ReadEngine",
+    "ReadResult",
+    "RepairReport",
+    "RoutingInvariantError",
+    "RoutingTable",
+    "SearchConfig",
+    "SearchEngine",
+    "SearchResult",
+    "SessionChurn",
+    "ShortcutCache",
+    "ShortcutSearchEngine",
+    "ShortcutStats",
+    "SnapshotFormatError",
+    "TransportError",
+    "UniformMeetings",
+    "UnknownPeerError",
+    "UpdateConfig",
+    "UpdateEngine",
+    "UpdateResult",
+    "UpdateStrategy",
+    "min_peers_for_replication",
+    "plan_grid",
+    "required_key_length",
+    "search_success_probability",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline systems the paper compares against: Gnutella-style flooding
+(§1) and central / replicated index servers (§6)."""
+
+from repro.baselines.central import CentralIndexServer, CentralServerStats
+from repro.baselines.flooding import FloodingStats, GnutellaNetwork
+from repro.baselines.interface import (
+    PGridSearchSystem,
+    SearchSystem,
+    SystemSearchResult,
+)
+from repro.baselines.replicated import (
+    ReplicatedIndexServers,
+    ReplicatedServerStats,
+)
+
+__all__ = [
+    "CentralIndexServer",
+    "CentralServerStats",
+    "FloodingStats",
+    "GnutellaNetwork",
+    "PGridSearchSystem",
+    "ReplicatedIndexServers",
+    "ReplicatedServerStats",
+    "SearchSystem",
+    "SystemSearchResult",
+]

@@ -1,0 +1,84 @@
+"""Centralized index server baseline (paper §6 comparison).
+
+One server stores the complete index (``O(D)`` storage); every client query
+is one round trip to the server, so the *server's* query load grows
+linearly with the number of clients (``O(N)``) — the bottleneck the §6
+table highlights.  Napster is the era's canonical instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core import keys as keyspace
+from repro.core.peer import Address
+from repro.core.storage import DataItem
+from repro.baselines.interface import SystemSearchResult
+
+
+@dataclass
+class CentralServerStats:
+    """Load counters of the server."""
+
+    queries_served: int = 0
+    publishes: int = 0
+    failures: int = 0
+
+
+class CentralIndexServer:
+    """A single always-structured index server with optional availability.
+
+    ``p_online`` models server downtime; a failed query costs its message
+    but returns no result (clients have no alternative — contrast with
+    P-Grid's ``refmax`` redundancy).
+    """
+
+    def __init__(
+        self, *, p_online: float = 1.0, rng: random.Random | None = None
+    ) -> None:
+        if not 0.0 < p_online <= 1.0:
+            raise ValueError(f"p_online must be in (0, 1], got {p_online}")
+        self.p_online = p_online
+        self._rng = rng or random.Random()
+        self._index: dict[str, set[Address]] = {}
+        self.stats = CentralServerStats()
+
+    # -- SearchSystem interface ----------------------------------------------------
+
+    def publish(self, item: DataItem, holder: Address) -> int:
+        """Register *item* at the server: one message."""
+        keyspace.validate_key(item.key)
+        self._index.setdefault(item.key, set()).add(holder)
+        self.stats.publishes += 1
+        return 1
+
+    def search(self, start: Address, key: str) -> SystemSearchResult:  # noqa: ARG002
+        """One round trip to the server."""
+        keyspace.validate_key(key)
+        if self.p_online < 1.0 and self._rng.random() >= self.p_online:
+            self.stats.failures += 1
+            return SystemSearchResult(found=False, messages=1)
+        self.stats.queries_served += 1
+        found = any(
+            keyspace.in_prefix_relation(stored, key) for stored in self._index
+        )
+        return SystemSearchResult(found=found, messages=1)
+
+    def holders(self, key: str) -> set[Address]:
+        """Exact-key holders currently registered."""
+        return set(self._index.get(key, set()))
+
+    # -- storage metrics ---------------------------------------------------------------
+
+    @property
+    def index_size(self) -> int:
+        """Total index entries on the server (``O(D)``)."""
+        return sum(len(holders) for holders in self._index.values())
+
+    def storage_per_node(self) -> float:
+        """All storage concentrates on the one server."""
+        return float(self.index_size)
+
+    def max_storage_any_node(self) -> int:
+        return self.index_size

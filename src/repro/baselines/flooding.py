@@ -1,0 +1,161 @@
+"""Gnutella-style flooding network (paper §1's motivating baseline).
+
+No index exists: every peer only knows its overlay neighbours and its own
+files.  A search floods the overlay breadth-first up to a TTL; every edge
+traversal to an online peer costs one message.  This reproduces the §1
+claim that broadcast search is "extremely costly in terms of communication"
+— query cost grows linearly with the number of reachable peers, compared to
+P-Grid's ``O(log N)``.
+
+The overlay is a ring plus random chords (a connected small-world graph,
+matching measured Gnutella topologies closely enough for cost *shape*).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import keys as keyspace
+from repro.core.peer import Address
+from repro.core.storage import DataItem
+from repro.baselines.interface import SystemSearchResult
+
+
+@dataclass
+class FloodingStats:
+    """Aggregate traffic counters."""
+
+    searches: int = 0
+    messages: int = 0
+    hits: int = 0
+    offline_skips: int = 0
+
+
+class GnutellaNetwork:
+    """A flooding file-sharing overlay with optional per-contact churn."""
+
+    def __init__(
+        self,
+        n_peers: int,
+        *,
+        extra_edges_per_peer: int = 3,
+        rng: random.Random | None = None,
+        p_online: float = 1.0,
+        default_ttl: int = 7,
+    ) -> None:
+        if n_peers < 2:
+            raise ValueError(f"n_peers must be >= 2, got {n_peers}")
+        if extra_edges_per_peer < 0:
+            raise ValueError(
+                f"extra_edges_per_peer must be >= 0, got {extra_edges_per_peer}"
+            )
+        if not 0.0 < p_online <= 1.0:
+            raise ValueError(f"p_online must be in (0, 1], got {p_online}")
+        if default_ttl < 1:
+            raise ValueError(f"default_ttl must be >= 1, got {default_ttl}")
+        self.n_peers = n_peers
+        self.p_online = p_online
+        self.default_ttl = default_ttl
+        self._rng = rng or random.Random()
+        self._neighbors: dict[Address, set[Address]] = {
+            address: set() for address in range(n_peers)
+        }
+        self._files: dict[Address, set[str]] = {
+            address: set() for address in range(n_peers)
+        }
+        self.stats = FloodingStats()
+        self._build_overlay(extra_edges_per_peer)
+
+    def _build_overlay(self, extra_edges_per_peer: int) -> None:
+        """Ring for connectivity + random chords for small-world reach."""
+        for address in range(self.n_peers):
+            self._link(address, (address + 1) % self.n_peers)
+        for address in range(self.n_peers):
+            for _ in range(extra_edges_per_peer):
+                other = self._rng.randrange(self.n_peers)
+                if other != address:
+                    self._link(address, other)
+
+    def _link(self, a: Address, b: Address) -> None:
+        self._neighbors[a].add(b)
+        self._neighbors[b].add(a)
+
+    def neighbors(self, address: Address) -> set[Address]:
+        """Overlay neighbours of *address*."""
+        return set(self._neighbors[address])
+
+    def average_degree(self) -> float:
+        """Mean overlay degree."""
+        return sum(len(n) for n in self._neighbors.values()) / self.n_peers
+
+    # -- SearchSystem interface -------------------------------------------------
+
+    def publish(self, item: DataItem, holder: Address) -> int:
+        """Store a file locally — flooding has no index, so zero messages."""
+        keyspace.validate_key(item.key)
+        self._files[holder].add(item.key)
+        return 0
+
+    def search(
+        self,
+        start: Address,
+        key: str,
+        *,
+        ttl: int | None = None,
+        stop_on_hit: bool = False,
+    ) -> SystemSearchResult:
+        """Flood from *start* up to *ttl* hops; count every delivered copy.
+
+        A peer hit by the flood scans its local files; the search succeeds
+        if any reached peer holds a key in prefix relation with the query
+        (the same answer semantics as the P-Grid leaf lookup).  Real
+        Gnutella keeps flooding after a hit (it collects many answers) —
+        that is the cost §1 criticizes; *stop_on_hit* models a
+        first-answer-terminates client instead.
+        """
+        keyspace.validate_key(key)
+        hops = ttl if ttl is not None else self.default_ttl
+        if hops < 1:
+            raise ValueError(f"ttl must be >= 1, got {hops}")
+        self.stats.searches += 1
+        visited: set[Address] = {start}
+        frontier = [start]
+        messages = 0
+        found = self._local_match(start, key)
+        for _ in range(hops):
+            if not frontier or (found and stop_on_hit):
+                break
+            next_frontier: list[Address] = []
+            for address in frontier:
+                for neighbor in sorted(self._neighbors[address]):
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    if self.p_online < 1.0 and self._rng.random() >= self.p_online:
+                        self.stats.offline_skips += 1
+                        continue
+                    messages += 1
+                    next_frontier.append(neighbor)
+                    if self._local_match(neighbor, key):
+                        found = True
+            frontier = next_frontier
+        self.stats.messages += messages
+        if found:
+            self.stats.hits += 1
+        return SystemSearchResult(found=found, messages=messages)
+
+    def _local_match(self, address: Address, key: str) -> bool:
+        return any(
+            keyspace.in_prefix_relation(stored, key)
+            for stored in self._files[address]
+        )
+
+    # -- storage metrics ----------------------------------------------------------
+
+    def storage_per_node(self) -> float:
+        """Flooding keeps no index — only neighbour lists."""
+        return self.average_degree()
+
+    def max_storage_any_node(self) -> int:
+        return max(len(n) for n in self._neighbors.values())

@@ -1,0 +1,74 @@
+"""Common interface for the search systems compared in §6.
+
+The paper motivates P-Grid against two alternatives: Gnutella-style
+flooding (no index, broadcast search — §1) and centralized/replicated index
+servers (§6 comparison table).  :class:`SearchSystem` is the minimal common
+surface so the scaling benchmark can sweep all of them identically, and
+:class:`PGridSearchSystem` adapts the core library to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.grid import PGrid
+from repro.core.peer import Address
+from repro.core.search import SearchEngine
+from repro.core.storage import DataItem
+
+
+@dataclass
+class SystemSearchResult:
+    """Uniform search outcome across systems."""
+
+    found: bool
+    messages: int
+
+
+class SearchSystem(Protocol):
+    """A queryable distributed search system."""
+
+    def publish(self, item: DataItem, holder: Address) -> int:
+        """Index *item* as stored at *holder*; returns messages spent."""
+        ...  # pragma: no cover - protocol
+
+    def search(self, start: Address, key: str) -> SystemSearchResult:
+        """Search for *key* starting at peer *start*."""
+        ...  # pragma: no cover - protocol
+
+    def storage_per_node(self) -> float:
+        """Average index entries stored per participating node."""
+        ...  # pragma: no cover - protocol
+
+    def max_storage_any_node(self) -> int:
+        """Worst-case index entries on a single node (the bottleneck)."""
+        ...  # pragma: no cover - protocol
+
+
+class PGridSearchSystem:
+    """Adapter: the core P-Grid library behind the comparison interface."""
+
+    def __init__(self, grid: PGrid, engine: SearchEngine | None = None) -> None:
+        self.grid = grid
+        self.engine = engine or SearchEngine(grid)
+
+    def publish(self, item: DataItem, holder: Address) -> int:
+        """Seed-index insert (messages for insertion are studied separately
+        in the Fig. 5 / table 6 experiments; the §6 comparison concerns
+        query cost and storage)."""
+        self.grid.seed_index([(item, holder)])
+        return 0
+
+    def search(self, start: Address, key: str) -> SystemSearchResult:
+        result = self.engine.query_from(start, key)
+        return SystemSearchResult(found=result.found, messages=result.messages)
+
+    def storage_per_node(self) -> float:
+        if len(self.grid) == 0:
+            return 0.0
+        total = sum(peer.index_footprint() for peer in self.grid.peers())
+        return total / len(self.grid)
+
+    def max_storage_any_node(self) -> int:
+        return self.grid.max_index_footprint()

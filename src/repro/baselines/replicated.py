@@ -1,0 +1,103 @@
+"""Replicated central servers (paper §6's "centralized replicated server
+architectures").
+
+``R`` full copies of the index: queries go to a random replica (load is
+spread ``N/R`` per server but total server load still grows ``O(N)``);
+publishes must reach every replica (``R`` messages).  Storage per server
+remains ``O(D)`` — replication buys availability and load spreading, not
+the logarithmic scaling of P-Grid.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import keys as keyspace
+from repro.core.peer import Address
+from repro.core.storage import DataItem
+from repro.baselines.interface import SystemSearchResult
+
+
+@dataclass
+class ReplicatedServerStats:
+    """Per-replica and aggregate load counters."""
+
+    queries_per_replica: list[int] = field(default_factory=list)
+    publishes: int = 0
+    failures: int = 0
+
+    def total_queries(self) -> int:
+        """Queries served across all replicas."""
+        return sum(self.queries_per_replica)
+
+    def max_replica_load(self) -> int:
+        """Hottest replica's query count."""
+        return max(self.queries_per_replica, default=0)
+
+
+class ReplicatedIndexServers:
+    """``R`` identical full-index replicas behind random client choice."""
+
+    def __init__(
+        self,
+        replicas: int,
+        *,
+        p_online: float = 1.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if not 0.0 < p_online <= 1.0:
+            raise ValueError(f"p_online must be in (0, 1], got {p_online}")
+        self.replicas = replicas
+        self.p_online = p_online
+        self._rng = rng or random.Random()
+        self._indexes: list[dict[str, set[Address]]] = [
+            {} for _ in range(replicas)
+        ]
+        self.stats = ReplicatedServerStats(queries_per_replica=[0] * replicas)
+
+    # -- SearchSystem interface -----------------------------------------------------
+
+    def publish(self, item: DataItem, holder: Address) -> int:
+        """Write-all: one message per replica."""
+        keyspace.validate_key(item.key)
+        for index in self._indexes:
+            index.setdefault(item.key, set()).add(holder)
+        self.stats.publishes += 1
+        return self.replicas
+
+    def search(self, start: Address, key: str) -> SystemSearchResult:  # noqa: ARG002
+        """One round trip to a uniformly chosen replica, with one retry on
+        an offline replica (clients fail over)."""
+        keyspace.validate_key(key)
+        messages = 0
+        for _ in range(2):  # primary attempt + one fail-over
+            replica = self._rng.randrange(self.replicas)
+            messages += 1
+            if self.p_online < 1.0 and self._rng.random() >= self.p_online:
+                self.stats.failures += 1
+                continue
+            self.stats.queries_per_replica[replica] += 1
+            found = any(
+                keyspace.in_prefix_relation(stored, key)
+                for stored in self._indexes[replica]
+            )
+            return SystemSearchResult(found=found, messages=messages)
+        return SystemSearchResult(found=False, messages=messages)
+
+    # -- storage metrics ----------------------------------------------------------------
+
+    @property
+    def index_size_per_replica(self) -> int:
+        """Entries on each replica (they are identical)."""
+        if not self._indexes:
+            return 0
+        return sum(len(holders) for holders in self._indexes[0].values())
+
+    def storage_per_node(self) -> float:
+        return float(self.index_size_per_replica)
+
+    def max_storage_any_node(self) -> int:
+        return self.index_size_per_replica

@@ -1,0 +1,313 @@
+"""Command-line interface: ``pgrid`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``build``
+    Construct a P-Grid and print the construction report; optionally save a
+    JSON snapshot.
+``search``
+    Load a snapshot and run one search (optionally under churn).
+``analyze``
+    Run the §4 sizing planner for a workload.
+``info``
+    Print structural statistics of a snapshot grid (depth/replication
+    distributions, storage footprints, invariant audit).
+``scenario``
+    Run a declarative end-to-end scenario (build + seed + mixed workload)
+    and print its metrics.
+``experiment``
+    Run one of the paper-reproduction experiments and print its table.
+``report``
+    Run several experiments and write one combined markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Sequence
+
+from repro.core.analysis import plan_grid
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from repro.core.search import SearchEngine
+from repro.experiments import (
+    ablations,
+    analysis_example,
+    convergence,
+    fig4_replicas,
+    fig5_update_strategies,
+    scaling_comparison,
+    search_reliability,
+    table1_construction_scaling,
+    table2_maxl,
+    table3_recmax,
+    table4_refmax,
+    table6_tradeoff,
+)
+from repro.experiments.common import ExperimentResult
+from repro.sim.builder import GridBuilder
+from repro.sim.churn import BernoulliChurn
+from repro.sim.persistence import load_grid, save_grid
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1_construction_scaling.run,
+    "table2": table2_maxl.run,
+    "table3": table3_recmax.run,
+    "table4": lambda: table4_refmax.run(bounded_fanout=False),
+    "table5": lambda: table4_refmax.run(bounded_fanout=True),
+    "fig4": fig4_replicas.run,
+    "fig5": fig5_update_strategies.run,
+    "search_reliability": search_reliability.run,
+    "table6": table6_tradeoff.run,
+    "discussion_scaling": scaling_comparison.run,
+    "analysis_example": analysis_example.run,
+    "ablation_case4_refs": ablations.run_case4_refs,
+    "ablation_online_prob": ablations.run_online_prob,
+    "ablation_skew": ablations.run_skew,
+    "ablation_ref_exchange": ablations.run_ref_exchange,
+    "ablation_adaptive_split": ablations.run_adaptive_split,
+    "ablation_membership_churn": ablations.run_membership_churn,
+    "ablation_construction_churn": ablations.run_construction_under_churn,
+    "ablation_shortcut_cache": ablations.run_shortcut_cache,
+    "ablation_kary_vs_binary": ablations.run_kary_vs_binary,
+    "ablation_proximity": ablations.run_proximity,
+    "ablation_meeting_schedulers": ablations.run_meeting_schedulers,
+    "convergence": convergence.run,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pgrid",
+        description="P-Grid (Aberer 2002) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="construct a P-Grid")
+    build.add_argument("--peers", type=int, default=500)
+    build.add_argument("--maxl", type=int, default=6)
+    build.add_argument("--refmax", type=int, default=2)
+    build.add_argument("--recmax", type=int, default=2)
+    build.add_argument("--fanout", type=int, default=2,
+                       help="case-4 recursion fan-out bound (0 = unbounded)")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--threshold", type=float, default=0.99,
+                       help="convergence threshold as a fraction of maxl")
+    build.add_argument("--max-exchanges", type=int, default=5_000_000)
+    build.add_argument("--snapshot", type=str, default=None,
+                       help="write the constructed grid to this JSON file")
+
+    search = sub.add_parser("search", help="search a snapshot grid")
+    search.add_argument("snapshot", type=str)
+    search.add_argument("key", type=str)
+    search.add_argument("--start", type=int, default=0)
+    search.add_argument("--p-online", type=float, default=1.0)
+    search.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser("analyze", help="run the §4 sizing planner")
+    analyze.add_argument("--d-global", type=int, default=10**7)
+    analyze.add_argument("--reference-bytes", type=int, default=10)
+    analyze.add_argument("--storage", type=int, default=10**5)
+    analyze.add_argument("--p-online", type=float, default=0.3)
+    analyze.add_argument("--refmax", type=int, default=20)
+
+    info = sub.add_parser("info", help="inspect a snapshot grid")
+    info.add_argument("snapshot", type=str)
+
+    scenario = sub.add_parser(
+        "scenario", help="run a declarative end-to-end scenario"
+    )
+    scenario.add_argument("--peers", type=int, default=512)
+    scenario.add_argument("--maxl", type=int, default=6)
+    scenario.add_argument("--refmax", type=int, default=5)
+    scenario.add_argument("--items-per-peer", type=int, default=4)
+    scenario.add_argument("--key-length", type=int, default=8)
+    scenario.add_argument("--zipf", type=float, default=0.0,
+                          help="Zipf exponent for keys (0 = uniform)")
+    scenario.add_argument("--p-online", type=float, default=1.0)
+    scenario.add_argument("--operations", type=int, default=2000)
+    scenario.add_argument("--update-fraction", type=float, default=0.1)
+    scenario.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="run a paper-reproduction experiment"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--save", type=str, default=None, help="directory for CSV/JSON output"
+    )
+
+    report = sub.add_parser(
+        "report", help="run several experiments into one markdown report"
+    )
+    report.add_argument(
+        "--experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS),
+        default=["analysis_example", "table1", "table3", "table5"],
+        help="experiment ids to include (default: the cheap core set)",
+    )
+    report.add_argument("--out", type=str, default="REPORT.md")
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    config = PGridConfig(
+        maxl=args.maxl,
+        refmax=args.refmax,
+        recmax=args.recmax,
+        recursion_fanout=args.fanout if args.fanout > 0 else None,
+    )
+    grid = PGrid(config, rng=random.Random(args.seed))
+    grid.add_peers(args.peers)
+    report = GridBuilder(grid).build(
+        threshold_fraction=args.threshold, max_exchanges=args.max_exchanges
+    )
+    print(
+        f"converged={report.converged} exchanges={report.exchanges} "
+        f"meetings={report.meetings} avg_depth={report.average_depth:.3f} "
+        f"e/N={report.exchanges_per_peer:.2f}"
+    )
+    violations = grid.audit_routing()
+    print(f"routing invariant violations: {len(violations)}")
+    if args.snapshot:
+        path = save_grid(grid, args.snapshot)
+        print(f"snapshot written to {path}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    grid = load_grid(args.snapshot, rng=rng)
+    if args.p_online < 1.0:
+        grid.online_oracle = BernoulliChurn(args.p_online, random.Random(args.seed + 1))
+    engine = SearchEngine(grid)
+    result = engine.query_from(args.start, args.key)
+    print(
+        f"found={result.found} responder={result.responder} "
+        f"messages={result.messages} failed_attempts={result.failed_attempts}"
+    )
+    for ref in result.data_refs:
+        print(f"  data: key={ref.key} holder={ref.holder} version={ref.version}")
+    return 0 if result.found else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    plan = plan_grid(
+        args.d_global,
+        reference_bytes=args.reference_bytes,
+        storage_bytes_per_peer=args.storage,
+        p_online=args.p_online,
+        refmax=args.refmax,
+    )
+    print(f"key length k        : {plan.key_length}")
+    print(f"i_leaf              : {plan.i_leaf}")
+    print(f"refmax              : {plan.refmax}")
+    print(f"min peers (eq. 2)   : {plan.min_peers}")
+    print(f"success prob (eq. 3): {plan.success_probability:.6f}")
+    print(f"storage used        : {plan.storage_used} / {plan.storage_bytes_per_peer} bytes")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.report.hist import render_histogram
+
+    grid = load_grid(args.snapshot)
+    print(f"peers               : {len(grid)}")
+    print(f"config              : {grid.config}")
+    print(f"average path length : {grid.average_path_length():.3f}")
+    print(f"average replication : {grid.average_replication():.2f}")
+    print(f"distinct paths      : {len(grid.replica_groups())}")
+    print(f"total routing refs  : {grid.total_routing_refs()}")
+    print(f"max index footprint : {grid.max_index_footprint()}")
+    violations = grid.audit_routing()
+    print(f"invariant violations: {len(violations)}")
+    for violation in violations[:10]:
+        print(f"  {violation}")
+    print()
+    print(
+        render_histogram(
+            sorted(grid.path_length_histogram().items()),
+            title="peers per path length",
+            value_label="depth",
+            count_label="peers",
+        )
+    )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.sim.scenario import KeyDistribution, ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(
+        n_peers=args.peers,
+        config=PGridConfig(
+            maxl=args.maxl, refmax=args.refmax, recmax=2, recursion_fanout=2
+        ),
+        items_per_peer=args.items_per_peer,
+        key_length=args.key_length,
+        key_distribution=(
+            KeyDistribution.ZIPF if args.zipf > 0 else KeyDistribution.UNIFORM
+        ),
+        zipf_exponent=args.zipf if args.zipf > 0 else 1.0,
+        p_online=args.p_online,
+        operations=args.operations,
+        update_fraction=args.update_fraction,
+        seed=args.seed,
+    )
+    metrics = run_scenario(spec)
+    for key, value in metrics.as_dict().items():
+        if isinstance(value, float):
+            print(f"{key:<26}: {value:.4f}")
+        else:
+            print(f"{key:<26}: {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = EXPERIMENTS[args.name]()
+    print(result.to_text(float_digits=3))
+    if args.save:
+        result.save(args.save)
+        print(f"\nresults written under {args.save}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    sections = ["# P-Grid reproduction report", ""]
+    for name in args.experiments:
+        print(f"running {name} ...")
+        result = EXPERIMENTS[name]()
+        sections.append(f"## {name}")
+        sections.append("")
+        sections.append("```")
+        sections.append(result.to_text(float_digits=3))
+        sections.append("```")
+        sections.append("")
+    target = Path(args.out)
+    target.write_text("\n".join(sections), encoding="utf-8")
+    print(f"report written to {target}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "search": _cmd_search,
+        "analyze": _cmd_analyze,
+        "info": _cmd_info,
+        "scenario": _cmd_scenario,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

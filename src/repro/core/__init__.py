@@ -1,0 +1,104 @@
+"""Core P-Grid library: the paper's primary contribution.
+
+Modules
+-------
+``keys``
+    Binary key space — paths, values, intervals, prefix algebra (§2).
+``config``
+    Construction / search / update parameter objects.
+``peer`` / ``routing`` / ``storage``
+    Peer state: path, per-level references, leaf-level index, buddies (§2).
+``grid``
+    The network container plus structural statistics (§4/§5).
+``search``
+    Randomized depth-first search (Fig. 2) and the breadth-first variant.
+``exchange``
+    The randomized construction algorithm (Fig. 3).
+``updates``
+    Update propagation strategies and read strategies (§3, §5.2).
+``analysis``
+    Closed-form sizing and reliability analysis (§4).
+"""
+
+from repro.core.analysis import (
+    GridPlan,
+    min_peers_for_replication,
+    plan_grid,
+    required_key_length,
+    search_success_probability,
+)
+from repro.core.config import (
+    PAPER_SECTION51_CONFIG,
+    PAPER_SECTION52_CONFIG,
+    PGridConfig,
+    SearchConfig,
+    UpdateConfig,
+)
+from repro.core.exchange import ExchangeEngine, ExchangeStats
+from repro.core.grid import AlwaysOnline, PGrid
+from repro.core.membership import (
+    JoinReport,
+    LeaveReport,
+    MembershipEngine,
+    RepairReport,
+)
+from repro.core.peer import Address, Peer
+from repro.core.routing import RoutingTable
+from repro.core.search import (
+    BreadthSearchResult,
+    RangeSearchResult,
+    SearchEngine,
+    SearchResult,
+)
+from repro.core.shortcuts import (
+    ShortcutCache,
+    ShortcutSearchEngine,
+    ShortcutStats,
+)
+from repro.core.storage import DataItem, DataRef, DataStore
+from repro.core.updates import (
+    ReadEngine,
+    ReadResult,
+    UpdateEngine,
+    UpdateResult,
+    UpdateStrategy,
+)
+
+__all__ = [
+    "Address",
+    "AlwaysOnline",
+    "BreadthSearchResult",
+    "DataItem",
+    "DataRef",
+    "DataStore",
+    "ExchangeEngine",
+    "ExchangeStats",
+    "GridPlan",
+    "JoinReport",
+    "LeaveReport",
+    "MembershipEngine",
+    "PAPER_SECTION51_CONFIG",
+    "PAPER_SECTION52_CONFIG",
+    "PGrid",
+    "PGridConfig",
+    "Peer",
+    "RangeSearchResult",
+    "ReadEngine",
+    "ReadResult",
+    "RepairReport",
+    "RoutingTable",
+    "SearchConfig",
+    "SearchEngine",
+    "SearchResult",
+    "ShortcutCache",
+    "ShortcutSearchEngine",
+    "ShortcutStats",
+    "UpdateConfig",
+    "UpdateEngine",
+    "UpdateResult",
+    "UpdateStrategy",
+    "min_peers_for_replication",
+    "plan_grid",
+    "required_key_length",
+    "search_success_probability",
+]

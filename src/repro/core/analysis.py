@@ -1,0 +1,201 @@
+"""Closed-form analysis of search performance and grid sizing (paper §4).
+
+Given the population size ``N``, the data volume ``d_global``, the per-peer
+index budget and the online probability ``p``, §4 derives:
+
+* eq. (1) — required key length: ``k >= log2(d_global / i_leaf)``;
+* eq. (2) — replication feasibility: ``(d_global / i_leaf) * refmax <= N``;
+* eq. (3) — search success probability: ``(1 - (1 - p)^refmax)^k``.
+
+:func:`plan_grid` packages the §4 worked example: pick ``i_leaf`` and ``k``
+under a storage budget, then report the success probability and minimum
+community size.  The benchmark ``test_analysis_example.py`` checks the
+planner reproduces the paper's numbers (k = 10, refmax = 20, N >= 20409,
+success > 99%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfigError
+
+
+def required_key_length(d_global: int, i_leaf: int) -> int:
+    """Eq. (1): smallest integer ``k`` with ``2^k >= d_global / i_leaf``.
+
+    ``k`` is the trie depth needed so that each leaf interval holds at most
+    ``i_leaf`` data references.
+    """
+    if d_global < 1:
+        raise ValueError(f"d_global must be >= 1, got {d_global}")
+    if i_leaf < 1:
+        raise ValueError(f"i_leaf must be >= 1, got {i_leaf}")
+    ratio = d_global / i_leaf
+    if ratio <= 1:
+        return 0
+    return math.ceil(math.log2(ratio))
+
+
+def index_entries_per_peer(i_leaf: int, key_length: int, refmax: int) -> int:
+    """Total per-peer index entries: ``i_leaf + k * refmax`` (§4)."""
+    if i_leaf < 0 or key_length < 0 or refmax < 0:
+        raise ValueError("i_leaf, key_length and refmax must be non-negative")
+    return i_leaf + key_length * refmax
+
+
+def min_peers_for_replication(d_global: int, i_leaf: int, refmax: int) -> int:
+    """Eq. (2): smallest ``N`` with ``(d_global / i_leaf) * refmax <= N``.
+
+    Every leaf interval needs at least ``refmax`` replicas, so the community
+    must be at least as large as ``#leaves * refmax``.
+    """
+    if refmax < 1:
+        raise ValueError(f"refmax must be >= 1, got {refmax}")
+    if i_leaf < 1:
+        raise ValueError(f"i_leaf must be >= 1, got {i_leaf}")
+    if d_global < 1:
+        raise ValueError(f"d_global must be >= 1, got {d_global}")
+    return math.ceil(d_global / i_leaf * refmax)
+
+
+def search_success_probability(p_online: float, refmax: int, key_length: int) -> float:
+    """Eq. (3): ``(1 - (1 - p)^refmax)^k``.
+
+    At each of the ``k`` levels the search survives iff at least one of the
+    ``refmax`` referenced peers is online.
+    """
+    if not 0.0 <= p_online <= 1.0:
+        raise ValueError(f"p_online must be in [0, 1], got {p_online}")
+    if refmax < 1:
+        raise ValueError(f"refmax must be >= 1, got {refmax}")
+    if key_length < 0:
+        raise ValueError(f"key_length must be >= 0, got {key_length}")
+    per_level = 1.0 - (1.0 - p_online) ** refmax
+    return per_level**key_length
+
+
+def expected_search_messages(key_length: int) -> float:
+    """Rough §5.2 expectation: a search resolves one level per message in
+    the worst case and starts with a random shared prefix, so the expected
+    number of forwards is about ``k - 1`` in the worst case and
+    ``sum_{i>=1} k / 2^i``-ish on average.  We report the simple upper
+    bound used for sanity checks: ``key_length``.
+    """
+    if key_length < 0:
+        raise ValueError(f"key_length must be >= 0, got {key_length}")
+    return float(key_length)
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """Output of :func:`plan_grid` — one feasible P-Grid sizing."""
+
+    d_global: int
+    reference_bytes: int
+    storage_bytes_per_peer: int
+    p_online: float
+    i_peer: int
+    i_leaf: int
+    key_length: int
+    refmax: int
+    min_peers: int
+    success_probability: float
+    storage_used: int
+
+    def meets(self, target_success: float) -> bool:
+        """Whether the plan achieves the desired search reliability."""
+        return self.success_probability >= target_success
+
+
+def plan_grid(
+    d_global: int,
+    *,
+    reference_bytes: int = 10,
+    storage_bytes_per_peer: int = 100_000,
+    p_online: float = 0.3,
+    refmax: int = 20,
+    i_leaf: int | None = None,
+) -> GridPlan:
+    """Size a P-Grid for a workload, following the §4 worked example.
+
+    ``i_peer = storage / reference_bytes`` bounds the total index entries a
+    peer may hold.  If *i_leaf* is not given we take the largest value that
+    leaves room for ``k * refmax`` routing entries (solving the §4
+    "guess" step exactly by iterating the mutual dependency between
+    ``i_leaf`` and ``k`` to a fixed point).
+    """
+    if reference_bytes < 1:
+        raise InvalidConfigError(
+            f"reference_bytes must be >= 1, got {reference_bytes}"
+        )
+    if storage_bytes_per_peer < reference_bytes:
+        raise InvalidConfigError(
+            "storage_bytes_per_peer must hold at least one reference"
+        )
+    i_peer = storage_bytes_per_peer // reference_bytes
+    if i_leaf is None:
+        i_leaf = i_peer  # optimistic start: all budget to leaf entries
+        for _ in range(64):  # fixed point reached in a couple of rounds
+            key_length = required_key_length(d_global, i_leaf)
+            candidate = i_peer - key_length * refmax
+            if candidate < 1:
+                raise InvalidConfigError(
+                    "storage budget too small for the routing table alone"
+                )
+            if candidate == i_leaf:
+                break
+            i_leaf = candidate
+    key_length = required_key_length(d_global, i_leaf)
+    used = index_entries_per_peer(i_leaf, key_length, refmax)
+    if used > i_peer:
+        raise InvalidConfigError(
+            f"plan needs {used} entries but the budget is {i_peer}"
+        )
+    return GridPlan(
+        d_global=d_global,
+        reference_bytes=reference_bytes,
+        storage_bytes_per_peer=storage_bytes_per_peer,
+        p_online=p_online,
+        i_peer=i_peer,
+        i_leaf=i_leaf,
+        key_length=key_length,
+        refmax=refmax,
+        min_peers=min_peers_for_replication(d_global, i_leaf, refmax),
+        success_probability=search_success_probability(
+            p_online, refmax, key_length
+        ),
+        storage_used=used * reference_bytes,
+    )
+
+
+def central_server_costs(d_global: int, n_clients: int) -> dict[str, object]:
+    """§6 comparison: asymptotic costs of a centralized replicated server.
+
+    Storage on the server grows with the data volume ``O(D)``; query load on
+    the server grows with the client count ``O(N)`` (each node issues a
+    constant query rate, and every query hits the server).
+    """
+    if d_global < 0 or n_clients < 0:
+        raise ValueError("d_global and n_clients must be non-negative")
+    return {
+        "server_storage": d_global,
+        "client_storage": 1,
+        "server_query_load": n_clients,
+        "client_query_messages": 1,
+    }
+
+
+def pgrid_costs(d_global: int, n_peers: int, *, refmax: int = 1) -> dict[str, object]:
+    """§6 comparison: per-peer P-Grid costs.
+
+    Per-peer storage is ``O(log D)`` routing entries (plus the leaf bucket)
+    and a query costs ``O(log N)`` messages.
+    """
+    if d_global < 1 or n_peers < 1:
+        raise ValueError("d_global and n_peers must be >= 1")
+    return {
+        "peer_storage": max(1, math.ceil(math.log2(d_global))) * refmax,
+        "query_messages": max(1, math.ceil(math.log2(n_peers))),
+    }

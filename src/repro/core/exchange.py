@@ -1,0 +1,253 @@
+"""The randomized P-Grid construction algorithm (paper §3, Fig. 3).
+
+Whenever two peers meet they execute ``exchange``: depending on the relation
+between their paths they either split the search space (case 1), specialize
+the shorter path against the longer one (cases 2/3), or — having already
+diverged — forward each other to their own references for recursive
+exchanges (case 4).  Meetings are driven by :mod:`repro.sim.meetings`; this
+module implements the pairwise protocol itself.
+
+Pseudo-code fidelity notes (see DESIGN.md §4):
+
+* ``IF lc > 0`` guards only the reference-exchange block — the CASE analysis
+  must run for ``lc = 0`` too, otherwise the initial all-empty-path
+  population could never bootstrap (case 1 with ``lc = 0`` is the very first
+  split any pair performs).
+* The counter ``e`` reported by §5.1 counts *calls to the exchange
+  function*, including recursive ones; :attr:`ExchangeStats.calls` matches.
+* Table 4 vs. table 5: the original algorithm recurses into *every*
+  reference at the divergence level, which makes ``e`` explode with
+  ``refmax``; the paper's fix limits recursion to a bounded random subset.
+  ``PGridConfig.recursion_fanout`` selects between the two.
+* When both peers already hold the same *complete* path (``lc == maxl``)
+  no case fires, but the peers are replicas: they record each other as
+  *buddies* (update strategy 2 of §3 relies on these lists) and
+  anti-entropy their leaf-level index entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import keys as keyspace
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from repro.core.peer import Address, Peer
+
+
+@dataclass
+class ExchangeStats:
+    """Counters accumulated across ``exchange`` executions."""
+
+    calls: int = 0
+    meetings: int = 0
+    case1_splits: int = 0
+    case2_specializations: int = 0
+    case3_specializations: int = 0
+    case4_recursions: int = 0
+    buddy_links: int = 0
+    ref_handover_entries: int = 0
+    ref_handover_lost: int = 0
+    case_counts: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy for experiment records."""
+        return {
+            "calls": self.calls,
+            "meetings": self.meetings,
+            "case1_splits": self.case1_splits,
+            "case2_specializations": self.case2_specializations,
+            "case3_specializations": self.case3_specializations,
+            "case4_recursions": self.case4_recursions,
+            "buddy_links": self.buddy_links,
+            "ref_handover_entries": self.ref_handover_entries,
+            "ref_handover_lost": self.ref_handover_lost,
+        }
+
+
+class ExchangeEngine:
+    """Executes the Fig. 3 protocol on a :class:`PGrid`."""
+
+    def __init__(self, grid: PGrid, config: PGridConfig | None = None) -> None:
+        self.grid = grid
+        self.config = config or grid.config
+        self.stats = ExchangeStats()
+
+    # -- public entry point ------------------------------------------------------
+
+    def meet(self, address1: Address, address2: Address) -> int:
+        """One random meeting: run ``exchange(a1, a2, 0)``.
+
+        Returns the number of ``exchange`` calls the meeting triggered
+        (1 plus any case-4 recursion).
+        """
+        if address1 == address2:
+            raise ValueError("a peer cannot meet itself")
+        before = self.stats.calls
+        self.stats.meetings += 1
+        self._exchange(self.grid.peer(address1), self.grid.peer(address2), 0)
+        return self.stats.calls - before
+
+    # -- Fig. 3 body ---------------------------------------------------------------
+
+    def _exchange(self, a1: Peer, a2: Peer, depth: int) -> None:
+        self.stats.calls += 1
+        config = self.config
+        commonpath = keyspace.common_prefix(a1.path, a2.path)
+        lc = len(commonpath)
+
+        if lc > 0:
+            self._exchange_refs(a1, a2, lc)
+
+        l1 = a1.depth - lc
+        l2 = a2.depth - lc
+
+        if l1 == 0 and l2 == 0:
+            if (
+                lc < config.maxl
+                and self._may_specialize(a1)
+                and self._may_specialize(a2)
+            ):
+                self._case1_split(a1, a2, lc)
+            else:
+                # Identical paths that will not split further (depth or
+                # data threshold reached): the peers are replicas.
+                self._record_replicas(a1, a2)
+        elif l1 == 0 and l2 > 0:
+            if lc < config.maxl and self._may_specialize(a1):
+                self._case23_specialize(shorter=a1, longer=a2, lc=lc)
+                self.stats.case2_specializations += 1
+        elif l1 > 0 and l2 == 0:
+            if lc < config.maxl and self._may_specialize(a2):
+                self._case23_specialize(shorter=a2, longer=a1, lc=lc)
+                self.stats.case3_specializations += 1
+        else:  # l1 > 0 and l2 > 0: paths diverge at bit lc + 1
+            if depth < config.recmax:
+                self._case4_recurse(a1, a2, lc, depth)
+
+    def _may_specialize(self, peer: Peer) -> bool:
+        """Data-driven split gate (§3's threshold hint).
+
+        With ``split_min_items`` unset every split is allowed (the paper's
+        default).  Otherwise a peer only deepens its path while it is
+        responsible for at least that many index entries — splitting a
+        near-empty region buys nothing and costs references.
+        """
+        threshold = self.config.split_min_items
+        if threshold is None:
+            return True
+        return peer.store.ref_count >= threshold
+
+    # -- reference exchange at shared levels ---------------------------------------
+
+    def _exchange_refs(self, a1: Peer, a2: Peer, lc: int) -> None:
+        """Union + re-sample the reference sets at the shared level(s).
+
+        The paper exchanges only at the deepest shared level ``lc``;
+        ``exchange_refs_all_levels`` extends this to every level ``1..lc``
+        (ablation AB4).
+        """
+        levels = range(1, lc + 1) if self.config.exchange_refs_all_levels else (lc,)
+        rng = self.grid.rng
+        for level in levels:
+            combined = [
+                address
+                for address in (*a1.routing.refs(level), *a2.routing.refs(level))
+                if address not in (a1.address, a2.address)
+            ]
+            if not combined:
+                continue
+            a1.routing.merge_refs(level, combined, rng)
+            a2.routing.merge_refs(level, combined, rng)
+
+    # -- case 1: both remaining paths empty — introduce a new level ------------------
+
+    def _case1_split(self, a1: Peer, a2: Peer, lc: int) -> None:
+        a1.extend_path("0")
+        a2.extend_path("1")
+        a1.routing.set_refs(lc + 1, [a2.address])
+        a2.routing.set_refs(lc + 1, [a1.address])
+        self._handover_refs(a1, a2)
+        self._handover_refs(a2, a1)
+        self.stats.case1_splits += 1
+
+    # -- cases 2/3: one path is a prefix of the other — specialize the shorter -------
+
+    def _case23_specialize(self, shorter: Peer, longer: Peer, lc: int) -> None:
+        """The shorter peer takes the branch *opposite* the longer peer's.
+
+        This opposite choice is the paper's balancing mechanism: imbalances
+        in bit popularity are compensated because newcomers fill the less
+        covered side.
+        """
+        opposite = keyspace.complement_bit(longer.path[lc])
+        shorter.extend_path(opposite)
+        shorter.routing.set_refs(lc + 1, [longer.address])
+        longer.routing.merge_refs(lc + 1, [shorter.address], self.grid.rng)
+        self._handover_refs(shorter, longer)
+
+    # -- case 4: already diverged — forward to referenced peers ----------------------
+
+    def _case4_recurse(self, a1: Peer, a2: Peer, lc: int, depth: int) -> None:
+        config = self.config
+        if config.mutual_refs_in_case4:
+            a1.routing.add_ref(lc + 1, a2.address)
+            a2.routing.add_ref(lc + 1, a1.address)
+        refs1 = [r for r in a1.routing.refs(lc + 1) if r != a2.address]
+        refs2 = [r for r in a2.routing.refs(lc + 1) if r != a1.address]
+        fanout = config.recursion_fanout
+        rng = self.grid.rng
+        if fanout is not None:
+            if len(refs1) > fanout:
+                refs1 = rng.sample(refs1, fanout)
+            if len(refs2) > fanout:
+                refs2 = rng.sample(refs2, fanout)
+        self.stats.case4_recursions += 1
+        for address in refs1:
+            if (
+                address != a2.address
+                and self.grid.has_peer(address)
+                and self.grid.is_online(address)
+            ):
+                self._exchange(a2, self.grid.peer(address), depth + 1)
+        for address in refs2:
+            if (
+                address != a1.address
+                and self.grid.has_peer(address)
+                and self.grid.is_online(address)
+            ):
+                self._exchange(a1, self.grid.peer(address), depth + 1)
+
+    # -- replicas: identical complete paths ------------------------------------------
+
+    def _record_replicas(self, a1: Peer, a2: Peer) -> None:
+        """Identical paths at ``maxl``: buddy links + index anti-entropy."""
+        a1.add_buddy(a2.address)
+        a2.add_buddy(a1.address)
+        a1.merge_buddies(a2.buddies)
+        a2.merge_buddies(a1.buddies)
+        a1.buddies.discard(a1.address)
+        a2.buddies.discard(a2.address)
+        self.stats.buddy_links += 1
+        for ref in list(a1.store.iter_refs()):
+            a2.store.add_ref(ref)
+        for ref in list(a2.store.iter_refs()):
+            a1.store.add_ref(ref)
+
+    # -- index hand-over on specialization ---------------------------------------------
+
+    def _handover_refs(self, specialized: Peer, partner: Peer) -> None:
+        """Move index entries that left *specialized*'s responsibility.
+
+        Entries covered by the partner's (possibly deeper) path move there;
+        entries the partner does not cover either are counted as lost —
+        in a deployed system they would be re-inserted via a search, which
+        the update engine models explicitly.
+        """
+        dropped = specialized.store.drop_refs_outside(specialized.path)
+        for ref in dropped:
+            if keyspace.in_prefix_relation(ref.key, partner.path):
+                partner.store.add_ref(ref)
+                self.stats.ref_handover_entries += 1
+            else:
+                self.stats.ref_handover_lost += 1

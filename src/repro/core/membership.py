@@ -1,0 +1,290 @@
+"""Dynamic membership: joins, departures and reference repair.
+
+The paper constructs the grid from a fixed population, but its §6 agenda —
+"the structures have to continuously adapt" — needs three primitives a
+deployed P-Grid cannot live without:
+
+:meth:`MembershipEngine.join`
+    A newcomer bootstraps by exchanging with one known peer, then keeps
+    exchanging with peers drawn from the routing references it accumulates
+    (a random walk over the trie).  Because the exchange algorithm is the
+    *only* mechanism used, a join is just "more of the same protocol" —
+    the self-organization property the paper emphasizes.
+:meth:`MembershipEngine.leave` / :meth:`MembershipEngine.fail`
+    A graceful departure hands the peer's leaf-level index entries to a
+    replica (found with the peer's own routing state) before leaving; a
+    failure just disappears.  Either way, references held by other peers
+    dangle until repaired.
+:meth:`MembershipEngine.repair`
+    Lazy reference repair: probe the references of a peer, drop dead ones,
+    and refill each level by *searching* for the complement prefix the
+    level must cover — reusing Fig. 2 as the discovery mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import keys as keyspace
+from repro.core.exchange import ExchangeEngine
+from repro.core.grid import PGrid
+from repro.core.peer import Address, Peer
+from repro.core.search import SearchEngine
+
+
+@dataclass
+class JoinReport:
+    """Outcome of one join."""
+
+    address: Address
+    exchanges: int
+    final_depth: int
+    meetings: int
+
+
+@dataclass
+class LeaveReport:
+    """Outcome of one graceful departure."""
+
+    address: Address
+    handover_target: Address | None
+    entries_handed_over: int
+    messages: int
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one repair pass over a peer's routing table."""
+
+    address: Address
+    dead_refs_dropped: int
+    refs_added: int
+    levels_left_empty: list[int] = field(default_factory=list)
+    messages: int = 0
+
+
+class MembershipEngine:
+    """Joins, departures and repair over a live :class:`PGrid`."""
+
+    def __init__(
+        self,
+        grid: PGrid,
+        *,
+        exchange: ExchangeEngine | None = None,
+        search: SearchEngine | None = None,
+    ) -> None:
+        self.grid = grid
+        self.exchange = exchange or ExchangeEngine(grid)
+        self.search = search or SearchEngine(grid)
+
+    # -- join ---------------------------------------------------------------
+
+    def join(
+        self,
+        bootstrap: Address,
+        *,
+        max_meetings: int = 64,
+        target_depth: int | None = None,
+    ) -> JoinReport:
+        """Admit a new peer, bootstrapping through *bootstrap*.
+
+        The newcomer first exchanges with the bootstrap peer, then runs a
+        random walk: each further meeting partner is drawn from the
+        routing references the newcomer has accumulated so far (falling
+        back to the bootstrap's references while its own table is empty).
+        The walk stops at *target_depth* (default: the grid's ``maxl``) or
+        after *max_meetings*.
+        """
+        if max_meetings < 1:
+            raise ValueError(f"max_meetings must be >= 1, got {max_meetings}")
+        depth_goal = (
+            target_depth if target_depth is not None else self.grid.config.maxl
+        )
+        if depth_goal < 0:
+            raise ValueError(f"target_depth must be >= 0, got {depth_goal}")
+        bootstrap_peer = self.grid.peer(bootstrap)
+
+        newcomer = self.grid.add_peer()
+        before = self.exchange.stats.calls
+        meetings = 0
+        rng = self.grid.rng
+        while newcomer.depth < depth_goal and meetings < max_meetings:
+            partner = self._walk_partner(newcomer, bootstrap_peer, rng)
+            if partner is None:
+                break
+            if not self.grid.is_online(partner):
+                meetings += 1
+                continue
+            self.exchange.meet(newcomer.address, partner)
+            meetings += 1
+        return JoinReport(
+            address=newcomer.address,
+            exchanges=self.exchange.stats.calls - before,
+            final_depth=newcomer.depth,
+            meetings=meetings,
+        )
+
+    def _walk_partner(
+        self, newcomer: Peer, bootstrap: Peer, rng
+    ) -> Address | None:
+        """Next meeting partner: own refs > bootstrap refs > bootstrap."""
+        candidates = [
+            address
+            for _level, refs in newcomer.routing.iter_levels()
+            for address in refs
+            if address != newcomer.address and self.grid.has_peer(address)
+        ]
+        if not candidates:
+            candidates = [
+                address
+                for _level, refs in bootstrap.routing.iter_levels()
+                for address in refs
+                if address != newcomer.address and self.grid.has_peer(address)
+            ]
+        if not candidates:
+            if bootstrap.address == newcomer.address:
+                return None
+            return bootstrap.address
+        return rng.choice(candidates)
+
+    # -- departures -------------------------------------------------------------
+
+    def leave(self, address: Address) -> LeaveReport:
+        """Graceful departure: hand the leaf index to a replica, then go.
+
+        The departing peer searches for its *own path* (excluding itself as
+        responder by searching from itself through its references): the
+        responder — another peer responsible for the same region — absorbs
+        its index entries.  If no replica is reachable the entries are
+        dropped with the peer, as they would be in a real crash.
+        """
+        peer = self.grid.peer(address)
+        entries = list(peer.store.iter_refs())
+        target: Address | None = None
+        messages = 0
+
+        # Buddies are co-replicas by construction — the cheapest target.
+        for buddy in sorted(peer.buddies):
+            if self.grid.has_peer(buddy) and self.grid.is_online(buddy):
+                target = buddy
+                messages += 1
+                break
+
+        # Otherwise delegate the search: a peer cannot find its own
+        # co-replicas through its own references (a search at a responsible
+        # peer terminates immediately at itself), but a *referenced* peer
+        # on the other side routes back into the region and may land on a
+        # different replica.
+        if target is None and entries and peer.path:
+            delegates = [
+                ref
+                for _level, refs in peer.routing.iter_levels()
+                for ref in refs
+                if self.grid.has_peer(ref)
+            ]
+            rng = self.grid.rng
+            for _ in range(min(4, len(delegates)) or 0):
+                delegate = rng.choice(delegates)
+                if not self.grid.is_online(delegate):
+                    continue
+                messages += 1  # the delegation request itself
+                result = self.search.query_from(delegate, peer.path)
+                messages += result.messages
+                if result.found and result.responder not in (None, address):
+                    target = result.responder
+                    break
+
+        handed = 0
+        if target is not None:
+            store = self.grid.peer(target).store
+            for ref in entries:
+                store.add_ref(ref)
+                handed += 1
+        self.grid.remove_peer(address)
+        return LeaveReport(
+            address=address,
+            handover_target=target,
+            entries_handed_over=handed,
+            messages=messages,
+        )
+
+    def fail(self, address: Address) -> Peer:
+        """Crash departure: the peer vanishes, state and all."""
+        return self.grid.remove_peer(address)
+
+    # -- repair ------------------------------------------------------------------
+
+    def repair(self, address: Address, *, refill: bool = True) -> RepairReport:
+        """Drop dead references of *address* and refill depleted levels.
+
+        Refill uses the search algorithm itself: level ``i`` must reference
+        peers under ``prefix(i-1) + complement(bit i)``; a Fig. 2 search
+        for that prefix returns exactly such a peer (any responder whose
+        path extends the prefix qualifies).  Search messages are counted
+        as the repair's cost.
+        """
+        peer = self.grid.peer(address)
+        report = RepairReport(address=address, dead_refs_dropped=0, refs_added=0)
+        for level in range(1, peer.depth + 1):
+            for ref in peer.routing.refs(level):
+                if not self.grid.has_peer(ref):
+                    peer.routing.remove_ref(level, ref)
+                    report.dead_refs_dropped += 1
+            if not refill:
+                continue
+            missing = peer.routing.refmax - len(peer.routing.refs(level))
+            if missing <= 0:
+                continue
+            target_prefix = peer.prefix(level - 1) + keyspace.complement_bit(
+                peer.path[level - 1]
+            )
+            for _ in range(missing):
+                if not self._refill_one(peer, level, target_prefix, report):
+                    break  # this level cannot be refilled right now
+            if not peer.routing.refs(level):
+                report.levels_left_empty.append(level)
+        return report
+
+    def _refill_one(
+        self, peer: Peer, level: int, target_prefix: str, report: RepairReport
+    ) -> bool:
+        """Acquire one fresh reference for *level* via search.
+
+        A self-search only works while the level still has a live
+        reference to route through; a fully depleted level needs a
+        *delegate* — any still-known peer at another level — to run the
+        search on the peer's behalf (one extra message).
+        """
+        if peer.routing.refs(level):
+            result = self.search.query_from(peer.address, target_prefix)
+            report.messages += result.messages
+        else:
+            delegates = [
+                ref
+                for _lvl, refs in peer.routing.iter_levels()
+                for ref in refs
+                if self.grid.has_peer(ref) and self.grid.is_online(ref)
+            ]
+            if not delegates:
+                return False
+            delegate = self.grid.rng.choice(delegates)
+            report.messages += 1  # delegation request
+            result = self.search.query_from(delegate, target_prefix)
+            report.messages += result.messages
+        if (
+            result.found
+            and result.responder is not None
+            and result.responder != peer.address
+            and self.grid.peer(result.responder).path.startswith(target_prefix)
+            and peer.routing.add_ref(level, result.responder)
+        ):
+            report.refs_added += 1
+            return True
+        return False
+
+    def repair_all(self, *, refill: bool = True) -> list[RepairReport]:
+        """Run :meth:`repair` over every peer (a maintenance sweep)."""
+        return [
+            self.repair(address, refill=refill)
+            for address in self.grid.addresses()
+        ]

@@ -1,0 +1,421 @@
+"""Randomized P-Grid search (paper Fig. 2) and its breadth-first variant.
+
+The depth-first algorithm follows the paper's pseudo-code: at peer ``a`` with
+query suffix ``p`` after ``l`` consumed bits, compare ``p`` against the
+remaining path; on full prefix agreement the local peer is responsible,
+otherwise forward the unmatched suffix to a randomly chosen reference at the
+divergence level, trying alternative references (backtracking) while
+forwards fail.
+
+Two deviations from the literal pseudo-code, both documented in DESIGN.md:
+
+* the recursive call passes level ``l + length(compath)`` — the paper prints
+  ``1 + length(compath)``, which breaks the "level = consumed bits" invariant
+  its own variable definitions imply (an off-by-typo, see DESIGN.md §4);
+* a configurable message budget guards against unbounded wandering when
+  nearly all peers are offline.
+
+Cost accounting matches §5.2: a *message* is a successful ``query`` call to
+another peer; contact attempts that hit an offline peer are tallied
+separately (``failed_attempts``).
+
+The breadth-first search (``query_breadth``) is the §3/§5.2 update-support
+primitive: instead of trying references one by one until a single responsible
+peer answers, it forwards to up to ``recbreadth`` references *at every
+divergence level in parallel*, collecting the full set of responsible peers
+it reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import keys as keyspace
+from repro.core.config import SearchConfig
+from repro.core.grid import PGrid
+from repro.core.peer import Address, Peer
+from repro.core.storage import DataRef
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one depth-first search.
+
+    ``latency`` is the simulated end-to-end latency along the contact
+    chain; it is populated only when the engine has a topology attached
+    (see :mod:`repro.sim.topology`), otherwise 0.
+    """
+
+    query: str
+    start: Address
+    found: bool
+    responder: Address | None
+    messages: int
+    failed_attempts: int
+    data_refs: list[DataRef] = field(default_factory=list)
+    latency: float = 0.0
+
+    @property
+    def total_contacts(self) -> int:
+        """Messages plus failed contact attempts."""
+        return self.messages + self.failed_attempts
+
+
+@dataclass
+class RangeSearchResult:
+    """Outcome of one range query."""
+
+    low: str
+    high: str
+    cover: list[str]
+    responders: list[Address]
+    data_refs: list[DataRef]
+    messages: int
+    failed_attempts: int
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one responsible peer was reached."""
+        return bool(self.responders)
+
+
+@dataclass
+class BreadthSearchResult:
+    """Outcome of one breadth-first (multi-replica) search."""
+
+    query: str
+    start: Address
+    responders: list[Address]
+    messages: int
+    failed_attempts: int
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one responsible peer was reached."""
+        return bool(self.responders)
+
+
+class _Budget:
+    """Mutable message budget shared across a recursive search."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, limit: int) -> None:
+        self.remaining = limit
+
+    def consume(self) -> bool:
+        """Take one message from the budget; False when exhausted."""
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+class SearchEngine:
+    """Executes searches against a :class:`PGrid`.
+
+    ``topology`` is an optional latency model (anything with a
+    ``latency(a, b) -> float`` method); when set, results carry the
+    simulated end-to-end latency of the contact chain.  It does not
+    influence routing here — :class:`repro.sim.topology` provides the
+    proximity-aware engine variants that do.
+    """
+
+    def __init__(
+        self,
+        grid: PGrid,
+        config: SearchConfig | None = None,
+        *,
+        topology=None,
+    ) -> None:
+        self.grid = grid
+        self.config = config or SearchConfig()
+        self.topology = topology
+
+    # -- depth-first search (Fig. 2) -------------------------------------------
+
+    def query_from(self, start: Address, query: str) -> SearchResult:
+        """Issue *query* at the peer *start* (the paper's ``query(a, p, 0)``).
+
+        The starting peer acts as the requester and is contacted locally
+        (no message, no online check — a user searches from their own node).
+        """
+        keyspace.validate_key(query)
+        peer = self.grid.peer(start)
+        budget = _Budget(self.config.max_messages)
+        stats: dict[str, float] = {"messages": 0, "failed": 0, "latency": 0.0}
+        found, responder = self._query(peer, query, 0, budget, stats)
+        data_refs: list[DataRef] = []
+        if found and responder is not None:
+            data_refs = self.grid.peer(responder).store.lookup(query)
+        return SearchResult(
+            query=query,
+            start=start,
+            found=found,
+            responder=responder,
+            messages=int(stats["messages"]),
+            failed_attempts=int(stats["failed"]),
+            data_refs=data_refs,
+            latency=stats["latency"],
+        )
+
+    def _query(
+        self,
+        peer: Peer,
+        p: str,
+        level: int,
+        budget: _Budget,
+        stats: dict[str, float],
+    ) -> tuple[bool, Address | None]:
+        """Recursive body of Fig. 2; *level* = bits of ``path(peer)`` consumed."""
+        rempath = peer.path[level:]
+        compath = keyspace.common_prefix(p, rempath)
+        lc = len(compath)
+        if lc == len(p) or lc == len(rempath):
+            return True, peer.address
+        # Divergence: forward the unmatched suffix sideways.
+        querypath = p[lc:]
+        refs = list(peer.routing.refs(level + lc + 1))
+        rng = self.grid.rng
+        while refs:
+            index = rng.randrange(len(refs))
+            address = refs.pop(index)
+            # A dangling reference (departed peer) behaves like an offline
+            # one: the contact attempt fails.
+            if not self.grid.has_peer(address) or not self.grid.is_online(address):
+                stats["failed"] += 1
+                continue
+            if not budget.consume():
+                return False, None
+            stats["messages"] += 1
+            if self.topology is not None:
+                stats["latency"] += self.topology.latency(peer.address, address)
+            found, responder = self._query(
+                self.grid.peer(address), querypath, level + lc, budget, stats
+            )
+            if found:
+                return True, responder
+        return False, None
+
+    # -- repeated depth-first search (§5.2 update strategy 1) ---------------------
+
+    def repeated_query(
+        self, start: Address, query: str, times: int
+    ) -> tuple[set[Address], int, int]:
+        """Run *times* independent searches; return (responders, messages,
+        failed attempts).
+
+        Random reference choice makes repetitions land on different
+        replicas, which is what update strategy (1) of §3 exploits.
+        """
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        responders: set[Address] = set()
+        messages = 0
+        failed = 0
+        for _ in range(times):
+            result = self.query_from(start, query)
+            messages += result.messages
+            failed += result.failed_attempts
+            if result.found and result.responder is not None:
+                responders.add(result.responder)
+        return responders, messages, failed
+
+    # -- breadth-first search (§3 update strategy 3) -------------------------------
+
+    def query_breadth(
+        self,
+        start: Address,
+        query: str,
+        recbreadth: int,
+        *,
+        enumerate_subtree: bool = False,
+    ) -> BreadthSearchResult:
+        """Collect responsible peers by fanning out *recbreadth*-wide.
+
+        At each peer the query either terminates (prefix agreement — the
+        peer is responsible and is collected) or diverges, in which case up
+        to *recbreadth* randomly chosen references at the divergence level
+        are all followed.  Every reached responsible peer additionally
+        contributes its *buddies*' responsibility transitively through the
+        returned set only if they were contacted (buddy forwarding is a
+        separate strategy implemented in :mod:`repro.core.updates`).
+
+        With *enumerate_subtree*, a responsible peer whose path extends
+        past the query additionally forwards into its references at every
+        level *below* the match — those references cover the sibling
+        subtrees under the query prefix, so the walk visits every leaf
+        region of the queried interval (used by range queries, where the
+        cover prefixes are much shorter than peer paths).
+        """
+        if recbreadth < 1:
+            raise ValueError(f"recbreadth must be >= 1, got {recbreadth}")
+        keyspace.validate_key(query)
+        budget = _Budget(self.config.max_messages)
+        stats = {"messages": 0, "failed": 0}
+        responders: list[Address] = []
+        seen: set[Address] = set()
+        self._breadth(
+            self.grid.peer(start),
+            query,
+            0,
+            recbreadth,
+            budget,
+            stats,
+            responders,
+            seen,
+            enumerate_subtree,
+        )
+        return BreadthSearchResult(
+            query=query,
+            start=start,
+            responders=responders,
+            messages=stats["messages"],
+            failed_attempts=stats["failed"],
+        )
+
+    # -- range queries over the order-preserving key space ------------------------
+
+    def query_range(
+        self, start: Address, low: str, high: str, *, recbreadth: int = 2
+    ) -> RangeSearchResult:
+        """Find index entries with keys in ``[low, high]`` (equal lengths).
+
+        P-Grid keys are order-preserving (``val(k)`` intervals, §2), so a
+        range decomposes into the canonical cover prefixes
+        (:func:`repro.core.keys.range_cover`); each cover prefix is then
+        resolved with a breadth-first search and the responders' leaf
+        entries are filtered to the range.  Duplicate entries returned by
+        several replicas are deduplicated.
+        """
+        cover = keyspace.range_cover(low, high)
+        responders: list[Address] = []
+        seen_responders: set[Address] = set()
+        refs: dict[tuple[str, Address], DataRef] = {}
+        messages = 0
+        failed = 0
+        for prefix in cover:
+            result = self.query_breadth(
+                start, prefix, recbreadth, enumerate_subtree=True
+            )
+            messages += result.messages
+            failed += result.failed_attempts
+            for responder in result.responders:
+                if responder not in seen_responders:
+                    seen_responders.add(responder)
+                    responders.append(responder)
+                for ref in self.grid.peer(responder).store.lookup(prefix):
+                    if self._key_in_range(ref.key, low, high):
+                        key = (ref.key, ref.holder)
+                        existing = refs.get(key)
+                        if existing is None or ref.version > existing.version:
+                            refs[key] = ref
+        data_refs = sorted(refs.values(), key=lambda r: (r.key, r.holder))
+        return RangeSearchResult(
+            low=low,
+            high=high,
+            cover=cover,
+            responders=responders,
+            data_refs=data_refs,
+            messages=messages,
+            failed_attempts=failed,
+        )
+
+    @staticmethod
+    def _key_in_range(key: str, low: str, high: str) -> bool:
+        """Whether *key*'s interval intersects the ``[low, high]`` range.
+
+        Entries may be indexed under keys longer or shorter than the range
+        bounds; compare by padding to the bound length (a shorter key
+        covers the whole subtree, so it matches if any leaf under it
+        does).
+        """
+        width = len(low)
+        if len(key) >= width:
+            truncated = key[:width]
+            return low <= truncated <= high
+        first = key + "0" * (width - len(key))
+        last = key + "1" * (width - len(key))
+        return not (last < low or first > high)
+
+    def _breadth(
+        self,
+        peer: Peer,
+        p: str,
+        level: int,
+        recbreadth: int,
+        budget: _Budget,
+        stats: dict[str, int],
+        responders: list[Address],
+        seen: set[Address],
+        enumerate_subtree: bool = False,
+    ) -> None:
+        if peer.address in seen:
+            return
+        seen.add(peer.address)
+        rempath = peer.path[level:]
+        compath = keyspace.common_prefix(p, rempath)
+        lc = len(compath)
+        if lc == len(p) or lc == len(rempath):
+            responders.append(peer.address)
+            if enumerate_subtree and lc == len(p):
+                # The peer's path extends past the query: its references at
+                # every level below the match point into the *other* halves
+                # of the query's subtree.  Forwarding the empty remaining
+                # query there enumerates all leaf regions of the interval.
+                for sublevel in range(level + lc + 1, peer.depth + 1):
+                    self._fan_out(
+                        peer, "", sublevel, sublevel, recbreadth,
+                        budget, stats, responders, seen, enumerate_subtree,
+                    )
+            return
+        self._fan_out(
+            peer, p[lc:], level + lc, level + lc + 1, recbreadth,
+            budget, stats, responders, seen, enumerate_subtree,
+        )
+
+    def _fan_out(
+        self,
+        peer: Peer,
+        querypath: str,
+        next_level: int,
+        ref_level: int,
+        recbreadth: int,
+        budget: _Budget,
+        stats: dict[str, int],
+        responders: list[Address],
+        seen: set[Address],
+        enumerate_subtree: bool,
+    ) -> None:
+        """Forward to up to *recbreadth* online references at *ref_level*.
+
+        Offline contacts are skipped and replaced by further candidates
+        (the depth-first search retries the same way, one at a time).
+        """
+        refs = list(peer.routing.refs(ref_level))
+        rng = self.grid.rng
+        rng.shuffle(refs)
+        forwarded = 0
+        for address in refs:
+            if forwarded >= recbreadth:
+                break
+            if address in seen:
+                continue
+            if not self.grid.has_peer(address) or not self.grid.is_online(address):
+                stats["failed"] += 1
+                continue
+            if not budget.consume():
+                return
+            stats["messages"] += 1
+            forwarded += 1
+            self._breadth(
+                self.grid.peer(address),
+                querypath,
+                next_level,
+                recbreadth,
+                budget,
+                stats,
+                responders,
+                seen,
+                enumerate_subtree,
+            )

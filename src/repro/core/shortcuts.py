@@ -1,0 +1,147 @@
+"""Query-adaptive shortcut caching (§6: "knowledge on query distribution
+... for optimizing P-Grid construction and updates").
+
+The trie routes every query in ``O(log N)`` hops regardless of popularity.
+When the query distribution is skewed, a peer can do better: remember which
+peer answered a recent query and jump straight there next time.  This is
+the standard result-caching optimization (Gnutella-era "query caching",
+later formalized in DHT literature as shortcut/fingers-by-demand).
+
+:class:`ShortcutSearchEngine` wraps a :class:`~repro.core.search.SearchEngine`
+with a per-initiator LRU cache:
+
+* on a hit, the cached responder is contacted directly (1 message); if it
+  is offline or no longer responsible (paths only ever extend, so this
+  only happens after membership churn), the entry is dropped and the
+  normal search runs;
+* on a miss, the Fig. 2 search runs and its responder is cached under the
+  query key.
+
+Consistency note: a shortcut only short-circuits *routing*; the answer is
+still served from the responsible peer's current store, so staleness
+semantics are identical to the plain search.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core import keys as keyspace
+from repro.core.grid import PGrid
+from repro.core.peer import Address
+from repro.core.search import SearchEngine, SearchResult
+
+
+@dataclass
+class ShortcutStats:
+    """Cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of searches answered via a shortcut."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class ShortcutCache:
+    """A bounded LRU map from query key to last-known responder."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, Address] = OrderedDict()
+
+    def get(self, key: str) -> Address | None:
+        """Look up *key*, refreshing its LRU position."""
+        if key not in self._entries:
+            return None
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: str, responder: Address) -> None:
+        """Remember *responder* for *key*, evicting the LRU entry if full."""
+        self._entries[key] = responder
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key: str) -> None:
+        """Drop the entry for *key* if present."""
+        self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class ShortcutSearchEngine:
+    """A caching layer over the Fig. 2 search.
+
+    One cache per initiating peer (a deployed node caches locally; a
+    shared cache would be a different system).  Caches are created lazily.
+    """
+
+    grid: PGrid
+    search: SearchEngine | None = None
+    capacity: int = 128
+    stats: ShortcutStats = field(default_factory=ShortcutStats)
+
+    def __post_init__(self) -> None:
+        if self.search is None:
+            self.search = SearchEngine(self.grid)
+        self._caches: dict[Address, ShortcutCache] = {}
+
+    def cache_for(self, address: Address) -> ShortcutCache:
+        """The initiator-local cache for *address*."""
+        cache = self._caches.get(address)
+        if cache is None:
+            cache = ShortcutCache(self.capacity)
+            self._caches[address] = cache
+        return cache
+
+    def query_from(self, start: Address, query: str) -> SearchResult:
+        """Search with shortcut attempt first, Fig. 2 fallback."""
+        keyspace.validate_key(query)
+        cache = self.cache_for(start)
+        cached = cache.get(query)
+        if cached is not None:
+            result = self._try_shortcut(start, query, cached)
+            if result is not None:
+                self.stats.hits += 1
+                return result
+            cache.invalidate(query)
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        result = self.search.query_from(start, query)
+        if result.found and result.responder is not None:
+            cache.put(query, result.responder)
+        return result
+
+    def _try_shortcut(
+        self, start: Address, query: str, responder: Address
+    ) -> SearchResult | None:
+        """Contact the cached responder directly; ``None`` if unusable."""
+        if not self.grid.has_peer(responder):
+            return None
+        if not self.grid.is_online(responder):
+            return None
+        peer = self.grid.peer(responder)
+        if not peer.responsible_for(query):
+            return None
+        return SearchResult(
+            query=query,
+            start=start,
+            found=True,
+            responder=responder,
+            messages=0 if responder == start else 1,
+            failed_attempts=0,
+            data_refs=peer.store.lookup(query),
+        )

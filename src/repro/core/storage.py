@@ -1,0 +1,199 @@
+"""Data items and the leaf-level index of a peer (paper §2).
+
+Besides its routing references a peer maintains ``D ⊆ ADDR × K`` — for every
+indexed key with the peer's path as a prefix, the addresses of the peers that
+*store* the corresponding data items.  This module provides:
+
+:class:`DataItem`
+    An indexed object: a binary key, an opaque value, and a monotonically
+    increasing version (used by the update experiments to distinguish stale
+    from fresh replicas of an index entry).
+:class:`DataRef`
+    One entry of ``D`` — (key, storing peer address, version).
+:class:`DataStore`
+    A peer's local container for both the items it physically stores and the
+    leaf-level index entries it is responsible for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core import keys as keyspace
+
+Address = int
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """An information item: an index key plus an opaque payload."""
+
+    key: str
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        keyspace.validate_key(self.key)
+
+
+@dataclass(frozen=True)
+class DataRef:
+    """One leaf-level index entry: *key* is stored at *holder*.
+
+    ``version`` tracks index-entry freshness for the §5.2 update
+    experiments: an update re-publishes the entry with a higher version, and
+    a replica is *stale* until the new version reaches it.
+
+    ``deleted`` marks a *tombstone*: retractions propagate exactly like
+    updates (a higher-version entry), but lookups skip tombstoned entries.
+    Keeping the tombstone (rather than erasing the entry) is what makes
+    out-of-order propagation safe — a late-arriving older publish cannot
+    resurrect a deleted entry.
+    """
+
+    key: str
+    holder: Address
+    version: int = 0
+    deleted: bool = False
+
+    def __post_init__(self) -> None:
+        keyspace.validate_key(self.key)
+        if self.version < 0:
+            raise ValueError(f"version must be >= 0, got {self.version}")
+
+    def tombstone(self) -> "DataRef":
+        """The deletion marker superseding this entry (version + 1)."""
+        return DataRef(
+            key=self.key,
+            holder=self.holder,
+            version=self.version + 1,
+            deleted=True,
+        )
+
+
+class DataStore:
+    """Local storage of one peer: stored items + leaf-level index entries.
+
+    The index side is keyed by the item key; multiple holders per key are
+    allowed (several peers may store copies of the same file).  Lookups by
+    *query* key return every entry whose key is in a prefix relation with the
+    query, mirroring the interval semantics of §2.
+    """
+
+    def __init__(self) -> None:
+        self._items: dict[str, DataItem] = {}
+        self._index: dict[str, dict[Address, DataRef]] = {}
+
+    # -- physically stored items -------------------------------------------
+
+    def store_item(self, item: DataItem) -> None:
+        """Store *item* locally (overwrites an item with the same key)."""
+        self._items[item.key] = item
+
+    def get_item(self, key: str) -> DataItem | None:
+        """Return the locally stored item for *key*, or ``None``."""
+        return self._items.get(key)
+
+    def iter_items(self) -> Iterator[DataItem]:
+        """Iterate over locally stored items."""
+        return iter(self._items.values())
+
+    @property
+    def item_count(self) -> int:
+        """Number of locally stored items."""
+        return len(self._items)
+
+    # -- leaf-level index (the peer's slice of D) ---------------------------
+
+    def add_ref(self, ref: DataRef) -> None:
+        """Insert or refresh an index entry.
+
+        A newer version for the same (key, holder) pair replaces the stored
+        entry; an older or equal version is ignored, making propagation
+        idempotent.
+        """
+        holders = self._index.setdefault(ref.key, {})
+        existing = holders.get(ref.holder)
+        if existing is None or ref.version > existing.version:
+            holders[ref.holder] = ref
+
+    def remove_ref(self, key: str, holder: Address) -> bool:
+        """Drop the entry for (key, holder); return whether it existed."""
+        holders = self._index.get(key)
+        if not holders or holder not in holders:
+            return False
+        del holders[holder]
+        if not holders:
+            del self._index[key]
+        return True
+
+    def refs_for_key(self, key: str) -> list[DataRef]:
+        """Exact-key live entries, sorted by holder for determinism."""
+        holders = self._index.get(key, {})
+        return sorted(
+            (ref for ref in holders.values() if not ref.deleted),
+            key=lambda ref: ref.holder,
+        )
+
+    def lookup(self, query: str) -> list[DataRef]:
+        """Every live entry whose key is in a prefix relation with *query*.
+
+        This implements the peer's answer duty for its interval: a query for
+        a short key returns all more specific entries below it, and a query
+        for a long key returns entries for any prefix of it.  Tombstoned
+        entries are invisible to lookups (but still stored, so stale
+        re-publishes cannot resurrect them).
+        """
+        matches = [
+            ref
+            for key, holders in self._index.items()
+            if keyspace.in_prefix_relation(key, query)
+            for ref in holders.values()
+            if not ref.deleted
+        ]
+        matches.sort(key=lambda ref: (ref.key, ref.holder))
+        return matches
+
+    def is_deleted(self, key: str, holder: Address) -> bool:
+        """Whether the stored entry for (key, holder) is a tombstone."""
+        holders = self._index.get(key)
+        if not holders or holder not in holders:
+            return False
+        return holders[holder].deleted
+
+    def iter_refs(self) -> Iterator[DataRef]:
+        """Iterate over all index entries (no order guarantee)."""
+        for holders in self._index.values():
+            yield from holders.values()
+
+    def version_of(self, key: str, holder: Address) -> int | None:
+        """Stored version for (key, holder), or ``None`` if absent."""
+        holders = self._index.get(key)
+        if not holders or holder not in holders:
+            return None
+        return holders[holder].version
+
+    @property
+    def ref_count(self) -> int:
+        """Total number of index entries held."""
+        return sum(len(holders) for holders in self._index.values())
+
+    def indexed_keys(self) -> list[str]:
+        """All distinct keys with at least one index entry, sorted."""
+        return sorted(self._index)
+
+    def drop_refs_outside(self, path: str) -> list[DataRef]:
+        """Remove and return entries no longer covered by *path*.
+
+        Called when a peer specializes: entries whose key is not in a prefix
+        relation with the new path leave the peer's responsibility and must
+        be handed over to the exchange partner (paper §3 discusses this data
+        hand-over implicitly as part of splitting responsibility).
+        """
+        dropped: list[DataRef] = []
+        for key in list(self._index):
+            if not keyspace.in_prefix_relation(key, path):
+                dropped.extend(self._index[key].values())
+                del self._index[key]
+        dropped.sort(key=lambda ref: (ref.key, ref.holder))
+        return dropped

@@ -1,0 +1,359 @@
+"""Update propagation and read strategies over replicas (paper §3 and §5.2).
+
+An update must reach *all* peers responsible for a key — not just one, as a
+search does.  The paper compares three propagation strategies:
+
+1. **Repeated depth-first search** — run the Fig. 2 search several times;
+   random reference choice scatters the repetitions over different replicas.
+2. **Depth-first + buddies** — every replica reached additionally forwards
+   the update to the buddies it learned during construction.
+3. **Breadth-first search** — fan out ``recbreadth``-wide at every routing
+   level, reaching many replicas in one pass (the clear winner in Fig. 5).
+
+§5.2's second insight is the *repeated-query* trick: instead of paying for
+near-complete update coverage, update a modest fraction of replicas and
+repeat queries until a fresh replica answers (or take a majority vote) —
+trading a small per-query overhead for a drastic insertion-cost reduction
+(table 6).  :class:`ReadEngine` implements single, repeated-until-fresh and
+majority reads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core import keys as keyspace
+from repro.core.config import UpdateConfig
+from repro.core.grid import PGrid
+from repro.core.peer import Address
+from repro.core.search import SearchEngine
+from repro.core.storage import DataItem, DataRef
+
+
+class UpdateStrategy(enum.Enum):
+    """The three propagation strategies of §3/§5.2."""
+
+    REPEATED_DFS = "repeated_dfs"
+    DFS_BUDDIES = "dfs_buddies"
+    BFS = "bfs"
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one update propagation."""
+
+    key: str
+    version: int
+    reached: set[Address]
+    messages: int
+    failed_attempts: int
+    replica_count: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of existing replicas that received the update."""
+        if self.replica_count == 0:
+            return 0.0
+        return len(self.reached) / self.replica_count
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one read (query for an index entry)."""
+
+    key: str
+    success: bool
+    messages: int
+    failed_attempts: int
+    repetitions: int
+
+
+class UpdateEngine:
+    """Propagates index-entry updates through a :class:`PGrid`.
+
+    ``config`` supplies the default ``recbreadth``/``repetition`` for calls
+    that do not override them explicitly (experiments sweep them per call;
+    applications typically fix them once here).
+    """
+
+    def __init__(
+        self,
+        grid: PGrid,
+        search: SearchEngine | None = None,
+        *,
+        config: UpdateConfig | None = None,
+    ) -> None:
+        self.grid = grid
+        self.search = search or SearchEngine(grid)
+        self.config = config or UpdateConfig()
+
+    # -- insertion / update ------------------------------------------------------
+
+    def publish(
+        self,
+        start: Address,
+        item: DataItem,
+        holder: Address,
+        *,
+        strategy: UpdateStrategy = UpdateStrategy.BFS,
+        repetition: int | None = None,
+        recbreadth: int | None = None,
+        version: int = 0,
+    ) -> UpdateResult:
+        """Insert (or re-publish) the index entry for *item* stored at
+        *holder*, starting the propagation search at peer *start*.
+        """
+        self.grid.peer(holder).store.store_item(item)
+        ref = DataRef(key=item.key, holder=holder, version=version)
+        return self.propagate(
+            start, ref, strategy=strategy, repetition=repetition, recbreadth=recbreadth
+        )
+
+    def propagate(
+        self,
+        start: Address,
+        ref: DataRef,
+        *,
+        strategy: UpdateStrategy = UpdateStrategy.BFS,
+        repetition: int | None = None,
+        recbreadth: int | None = None,
+    ) -> UpdateResult:
+        """Deliver *ref* to as many responsible peers as the strategy finds.
+
+        Message accounting follows §5.2: every successful contact of another
+        peer counts one message (the update rides on the search contact;
+        buddy forwards are additional contacts).
+        """
+        repetition = (
+            self.config.repetition if repetition is None else repetition
+        )
+        recbreadth = (
+            self.config.recbreadth if recbreadth is None else recbreadth
+        )
+        if repetition < 1:
+            raise ValueError(f"repetition must be >= 1, got {repetition}")
+        keyspace.validate_key(ref.key)
+        reached, messages, failed = self._find_replicas(
+            start, ref.key, strategy=strategy, repetition=repetition,
+            recbreadth=recbreadth,
+        )
+        for address in reached:
+            self.grid.peer(address).store.add_ref(ref)
+        return UpdateResult(
+            key=ref.key,
+            version=ref.version,
+            reached=reached,
+            messages=messages,
+            failed_attempts=failed,
+            replica_count=len(self.grid.replicas_for_key(ref.key)),
+        )
+
+    def retract(
+        self,
+        start: Address,
+        key: str,
+        holder: Address,
+        *,
+        version: int,
+        strategy: UpdateStrategy = UpdateStrategy.BFS,
+        repetition: int | None = None,
+        recbreadth: int | None = None,
+    ) -> UpdateResult:
+        """Delete an index entry by propagating its tombstone.
+
+        The tombstone carries ``version`` (which must supersede the live
+        entry's version); replicas that receive it stop answering lookups
+        for the (key, holder) pair while keeping the marker so stale
+        re-publishes cannot resurrect it.
+        """
+        tombstone = DataRef(key=key, holder=holder, version=version, deleted=True)
+        return self.propagate(
+            start,
+            tombstone,
+            strategy=strategy,
+            repetition=repetition,
+            recbreadth=recbreadth,
+        )
+
+    # -- replica discovery (Fig. 5 measurement core) -------------------------------
+
+    def _find_replicas(
+        self,
+        start: Address,
+        key: str,
+        *,
+        strategy: UpdateStrategy,
+        repetition: int,
+        recbreadth: int,
+    ) -> tuple[set[Address], int, int]:
+        if strategy is UpdateStrategy.REPEATED_DFS:
+            return self.search.repeated_query(start, key, repetition)
+        if strategy is UpdateStrategy.DFS_BUDDIES:
+            reached, messages, failed = self.search.repeated_query(
+                start, key, repetition
+            )
+            return self._forward_to_buddies(reached, messages, failed)
+        if strategy is UpdateStrategy.BFS:
+            reached: set[Address] = set()
+            messages = 0
+            failed = 0
+            for _ in range(repetition):
+                result = self.search.query_breadth(start, key, recbreadth)
+                reached.update(result.responders)
+                messages += result.messages
+                failed += result.failed_attempts
+            return reached, messages, failed
+        raise ValueError(f"unknown strategy: {strategy!r}")
+
+    def find_replicas(
+        self,
+        start: Address,
+        key: str,
+        *,
+        strategy: UpdateStrategy,
+        repetition: int | None = None,
+        recbreadth: int | None = None,
+    ) -> tuple[set[Address], int, int]:
+        """Public replica-discovery probe: (reached, messages, failures).
+
+        Used directly by the Fig. 5 experiment, which measures coverage
+        without actually writing.
+        """
+        repetition = (
+            self.config.repetition if repetition is None else repetition
+        )
+        recbreadth = (
+            self.config.recbreadth if recbreadth is None else recbreadth
+        )
+        if repetition < 1:
+            raise ValueError(f"repetition must be >= 1, got {repetition}")
+        keyspace.validate_key(key)
+        return self._find_replicas(
+            start, key, strategy=strategy, repetition=repetition,
+            recbreadth=recbreadth,
+        )
+
+    def _forward_to_buddies(
+        self, reached: set[Address], messages: int, failed: int
+    ) -> tuple[set[Address], int, int]:
+        """Strategy 2's second hop: replicas forward to their buddy lists."""
+        extended = set(reached)
+        for address in reached:
+            for buddy in sorted(self.grid.peer(address).buddies):
+                if buddy in extended:
+                    continue
+                if not self.grid.has_peer(buddy) or not self.grid.is_online(buddy):
+                    failed += 1
+                    continue
+                messages += 1
+                extended.add(buddy)
+        return extended, messages, failed
+
+
+class ReadEngine:
+    """Query strategies for reading possibly partially-updated entries."""
+
+    def __init__(self, grid: PGrid, search: SearchEngine | None = None) -> None:
+        self.grid = grid
+        self.search = search or SearchEngine(grid)
+
+    def _responder_is_fresh(
+        self, responder: Address, key: str, holder: Address, version: int
+    ) -> bool:
+        stored = self.grid.peer(responder).store.version_of(key, holder)
+        return stored is not None and stored >= version
+
+    def read_single(
+        self, start: Address, key: str, holder: Address, version: int
+    ) -> ReadResult:
+        """Non-repetitive search: one Fig. 2 query; success iff the replica
+        that answers already holds *version* of the entry (table 6, lower
+        half)."""
+        result = self.search.query_from(start, key)
+        success = (
+            result.found
+            and result.responder is not None
+            and self._responder_is_fresh(result.responder, key, holder, version)
+        )
+        return ReadResult(
+            key=key,
+            success=success,
+            messages=result.messages,
+            failed_attempts=result.failed_attempts,
+            repetitions=1,
+        )
+
+    def read_repeated(
+        self,
+        start: Address,
+        key: str,
+        holder: Address,
+        version: int,
+        *,
+        max_repetitions: int = 200,
+    ) -> ReadResult:
+        """Repetitive search (table 6, upper half): re-query until a fresh
+        replica answers, accumulating message cost.
+
+        The paper repeats until success; we bound the loop defensively and
+        report failure if the bound is hit (which the experiments never do
+        once at least one replica was updated).
+        """
+        if max_repetitions < 1:
+            raise ValueError(
+                f"max_repetitions must be >= 1, got {max_repetitions}"
+            )
+        messages = 0
+        failed = 0
+        for attempt in range(1, max_repetitions + 1):
+            result = self.search.query_from(start, key)
+            messages += result.messages
+            failed += result.failed_attempts
+            if (
+                result.found
+                and result.responder is not None
+                and self._responder_is_fresh(result.responder, key, holder, version)
+            ):
+                return ReadResult(
+                    key=key,
+                    success=True,
+                    messages=messages,
+                    failed_attempts=failed,
+                    repetitions=attempt,
+                )
+        return ReadResult(
+            key=key,
+            success=False,
+            messages=messages,
+            failed_attempts=failed,
+            repetitions=max_repetitions,
+        )
+
+    def read_majority(
+        self, start: Address, key: str, holder: Address, version: int, *, votes: int = 3
+    ) -> ReadResult:
+        """Majority read (§5.2 discussion): query *votes* times and succeed
+        if strictly more than half of the answering replicas are fresh."""
+        if votes < 1 or votes % 2 == 0:
+            raise ValueError(f"votes must be odd and >= 1, got {votes}")
+        messages = 0
+        failed = 0
+        fresh = 0
+        answered = 0
+        for _ in range(votes):
+            result = self.search.query_from(start, key)
+            messages += result.messages
+            failed += result.failed_attempts
+            if result.found and result.responder is not None:
+                answered += 1
+                if self._responder_is_fresh(result.responder, key, holder, version):
+                    fresh += 1
+        success = answered > 0 and fresh * 2 > answered
+        return ReadResult(
+            key=key,
+            success=success,
+            messages=messages,
+            failed_attempts=failed,
+            repetitions=votes,
+        )

@@ -1,0 +1,49 @@
+"""Experiment runners — one per paper table/figure (see DESIGN.md).
+
+Every module exposes ``run(...) -> ExperimentResult``; the benchmark suite
+and the CLI are thin wrappers over these.
+"""
+
+from repro.experiments import (
+    ablations,
+    analysis_example,
+    convergence,
+    fig4_replicas,
+    fig5_update_strategies,
+    scaling_comparison,
+    search_reliability,
+    table1_construction_scaling,
+    table2_maxl,
+    table3_recmax,
+    table4_refmax,
+    table6_tradeoff,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    Section52Profile,
+    active_scale,
+    build_section52_grid,
+    default_cache_dir,
+    section52_profile,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Section52Profile",
+    "ablations",
+    "active_scale",
+    "analysis_example",
+    "build_section52_grid",
+    "convergence",
+    "default_cache_dir",
+    "fig4_replicas",
+    "fig5_update_strategies",
+    "scaling_comparison",
+    "search_reliability",
+    "section52_profile",
+    "table1_construction_scaling",
+    "table2_maxl",
+    "table3_recmax",
+    "table4_refmax",
+    "table6_tradeoff",
+]

@@ -1,0 +1,68 @@
+"""A1 (§4 example): the Gnutella-scale sizing worked example.
+
+The paper sizes a P-Grid for 10^7 files with 10-byte references, 100 KB of
+index space per peer and 30% availability: key length k = 10, refmax = 20,
+success probability > 99%, at least 20 409 peers required.  This experiment
+runs the closed-form planner and checks all four numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import plan_grid
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "analysis_example"
+
+PAPER_EXPECTED = {
+    "key_length": 10,
+    "refmax": 20,
+    "min_peers": 20409,
+    "success_floor": 0.99,
+}
+
+
+def run(
+    *,
+    d_global: int = 10**7,
+    reference_bytes: int = 10,
+    storage_bytes_per_peer: int = 10**5,
+    p_online: float = 0.3,
+    refmax: int = 20,
+    i_leaf: int | None = 10**4 - 200,
+) -> ExperimentResult:
+    """Run the §4 worked example through the planner."""
+    plan = plan_grid(
+        d_global,
+        reference_bytes=reference_bytes,
+        storage_bytes_per_peer=storage_bytes_per_peer,
+        p_online=p_online,
+        refmax=refmax,
+        i_leaf=i_leaf,
+    )
+    rows = [
+        ["key length k", plan.key_length, PAPER_EXPECTED["key_length"]],
+        ["refmax", plan.refmax, PAPER_EXPECTED["refmax"]],
+        ["min peers (eq. 2)", plan.min_peers, PAPER_EXPECTED["min_peers"]],
+        [
+            "success probability (eq. 3)",
+            round(plan.success_probability, 6),
+            f"> {PAPER_EXPECTED['success_floor']}",
+        ],
+        ["i_leaf", plan.i_leaf, 10**4 - 200],
+        ["storage used (bytes)", plan.storage_used, storage_bytes_per_peer],
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="§4 sizing example: 10^7 files, 100 KB index budget, 30% online",
+        headers=["quantity", "planner", "paper"],
+        rows=rows,
+        config={
+            "d_global": d_global,
+            "reference_bytes": reference_bytes,
+            "storage_bytes_per_peer": storage_bytes_per_peer,
+            "p_online": p_online,
+            "refmax": refmax,
+            "i_leaf": i_leaf,
+        },
+        notes="All four paper numbers must match exactly (closed form).",
+    )

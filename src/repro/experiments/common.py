@@ -1,0 +1,239 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Scale profiles
+--------------
+The §5.1 construction tables run at the paper's exact sizes — they are cheap
+in this implementation.  The §5.2 experiments (Fig. 4, Fig. 5, table 6,
+search reliability) use one shared grid that at the paper's size (N=20 000,
+maxl=10, refmax=20) takes the authors ~10 h and us ~1–2 min to build; the
+default profile scales it down (~4 000 peers) with the *shape-relevant
+ratios preserved* (mean replication ≈ N/2^maxl, refmax=20 so eq. (3) gives
+the same per-level survival).  Select a profile with::
+
+    REPRO_SCALE=quick|scaled|paper pytest benchmarks/ --benchmark-only
+
+Constructed §5.2 grids are cached as JSON snapshots under
+``benchmarks/.cache`` and reused across benchmark runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from repro.report.csvout import write_csv, write_json
+from repro.report.tables import render_table
+from repro.sim import rng as rngmod
+from repro.sim.builder import GridBuilder
+from repro.sim.persistence import load_grid, save_grid
+
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+__all__ = [
+    "SCALE_ENV_VAR",
+    "Section52Profile",
+    "ExperimentResult",
+    "active_scale",
+    "section52_profile",
+    "build_section52_grid",
+    "default_cache_dir",
+]
+
+
+@dataclass(frozen=True)
+class Section52Profile:
+    """Sizing of the shared §5.2 experiment grid."""
+
+    name: str
+    n_peers: int
+    maxl: int
+    refmax: int
+    recmax: int
+    recursion_fanout: int
+    p_online: float
+    n_searches: int
+    n_updates: int
+    queries_per_update: int
+    threshold_fraction: float
+    max_exchanges: int
+    seed: int = 20020101  # the paper's year, for flavour
+
+    @property
+    def config(self) -> PGridConfig:
+        """The grid configuration for this profile."""
+        return PGridConfig(
+            maxl=self.maxl,
+            refmax=self.refmax,
+            recmax=self.recmax,
+            recursion_fanout=self.recursion_fanout,
+        )
+
+    @property
+    def query_key_length(self) -> int:
+        """§5.2 queries use keys one shorter than ``maxl`` (length 9 there)."""
+        return self.maxl - 1
+
+    def cache_key(self) -> str:
+        """Stable identifier for snapshot caching."""
+        return (
+            f"s52-{self.name}-n{self.n_peers}-l{self.maxl}-r{self.refmax}"
+            f"-c{self.recmax}-f{self.recursion_fanout}"
+            f"-t{self.threshold_fraction}-s{self.seed}"
+        )
+
+
+_PROFILES: dict[str, Section52Profile] = {
+    # Fast enough for a laptop test loop; shape only roughly preserved.
+    "quick": Section52Profile(
+        name="quick",
+        n_peers=600,
+        maxl=5,
+        refmax=10,
+        recmax=2,
+        recursion_fanout=2,
+        p_online=0.3,
+        n_searches=1_000,
+        n_updates=20,
+        queries_per_update=5,
+        threshold_fraction=0.985,
+        max_exchanges=1_000_000,
+    ),
+    # Default: every ratio that drives the paper's §5.2 claims preserved:
+    # mean replication ~ N / 2^maxl ≈ 15.6 (paper ≈ 19.5), refmax = 20 so
+    # eq. (3)'s per-level survival matches, queries one bit short of maxl.
+    "scaled": Section52Profile(
+        name="scaled",
+        n_peers=4_000,
+        maxl=8,
+        refmax=20,
+        recmax=2,
+        recursion_fanout=2,
+        p_online=0.3,
+        n_searches=10_000,
+        n_updates=50,
+        queries_per_update=10,
+        threshold_fraction=0.985,
+        max_exchanges=2_000_000,
+    ),
+    # The paper's exact §5.2 sizing.
+    "paper": Section52Profile(
+        name="paper",
+        n_peers=20_000,
+        maxl=10,
+        refmax=20,
+        recmax=2,
+        recursion_fanout=2,
+        p_online=0.3,
+        n_searches=10_000,
+        n_updates=100,
+        queries_per_update=10,
+        threshold_fraction=0.985,
+        max_exchanges=8_000_000,
+    ),
+}
+
+
+def active_scale(default: str = "scaled") -> str:
+    """The profile selected via ``REPRO_SCALE`` (validated)."""
+    scale = os.environ.get(SCALE_ENV_VAR, default).strip().lower()
+    if scale not in _PROFILES:
+        raise ValueError(
+            f"unknown {SCALE_ENV_VAR}={scale!r}; choose one of "
+            f"{sorted(_PROFILES)}"
+        )
+    return scale
+
+
+def section52_profile(scale: str | None = None) -> Section52Profile:
+    """The §5.2 profile for *scale* (or the environment's choice)."""
+    return _PROFILES[scale if scale is not None else active_scale()]
+
+
+def default_cache_dir() -> Path:
+    """Snapshot cache location (override with ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+
+
+def build_section52_grid(
+    profile: Section52Profile | None = None,
+    *,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+) -> PGrid:
+    """Build (or load from cache) the shared §5.2 grid for *profile*.
+
+    Construction runs failure-free (the paper's 30% availability governs
+    the *search/update* phases; during construction the two meeting peers
+    are by definition both online, and availability of third parties only
+    throttles case-4 recursion — see EXPERIMENTS.md).  The returned grid has
+    a fresh RNG stream derived from the profile seed; attach a churn oracle
+    before running availability experiments.
+    """
+    profile = profile or section52_profile()
+    cache_dir = cache_dir or default_cache_dir()
+    cache_path = cache_dir / f"{profile.cache_key()}.json.gz"
+    if use_cache and cache_path.exists():
+        return load_grid(cache_path, rng=rngmod.derive(profile.seed, "post-build"))
+
+    grid = PGrid(profile.config, rng=rngmod.derive(profile.seed, "construction"))
+    grid.add_peers(profile.n_peers)
+    GridBuilder(grid).build(
+        threshold_fraction=profile.threshold_fraction,
+        max_exchanges=profile.max_exchanges,
+    )
+    if use_cache:
+        save_grid(grid, cache_path)
+    grid.rng = rngmod.derive(profile.seed, "post-build")
+    return grid
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: rows plus provenance."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[list[Any]]
+    config: dict[str, Any]
+    notes: str = ""
+    extra_text: str = ""
+
+    def to_text(self, *, float_digits: int = 2) -> str:
+        """Human-readable rendering (table + optional figure text)."""
+        parts = [
+            render_table(
+                self.headers,
+                self.rows,
+                title=f"[{self.experiment_id}] {self.title}",
+                float_digits=float_digits,
+            )
+        ]
+        if self.extra_text:
+            parts.append(self.extra_text)
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n\n".join(parts)
+
+    def save(self, directory: str | Path) -> None:
+        """Persist as CSV (rows) + JSON (rows and provenance)."""
+        directory = Path(directory)
+        write_csv(directory / f"{self.experiment_id}.csv", self.headers, self.rows)
+        write_json(
+            directory / f"{self.experiment_id}.json",
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": list(self.headers),
+                "rows": self.rows,
+                "config": self.config,
+                "notes": self.notes,
+            },
+        )

@@ -1,0 +1,76 @@
+"""T4/T5 (§5.1, fourth & fifth tables): effect of ``refmax`` on
+construction cost, with and without the recursion fan-out bound.
+
+With refmax > 1 there are more candidates for recursive case-4 exchanges.
+Recursing into *all* of them makes ``e`` grow steeply (the paper calls this
+out as a weakness of the original algorithm — table 4); limiting each
+recursion step to 2 randomly selected referenced peers stabilizes the cost
+(table 5, "the results become very stable").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.table1_construction_scaling import construction_cost
+
+EXPERIMENT_ID_UNBOUNDED = "table4"
+EXPERIMENT_ID_BOUNDED = "table5"
+
+#: Paper values: refmax -> e, for the unbounded and fan-out-2 variants.
+PAPER_ROWS_UNBOUNDED = {1: 25285, 2: 39209, 3: 72130, 4: 125727}
+PAPER_ROWS_BOUNDED = {1: 23826, 2: 37689, 3: 40961, 4: 43914}
+
+
+def run(
+    *,
+    bounded_fanout: bool,
+    n_peers: int = 1000,
+    maxl: int = 6,
+    recmax: int = 2,
+    refmax_values: Sequence[int] = (1, 2, 3, 4),
+    fanout: int = 2,
+    seed: int = 4,
+) -> ExperimentResult:
+    """Reproduce T4 (``bounded_fanout=False``) or T5 (``True``)."""
+    paper = PAPER_ROWS_BOUNDED if bounded_fanout else PAPER_ROWS_UNBOUNDED
+    rows: list[list[object]] = []
+    for refmax in refmax_values:
+        exchanges, converged = construction_cost(
+            n_peers,
+            maxl=maxl,
+            refmax=refmax,
+            recmax=recmax,
+            recursion_fanout=fanout if bounded_fanout else None,
+            seed=seed,
+        )
+        rows.append(
+            [refmax, exchanges, exchanges / n_peers, paper.get(refmax), converged]
+        )
+    variant = (
+        f"recursion fan-out limited to {fanout}" if bounded_fanout
+        else "unbounded recursion fan-out"
+    )
+    return ExperimentResult(
+        experiment_id=(
+            EXPERIMENT_ID_BOUNDED if bounded_fanout else EXPERIMENT_ID_UNBOUNDED
+        ),
+        title=f"Construction cost vs. refmax (N={n_peers}, recmax={recmax}; {variant})",
+        headers=["refmax", "e", "e/N", "paper e", "converged"],
+        rows=rows,
+        config={
+            "bounded_fanout": bounded_fanout,
+            "fanout": fanout if bounded_fanout else None,
+            "n_peers": n_peers,
+            "maxl": maxl,
+            "recmax": recmax,
+            "refmax_values": list(refmax_values),
+            "seed": seed,
+        },
+        notes=(
+            "Expected shape: steep (super-linear) growth of e with refmax "
+            "when recursion fans out into every reference; near-flat growth "
+            "once the fan-out is bounded to 2."
+        ),
+    )

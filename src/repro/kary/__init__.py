@@ -1,0 +1,33 @@
+"""k-ary P-Grid: the §6 extended-alphabet extension, natively.
+
+Instead of reducing text to binary keys (``repro.text``), this subpackage
+generalizes the access structure itself to an arbitrary ordered alphabet:
+one character per trie level, ``k − 1`` sibling reference sets per level.
+The AB9 benchmark compares the two approaches on the same word workload.
+"""
+
+from repro.kary.grid import KaryGrid
+from repro.kary.keyspace import DEFAULT_ALPHABET, KeySpace
+from repro.kary.peer import KaryItem, KaryPeer, KaryRef, KaryRoutingTable
+from repro.kary.protocol import (
+    KaryBuildReport,
+    KaryExchangeEngine,
+    KarySearchEngine,
+    KarySearchResult,
+    build_kary_grid,
+)
+
+__all__ = [
+    "DEFAULT_ALPHABET",
+    "KaryBuildReport",
+    "KaryExchangeEngine",
+    "KaryGrid",
+    "KaryItem",
+    "KaryPeer",
+    "KaryRef",
+    "KaryRoutingTable",
+    "KarySearchEngine",
+    "KarySearchResult",
+    "KeySpace",
+    "build_kary_grid",
+]

@@ -1,0 +1,160 @@
+"""The k-ary P-Grid container (paper §6 extension)."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.grid import OnlineOracle, AlwaysOnline
+from repro.errors import DuplicatePeerError, UnknownPeerError
+from repro.kary.keyspace import KeySpace
+from repro.kary.peer import Address, KaryItem, KaryPeer, KaryRef
+
+
+class KaryGrid:
+    """A population of :class:`KaryPeer` over one :class:`KeySpace`."""
+
+    def __init__(
+        self,
+        space: KeySpace,
+        *,
+        maxl: int = 3,
+        refmax: int = 2,
+        recmax: int = 1,
+        recursion_fanout: int = 2,
+        rng: random.Random | None = None,
+        online_oracle: OnlineOracle | None = None,
+    ) -> None:
+        if maxl < 1:
+            raise ValueError(f"maxl must be >= 1, got {maxl}")
+        if refmax < 1:
+            raise ValueError(f"refmax must be >= 1, got {refmax}")
+        if recmax < 0:
+            raise ValueError(f"recmax must be >= 0, got {recmax}")
+        if recursion_fanout < 1:
+            raise ValueError(
+                f"recursion_fanout must be >= 1, got {recursion_fanout}"
+            )
+        self.space = space
+        self.maxl = maxl
+        self.refmax = refmax
+        self.recmax = recmax
+        self.recursion_fanout = recursion_fanout
+        self.rng = rng or random.Random()
+        self.online_oracle: OnlineOracle = online_oracle or AlwaysOnline()
+        self._peers: dict[Address, KaryPeer] = {}
+        self._next_address = 0
+
+    def add_peer(self) -> KaryPeer:
+        """Register a fresh peer."""
+        address = self._next_address
+        if address in self._peers:
+            raise DuplicatePeerError(address)
+        peer = KaryPeer(address, self.space, self.refmax)
+        self._peers[address] = peer
+        self._next_address += 1
+        return peer
+
+    def add_peers(self, count: int) -> list[KaryPeer]:
+        """Register *count* fresh peers."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.add_peer() for _ in range(count)]
+
+    def peer(self, address: Address) -> KaryPeer:
+        """Resolve an address."""
+        try:
+            return self._peers[address]
+        except KeyError:
+            raise UnknownPeerError(address) from None
+
+    def has_peer(self, address: Address) -> bool:
+        """Whether *address* is registered."""
+        return address in self._peers
+
+    def peers(self) -> Iterator[KaryPeer]:
+        """Iterate peers in address order."""
+        for address in sorted(self._peers):
+            yield self._peers[address]
+
+    def addresses(self) -> list[Address]:
+        """Sorted addresses."""
+        return sorted(self._peers)
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def is_online(self, address: Address) -> bool:
+        """Availability check."""
+        return self.online_oracle.is_online(address)
+
+    # -- statistics -----------------------------------------------------------
+
+    def average_path_length(self) -> float:
+        """Mean path length in symbols."""
+        if not self._peers:
+            return 0.0
+        return sum(p.depth for p in self._peers.values()) / len(self._peers)
+
+    def replicas_for_key(self, query: str) -> list[Address]:
+        """Peers responsible for *query*."""
+        self.space.validate(query)
+        return [p.address for p in self.peers() if p.responsible_for(query)]
+
+    def total_routing_refs(self) -> int:
+        """Total references stored (storage-cost metric)."""
+        return sum(p.routing.total_refs() for p in self._peers.values())
+
+    def seed_index(self, items: list[tuple[KaryItem, Address]]) -> int:
+        """Install index entries at every responsible peer (bootstrap).
+
+        Keys are validated against this grid's key space (items/refs are
+        the k-ary duck-typed variants, since the core classes enforce
+        binary keys).
+        """
+        installed = 0
+        for item, holder in items:
+            self.space.validate(item.key)
+            self.peer(holder).store.store_item(item)
+            ref = KaryRef(key=item.key, holder=holder, version=0)
+            for address in self.replicas_for_key(item.key):
+                self.peer(address).store.add_ref(ref)
+                installed += 1
+        return installed
+
+    # -- invariant audit ---------------------------------------------------------
+
+    def audit_routing(self) -> list[str]:
+        """Generalized §2 invariant: a ref at (level, symbol) points to a
+        peer whose path starts with ``prefix(level-1) + symbol``, with
+        ``symbol`` differing from the holder's own symbol at that level."""
+        violations: list[str] = []
+        for peer in self.peers():
+            for level, symbol, refs in peer.routing.iter_all():
+                if level > peer.depth:
+                    violations.append(
+                        f"peer {peer.address}: refs at level {level} beyond "
+                        f"path depth {peer.depth}"
+                    )
+                    continue
+                if symbol == peer.path[level - 1]:
+                    violations.append(
+                        f"peer {peer.address}: refs under own symbol "
+                        f"{symbol!r} at level {level}"
+                    )
+                    continue
+                expected = peer.path[: level - 1] + symbol
+                for address in refs:
+                    if address not in self._peers:
+                        violations.append(
+                            f"peer {peer.address}: dangling ref {address}"
+                        )
+                        continue
+                    target = self._peers[address].path
+                    if not target.startswith(expected):
+                        violations.append(
+                            f"peer {peer.address}: ref {address} at level "
+                            f"{level}/{symbol!r} has path {target!r}, "
+                            f"expected prefix {expected!r}"
+                        )
+        return violations

@@ -1,0 +1,87 @@
+"""Key space over an extended alphabet (paper §6).
+
+The binary P-Grid generalizes directly: keys are strings over an ordered
+alphabet of ``k`` symbols, a peer's path is such a string, and at every
+level a peer keeps references for each of the ``k − 1`` *sibling* symbols
+(the other branches of the node its path passes through).  §6 notes this
+"would allow to directly support trie search structures" — one character
+per level instead of ``ceil(log2 k)`` binary levels.
+
+Symbols are single characters; the default alphabet is the same
+space+a..z set the binary reduction uses, so the two approaches index the
+same words and can be compared head to head (ablation AB9).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import InvalidKeyError
+
+#: Default alphabet, shared with :mod:`repro.text.encoding`.
+DEFAULT_ALPHABET = " abcdefghijklmnopqrstuvwxyz"
+
+
+class KeySpace:
+    """A finite ordered alphabet and its string-key algebra."""
+
+    def __init__(self, alphabet: str = DEFAULT_ALPHABET) -> None:
+        if len(alphabet) < 2:
+            raise ValueError("alphabet needs at least two symbols")
+        if len(set(alphabet)) != len(alphabet):
+            raise ValueError("alphabet contains duplicate symbols")
+        self.alphabet = alphabet
+        self._symbols = set(alphabet)
+
+    @property
+    def arity(self) -> int:
+        """Number of symbols ``k``."""
+        return len(self.alphabet)
+
+    def is_valid(self, key: str) -> bool:
+        """Whether *key* uses only alphabet symbols."""
+        return isinstance(key, str) and all(c in self._symbols for c in key)
+
+    def validate(self, key: str) -> str:
+        """Return *key*, raising :class:`InvalidKeyError` if malformed."""
+        if not self.is_valid(key):
+            raise InvalidKeyError(key)
+        return key
+
+    def siblings(self, symbol: str) -> Iterator[str]:
+        """All symbols other than *symbol*, in alphabet order."""
+        if symbol not in self._symbols:
+            raise InvalidKeyError(symbol)
+        for candidate in self.alphabet:
+            if candidate != symbol:
+                yield candidate
+
+    def random_symbol(self, rng: random.Random, *, excluding: str | None = None) -> str:
+        """A uniform symbol, optionally excluding one."""
+        if excluding is None:
+            return rng.choice(self.alphabet)
+        choices = [c for c in self.alphabet if c != excluding]
+        if not choices:
+            raise ValueError("cannot exclude the only symbol")
+        return rng.choice(choices)
+
+    def random_key(self, length: int, rng: random.Random) -> str:
+        """A uniform key of exactly *length* symbols."""
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        return "".join(rng.choice(self.alphabet) for _ in range(length))
+
+    @staticmethod
+    def common_prefix(a: str, b: str) -> str:
+        """Longest common prefix (alphabet-agnostic)."""
+        limit = min(len(a), len(b))
+        i = 0
+        while i < limit and a[i] == b[i]:
+            i += 1
+        return a[:i]
+
+    @staticmethod
+    def in_prefix_relation(a: str, b: str) -> bool:
+        """Whether one key is a prefix of the other."""
+        return a.startswith(b) or b.startswith(a)

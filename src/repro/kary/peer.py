@@ -1,0 +1,154 @@
+"""Peer state for the k-ary P-Grid.
+
+A binary peer keeps one reference set per level (the single sibling); a
+k-ary peer keeps up to ``k − 1`` sets per level — one per sibling symbol.
+The reference invariant generalizes verbatim: a reference stored at level
+``i`` under symbol ``s`` points to a peer whose path starts with
+``prefix(i-1) + s`` where ``s != path[i-1]``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.storage import DataStore
+from repro.errors import InvalidKeyError
+from repro.kary.keyspace import KeySpace
+
+Address = int
+
+
+@dataclass(frozen=True)
+class KaryItem:
+    """An indexed item with an extended-alphabet key.
+
+    Duck-typed stand-in for :class:`repro.core.storage.DataItem`, whose
+    constructor enforces binary keys; the shared :class:`DataStore` only
+    relies on ``.key`` / ``.value``.
+    """
+
+    key: str
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class KaryRef:
+    """An index entry with an extended-alphabet key (duck-typed
+    :class:`~repro.core.storage.DataRef`)."""
+
+    key: str
+    holder: Address
+    version: int = 0
+    deleted: bool = False
+
+
+class KaryRoutingTable:
+    """Per-(level, symbol) bounded reference sets."""
+
+    def __init__(self, refmax: int) -> None:
+        if refmax < 1:
+            raise ValueError(f"refmax must be >= 1, got {refmax}")
+        self.refmax = refmax
+        # level (1-based) -> symbol -> insertion-ordered unique addresses
+        self._levels: dict[int, dict[str, list[Address]]] = {}
+
+    def refs(self, level: int, symbol: str) -> list[Address]:
+        """References at *level* for sibling *symbol* (copy)."""
+        if level < 1:
+            raise IndexError(f"levels are 1-based, got {level}")
+        return list(self._levels.get(level, {}).get(symbol, []))
+
+    def add_ref(self, level: int, symbol: str, address: Address) -> bool:
+        """Insert if absent and capacity allows; True when changed."""
+        if level < 1:
+            raise IndexError(f"levels are 1-based, got {level}")
+        slot = self._levels.setdefault(level, {}).setdefault(symbol, [])
+        if address in slot or len(slot) >= self.refmax:
+            return False
+        slot.append(address)
+        return True
+
+    def merge_refs(
+        self,
+        level: int,
+        symbol: str,
+        candidates: list[Address],
+        rng: random.Random,
+    ) -> None:
+        """Union + down-sample to ``refmax`` (the paper's random_select)."""
+        slot = self._levels.setdefault(level, {}).setdefault(symbol, [])
+        union = list(dict.fromkeys([*slot, *candidates]))
+        if len(union) > self.refmax:
+            union = rng.sample(union, self.refmax)
+        slot.clear()
+        slot.extend(union)
+
+    def remove_ref(self, level: int, symbol: str, address: Address) -> bool:
+        """Drop one reference; True when it existed."""
+        slot = self._levels.get(level, {}).get(symbol)
+        if not slot or address not in slot:
+            return False
+        slot.remove(address)
+        return True
+
+    def iter_all(self) -> Iterator[tuple[int, str, list[Address]]]:
+        """Yield (level, symbol, refs) triples, sorted."""
+        for level in sorted(self._levels):
+            for symbol in sorted(self._levels[level]):
+                refs = self._levels[level][symbol]
+                if refs:
+                    yield level, symbol, list(refs)
+
+    def total_refs(self) -> int:
+        """Total stored references."""
+        return sum(
+            len(refs)
+            for symbols in self._levels.values()
+            for refs in symbols.values()
+        )
+
+
+class KaryPeer:
+    """One participant of a k-ary P-Grid."""
+
+    __slots__ = ("address", "space", "_path", "routing", "store", "buddies")
+
+    def __init__(self, address: Address, space: KeySpace, refmax: int) -> None:
+        self.address = address
+        self.space = space
+        self._path = ""
+        self.routing = KaryRoutingTable(refmax)
+        self.store = DataStore()
+        self.buddies: set[Address] = set()
+
+    @property
+    def path(self) -> str:
+        """The key-space path this peer is responsible for."""
+        return self._path
+
+    @property
+    def depth(self) -> int:
+        """Path length in symbols."""
+        return len(self._path)
+
+    def extend_path(self, symbol: str) -> None:
+        """Specialize by one symbol."""
+        if symbol not in self.space.alphabet or len(symbol) != 1:
+            raise InvalidKeyError(symbol)
+        self._path += symbol
+        self.buddies.clear()
+
+    def set_path(self, path: str) -> None:
+        """Force-set the path (tests/snapshots)."""
+        self.space.validate(path)
+        self._path = path
+        self.buddies.clear()
+
+    def responsible_for(self, query: str) -> bool:
+        """Prefix-relation responsibility, as in the binary grid."""
+        return KeySpace.in_prefix_relation(self._path, query)
+
+    def __repr__(self) -> str:
+        return f"KaryPeer(addr={self.address}, path={self._path!r})"

@@ -1,0 +1,354 @@
+"""Exchange and search for the k-ary P-Grid.
+
+Fig. 2 and Fig. 3 generalize mechanically once "the complement bit" is
+replaced by "a sibling symbol":
+
+* **search** — at a divergence the query's next symbol names *which* of
+  the ``k − 1`` sibling reference sets to follow;
+* **exchange** — case 1 splits the two peers onto two *distinct random*
+  symbols; cases 2/3 specialize the shorter peer onto a random symbol
+  different from the longer peer's; case 4 forwards each peer to the
+  other's references under the partner's symbol (recursion bounded by
+  ``recmax`` and ``recursion_fanout``).
+
+One deliberate deviation from the binary pseudo-code, required by arity:
+in case 4 the two diverged peers also insert *each other* into their
+tables.  With ``k − 1`` sibling sets per level, the probability that the
+random-meeting process alone fills a given (level, symbol) slot shrinks
+with ``k``; without mutual insertion large alphabets never become
+routable.  (For ``k = 2`` the deviation is harmless — covered by the AB1
+ablation of the binary grid.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kary.grid import KaryGrid
+from repro.kary.keyspace import KeySpace
+from repro.kary.peer import Address, KaryPeer
+
+
+@dataclass
+class KarySearchResult:
+    """Outcome of one k-ary search."""
+
+    query: str
+    start: Address
+    found: bool
+    responder: Address | None
+    messages: int
+    failed_attempts: int
+
+
+@dataclass
+class KaryBuildReport:
+    """Outcome of one construction run."""
+
+    converged: bool
+    exchanges: int
+    meetings: int
+    average_depth: float
+
+
+class KaryExchangeEngine:
+    """The generalized Fig. 3 protocol."""
+
+    def __init__(self, grid: KaryGrid) -> None:
+        self.grid = grid
+        self.calls = 0
+        self.meetings = 0
+
+    def meet(self, address1: Address, address2: Address) -> int:
+        """One meeting; returns exchange calls triggered."""
+        if address1 == address2:
+            raise ValueError("a peer cannot meet itself")
+        before = self.calls
+        self.meetings += 1
+        self._exchange(self.grid.peer(address1), self.grid.peer(address2), 0)
+        return self.calls - before
+
+    def _exchange(self, a1: KaryPeer, a2: KaryPeer, depth: int) -> None:
+        self.calls += 1
+        grid = self.grid
+        commonpath = KeySpace.common_prefix(a1.path, a2.path)
+        lc = len(commonpath)
+
+        if lc > 0:
+            self._exchange_refs(a1, a2, lc)
+
+        l1 = a1.depth - lc
+        l2 = a2.depth - lc
+        rng = grid.rng
+
+        if l1 == 0 and l2 == 0:
+            if lc < grid.maxl:
+                first = grid.space.random_symbol(rng)
+                second = grid.space.random_symbol(rng, excluding=first)
+                a1.extend_path(first)
+                a2.extend_path(second)
+                a1.routing.add_ref(lc + 1, second, a2.address)
+                a2.routing.add_ref(lc + 1, first, a1.address)
+                self._handover(a1, a2)
+                self._handover(a2, a1)
+            else:
+                a1.buddies.add(a2.address)
+                a2.buddies.add(a1.address)
+        elif l1 == 0 and l2 > 0:
+            if lc < grid.maxl:
+                self._specialize(shorter=a1, longer=a2, lc=lc)
+        elif l1 > 0 and l2 == 0:
+            if lc < grid.maxl:
+                self._specialize(shorter=a2, longer=a1, lc=lc)
+        else:
+            self._diverged(a1, a2, lc, depth)
+
+    def _exchange_refs(self, a1: KaryPeer, a2: KaryPeer, lc: int) -> None:
+        """Union + resample the sibling sets at the deepest shared level.
+
+        The two peers share their first ``lc`` symbols, so every sibling
+        set at level ``lc`` is valid for both sides.
+        """
+        rng = self.grid.rng
+        own = a1.path[lc - 1]  # == a2.path[lc - 1] (shared prefix)
+        for symbol in self.grid.space.siblings(own):
+            combined = [
+                address
+                for address in (
+                    *a1.routing.refs(lc, symbol),
+                    *a2.routing.refs(lc, symbol),
+                )
+                if address not in (a1.address, a2.address)
+            ]
+            if not combined:
+                continue
+            a1.routing.merge_refs(lc, symbol, combined, rng)
+            a2.routing.merge_refs(lc, symbol, combined, rng)
+
+    def _specialize(self, shorter: KaryPeer, longer: KaryPeer, lc: int) -> None:
+        """Cases 2/3: the shorter peer avoids the longer peer's symbol."""
+        grid = self.grid
+        taken = longer.path[lc]
+        chosen = grid.space.random_symbol(grid.rng, excluding=taken)
+        shorter.extend_path(chosen)
+        shorter.routing.add_ref(lc + 1, taken, longer.address)
+        longer.routing.merge_refs(
+            lc + 1, chosen, [shorter.address], grid.rng
+        )
+        self._handover(shorter, longer)
+
+    def _diverged(self, a1: KaryPeer, a2: KaryPeer, lc: int, depth: int) -> None:
+        """Case 4 with mutual insertion (see module docstring)."""
+        grid = self.grid
+        s1 = a1.path[lc]
+        s2 = a2.path[lc]
+        a1.routing.add_ref(lc + 1, s2, a2.address)
+        a2.routing.add_ref(lc + 1, s1, a1.address)
+        if depth >= grid.recmax:
+            return
+        rng = grid.rng
+        for target, source_refs in (
+            (a2, a1.routing.refs(lc + 1, s2)),
+            (a1, a2.routing.refs(lc + 1, s1)),
+        ):
+            candidates = [
+                address
+                for address in source_refs
+                if address not in (target.address,)
+            ]
+            if len(candidates) > grid.recursion_fanout:
+                candidates = rng.sample(candidates, grid.recursion_fanout)
+            for address in candidates:
+                if grid.has_peer(address) and grid.is_online(address):
+                    self._exchange(target, grid.peer(address), depth + 1)
+
+    def _handover(self, specialized: KaryPeer, partner: KaryPeer) -> None:
+        """Move index entries the specializing peer no longer covers."""
+        dropped = specialized.store.drop_refs_outside(specialized.path)
+        for ref in dropped:
+            if KeySpace.in_prefix_relation(ref.key, partner.path):
+                partner.store.add_ref(ref)
+
+
+class KarySearchEngine:
+    """The generalized Fig. 2 search."""
+
+    def __init__(self, grid: KaryGrid, *, max_messages: int = 10_000) -> None:
+        if max_messages < 1:
+            raise ValueError(f"max_messages must be >= 1, got {max_messages}")
+        self.grid = grid
+        self.max_messages = max_messages
+
+    def query_from(self, start: Address, query: str) -> KarySearchResult:
+        """Issue *query* at peer *start*."""
+        self.grid.space.validate(query)
+        stats = {"messages": 0, "failed": 0}
+        found, responder = self._query(
+            self.grid.peer(start), query, 0, stats
+        )
+        return KarySearchResult(
+            query=query,
+            start=start,
+            found=found,
+            responder=responder,
+            messages=stats["messages"],
+            failed_attempts=stats["failed"],
+        )
+
+    def enumerate_prefix(
+        self, start: Address, prefix: str, *, fanout: int = 2
+    ) -> tuple[list[Address], int]:
+        """Collect peers responsible for keys under *prefix* — the trie's
+        native prefix query (§6: "directly support trie search structures").
+
+        Routes to the prefix region like :meth:`query_from`, then fans out
+        into up to *fanout* references per sibling symbol at every level
+        below the match, visiting the leaf regions of the whole subtree.
+        Returns ``(responders, messages)``.
+        """
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.grid.space.validate(prefix)
+        stats = {"messages": 0, "failed": 0}
+        responders: list[Address] = []
+        seen: set[Address] = set()
+        self._enumerate(
+            self.grid.peer(start), prefix, 0, fanout, stats, responders, seen
+        )
+        return responders, stats["messages"]
+
+    def _enumerate(
+        self,
+        peer: KaryPeer,
+        p: str,
+        level: int,
+        fanout: int,
+        stats: dict[str, int],
+        responders: list[Address],
+        seen: set[Address],
+    ) -> None:
+        if peer.address in seen:
+            return
+        seen.add(peer.address)
+        rempath = peer.path[level:]
+        compath = KeySpace.common_prefix(p, rempath)
+        lc = len(compath)
+        if lc == len(p) or lc == len(rempath):
+            responders.append(peer.address)
+            if lc == len(p):
+                # The peer's path extends past the prefix: its sibling sets
+                # at every deeper level cover the other branches of the
+                # prefix's subtree.
+                for sublevel in range(level + lc + 1, peer.depth + 1):
+                    own = peer.path[sublevel - 1]
+                    for symbol in self.grid.space.siblings(own):
+                        self._fan(
+                            peer, "", sublevel, symbol, fanout,
+                            stats, responders, seen,
+                        )
+            return
+        wanted = p[lc]
+        self._fan(
+            peer, p[lc:], level + lc, wanted, fanout, stats, responders, seen,
+            ref_level=level + lc + 1,
+        )
+
+    def _fan(
+        self,
+        peer: KaryPeer,
+        querypath: str,
+        next_level: int,
+        symbol: str,
+        fanout: int,
+        stats: dict[str, int],
+        responders: list[Address],
+        seen: set[Address],
+        *,
+        ref_level: int | None = None,
+    ) -> None:
+        refs = list(peer.routing.refs(ref_level or next_level, symbol))
+        rng = self.grid.rng
+        rng.shuffle(refs)
+        forwarded = 0
+        for address in refs:
+            if forwarded >= fanout:
+                break
+            if address in seen:
+                continue
+            if not self.grid.has_peer(address) or not self.grid.is_online(address):
+                stats["failed"] += 1
+                continue
+            stats["messages"] += 1
+            forwarded += 1
+            self._enumerate(
+                self.grid.peer(address), querypath, next_level,
+                fanout, stats, responders, seen,
+            )
+
+    def _query(
+        self, peer: KaryPeer, p: str, level: int, stats: dict[str, int]
+    ) -> tuple[bool, Address | None]:
+        rempath = peer.path[level:]
+        compath = KeySpace.common_prefix(p, rempath)
+        lc = len(compath)
+        if lc == len(p) or lc == len(rempath):
+            return True, peer.address
+        wanted = p[lc]
+        querypath = p[lc:]
+        refs = list(peer.routing.refs(level + lc + 1, wanted))
+        rng = self.grid.rng
+        while refs:
+            address = refs.pop(rng.randrange(len(refs)))
+            if not self.grid.has_peer(address) or not self.grid.is_online(address):
+                stats["failed"] += 1
+                continue
+            if stats["messages"] >= self.max_messages:
+                return False, None
+            stats["messages"] += 1
+            found, responder = self._query(
+                self.grid.peer(address), querypath, level + lc, stats
+            )
+            if found:
+                return True, responder
+        return False, None
+
+
+def build_kary_grid(
+    grid: KaryGrid,
+    *,
+    threshold_fraction: float = 0.95,
+    max_meetings: int | None = None,
+) -> KaryBuildReport:
+    """Run random meetings until the average depth reaches the threshold.
+
+    Larger alphabets converge slower per meeting (each meeting covers one
+    of ``k`` sibling relations), so the default budget scales with both
+    the population and the arity.
+    """
+    if not 0.0 < threshold_fraction <= 1.0:
+        raise ValueError(
+            f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
+        )
+    if len(grid) < 2:
+        raise ValueError("construction needs at least two peers")
+    if max_meetings is None:
+        max_meetings = 200 * len(grid) * grid.space.arity
+    engine = KaryExchangeEngine(grid)
+    addresses = grid.addresses()
+    threshold = threshold_fraction * grid.maxl
+    meetings = 0
+    check_every = max(1, len(grid) // 4)  # avoid an O(N) scan per meeting
+    average_depth = grid.average_path_length()
+    while average_depth < threshold and meetings < max_meetings:
+        first, second = grid.rng.sample(addresses, 2)
+        engine.meet(first, second)
+        meetings += 1
+        if meetings % check_every == 0:
+            average_depth = grid.average_path_length()
+    average_depth = grid.average_path_length()
+    return KaryBuildReport(
+        converged=average_depth >= threshold,
+        exchanges=engine.calls,
+        meetings=engine.meetings,
+        average_depth=average_depth,
+    )

@@ -1,0 +1,39 @@
+"""Simulated network substrate: typed messages, transport, networked nodes."""
+
+from repro.net.message import (
+    Message,
+    MessageKind,
+    ping,
+    pong,
+    propagate_ack,
+    propagate_message,
+    query_message,
+    query_response,
+    update_message,
+)
+from repro.net.node import NodeSearchOutcome, PGridNode, attach_nodes
+from repro.net.transport import (
+    ConstantLatency,
+    LocalTransport,
+    TrafficStats,
+    UniformLatency,
+)
+
+__all__ = [
+    "ConstantLatency",
+    "LocalTransport",
+    "Message",
+    "MessageKind",
+    "NodeSearchOutcome",
+    "PGridNode",
+    "TrafficStats",
+    "UniformLatency",
+    "attach_nodes",
+    "ping",
+    "pong",
+    "propagate_ack",
+    "propagate_message",
+    "query_message",
+    "query_response",
+    "update_message",
+]

@@ -1,0 +1,145 @@
+"""Typed messages of the simulated P-Grid protocol.
+
+The paper's algorithms are specified as function calls between peers; to
+measure communication cost as a *system* rather than inferring it, the
+:mod:`repro.net` substrate executes them as explicit messages.  Each message
+carries source/destination addresses and a payload mirroring the pseudo-code
+arguments.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.peer import Address
+
+_message_ids = itertools.count(1)
+
+
+class MessageKind(enum.Enum):
+    """Protocol message types."""
+
+    QUERY = "query"
+    QUERY_RESPONSE = "query_response"
+    EXCHANGE = "exchange"
+    UPDATE = "update"
+    UPDATE_ACK = "update_ack"
+    PROPAGATE = "propagate"
+    PROPAGATE_ACK = "propagate_ack"
+    PING = "ping"
+    PONG = "pong"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    ``payload`` carries kind-specific fields (documented per helper below);
+    ``message_id`` is unique per process and links responses to requests via
+    ``in_reply_to``.
+    """
+
+    kind: MessageKind
+    source: Address
+    destination: Address
+    payload: dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    in_reply_to: int | None = None
+
+
+def query_message(source: Address, destination: Address, query: str, level: int) -> Message:
+    """Fig. 2 forward: ``query(peer(destination), query, level)``."""
+    return Message(
+        kind=MessageKind.QUERY,
+        source=source,
+        destination=destination,
+        payload={"query": query, "level": level},
+    )
+
+
+def query_response(
+    request: Message, *, found: bool, responder: Address | None, refs: list[dict] | None = None
+) -> Message:
+    """Answer to a :data:`MessageKind.QUERY` message."""
+    return Message(
+        kind=MessageKind.QUERY_RESPONSE,
+        source=request.destination,
+        destination=request.source,
+        payload={"found": found, "responder": responder, "refs": refs or []},
+        in_reply_to=request.message_id,
+    )
+
+
+def update_message(
+    source: Address, destination: Address, key: str, holder: Address, version: int
+) -> Message:
+    """Deliver a (possibly fresher) index entry to a responsible peer."""
+    return Message(
+        kind=MessageKind.UPDATE,
+        source=source,
+        destination=destination,
+        payload={"key": key, "holder": holder, "version": version},
+    )
+
+
+def propagate_message(
+    source: Address,
+    destination: Address,
+    *,
+    key: str,
+    holder: Address,
+    version: int,
+    deleted: bool,
+    query: str,
+    level: int,
+    recbreadth: int,
+) -> Message:
+    """Breadth-first update propagation step (§3 strategy 3 over messages).
+
+    ``query``/``level`` carry the routing state exactly like a QUERY;
+    the full entry rides along so every responsible peer reached installs
+    it immediately.
+    """
+    return Message(
+        kind=MessageKind.PROPAGATE,
+        source=source,
+        destination=destination,
+        payload={
+            "key": key,
+            "holder": holder,
+            "version": version,
+            "deleted": deleted,
+            "query": query,
+            "level": level,
+            "recbreadth": recbreadth,
+        },
+    )
+
+
+def propagate_ack(request: Message, reached: list[Address]) -> Message:
+    """Aggregated acknowledgement: every replica this subtree installed."""
+    return Message(
+        kind=MessageKind.PROPAGATE_ACK,
+        source=request.destination,
+        destination=request.source,
+        payload={"reached": list(reached)},
+        in_reply_to=request.message_id,
+    )
+
+
+def ping(source: Address, destination: Address) -> Message:
+    """Liveness probe."""
+    return Message(kind=MessageKind.PING, source=source, destination=destination)
+
+
+def pong(request: Message) -> Message:
+    """Liveness reply."""
+    return Message(
+        kind=MessageKind.PONG,
+        source=request.destination,
+        destination=request.source,
+        in_reply_to=request.message_id,
+    )

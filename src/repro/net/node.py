@@ -1,0 +1,219 @@
+"""Message-driven P-Grid node.
+
+:class:`PGridNode` wraps one :class:`~repro.core.peer.Peer` behind a message
+handler, executing the Fig. 2 search protocol *over the transport* instead
+of via direct function calls.  This is the end-to-end "system" execution
+path: the networked examples and the integration tests run searches and
+updates through it and read costs off the transport's traffic counters,
+cross-validating the faster in-process engines used by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import keys as keyspace
+from repro.core.grid import PGrid
+from repro.core.peer import Address, Peer
+from repro.core.storage import DataRef
+from repro.net.message import (
+    Message,
+    MessageKind,
+    pong,
+    propagate_ack,
+    propagate_message,
+    query_message,
+    query_response,
+    update_message,
+)
+from repro.net.transport import LocalTransport
+
+
+@dataclass
+class NodeSearchOutcome:
+    """Result of a node-initiated (networked) search."""
+
+    query: str
+    found: bool
+    responder: Address | None
+    messages_sent: int
+
+
+class PGridNode:
+    """One networked peer: handles protocol messages for its local state."""
+
+    def __init__(self, peer: Peer, grid: PGrid, transport: LocalTransport) -> None:
+        self.peer = peer
+        self.grid = grid
+        self.transport = transport
+        transport.register(peer.address, self.handle)
+
+    # -- message dispatch ---------------------------------------------------------
+
+    def handle(self, message: Message) -> Message | None:
+        """Transport entry point."""
+        if message.kind is MessageKind.QUERY:
+            return self._handle_query(message)
+        if message.kind is MessageKind.UPDATE:
+            return self._handle_update(message)
+        if message.kind is MessageKind.PROPAGATE:
+            return self._handle_propagate(message)
+        if message.kind is MessageKind.PING:
+            return pong(message)
+        return None
+
+    # -- Fig. 2 over messages --------------------------------------------------------
+
+    def _handle_query(self, message: Message) -> Message:
+        query = message.payload["query"]
+        level = message.payload["level"]
+        found, responder = self._resolve(query, level)
+        refs: list[dict] = []
+        if found and responder == self.peer.address:
+            # Routing consumed the first `level` bits of the original query;
+            # they equal this peer's path prefix (search invariant), so the
+            # full key for the leaf lookup is prefix + suffix.
+            full_query = self.peer.path[:level] + query
+            refs = [
+                {"key": ref.key, "holder": ref.holder, "version": ref.version}
+                for ref in self.peer.store.lookup(full_query)
+            ]
+        return query_response(message, found=found, responder=responder, refs=refs)
+
+    def _resolve(self, query: str, level: int) -> tuple[bool, Address | None]:
+        """One Fig. 2 step at this node, forwarding over the transport."""
+        rempath = self.peer.path[level:]
+        compath = keyspace.common_prefix(query, rempath)
+        lc = len(compath)
+        if lc == len(query) or lc == len(rempath):
+            return True, self.peer.address
+        querypath = query[lc:]
+        refs = list(self.peer.routing.refs(level + lc + 1))
+        rng = self.grid.rng
+        while refs:
+            address = refs.pop(rng.randrange(len(refs)))
+            reply = self.transport.try_send(
+                query_message(self.peer.address, address, querypath, level + lc)
+            )
+            if reply is None:
+                continue
+            if reply.payload["found"]:
+                return True, reply.payload["responder"]
+        return False, None
+
+    # -- local API (what the user of this node calls) -----------------------------------
+
+    def search(self, query: str) -> NodeSearchOutcome:
+        """Search issued by this node's user (starts locally, no message)."""
+        keyspace.validate_key(query)
+        before = self.transport.stats.delivered[MessageKind.QUERY]
+        found, responder = self._resolve(query, 0)
+        sent = self.transport.stats.delivered[MessageKind.QUERY] - before
+        return NodeSearchOutcome(
+            query=query, found=found, responder=responder, messages_sent=sent
+        )
+
+    def push_update(self, destination: Address, ref: DataRef) -> bool:
+        """Send one index update to *destination*; True on delivery."""
+        reply = self.transport.try_send(
+            update_message(
+                self.peer.address, destination, ref.key, ref.holder, ref.version
+            )
+        )
+        return reply is not None
+
+    # -- breadth-first update propagation over messages -----------------------------
+
+    def propagate_update(
+        self, ref: DataRef, *, recbreadth: int = 2
+    ) -> set[Address]:
+        """Publish *ref* via the message-level breadth-first protocol.
+
+        Mirrors :meth:`repro.core.search.SearchEngine.query_breadth` but as
+        explicit PROPAGATE messages with aggregated acknowledgements; the
+        returned set contains every replica that installed the entry
+        (including this node if responsible).
+        """
+        if recbreadth < 1:
+            raise ValueError(f"recbreadth must be >= 1, got {recbreadth}")
+        keyspace.validate_key(ref.key)
+        reached = self._propagate_local(
+            ref, query=ref.key, level=0, recbreadth=recbreadth
+        )
+        return set(reached)
+
+    def _propagate_local(
+        self, ref: DataRef, *, query: str, level: int, recbreadth: int
+    ) -> list[Address]:
+        """One propagation step at this node (shared by entry and handler)."""
+        reached: list[Address] = []
+        rempath = self.peer.path[level:]
+        compath = keyspace.common_prefix(query, rempath)
+        lc = len(compath)
+        if lc == len(query) or lc == len(rempath):
+            self.peer.store.add_ref(ref)
+            reached.append(self.peer.address)
+            return reached
+        querypath = query[lc:]
+        refs = list(self.peer.routing.refs(level + lc + 1))
+        rng = self.grid.rng
+        rng.shuffle(refs)
+        forwarded = 0
+        for address in refs:
+            if forwarded >= recbreadth:
+                break
+            reply = self.transport.try_send(
+                propagate_message(
+                    self.peer.address,
+                    address,
+                    key=ref.key,
+                    holder=ref.holder,
+                    version=ref.version,
+                    deleted=ref.deleted,
+                    query=querypath,
+                    level=level + lc,
+                    recbreadth=recbreadth,
+                )
+            )
+            if reply is None:
+                continue
+            forwarded += 1
+            reached.extend(reply.payload["reached"])
+        return reached
+
+    def _handle_propagate(self, message: Message) -> Message:
+        payload = message.payload
+        ref = DataRef(
+            key=payload["key"],
+            holder=payload["holder"],
+            version=payload["version"],
+            deleted=payload["deleted"],
+        )
+        reached = self._propagate_local(
+            ref,
+            query=payload["query"],
+            level=payload["level"],
+            recbreadth=payload["recbreadth"],
+        )
+        return propagate_ack(message, reached)
+
+    def _handle_update(self, message: Message) -> Message:
+        ref = DataRef(
+            key=message.payload["key"],
+            holder=message.payload["holder"],
+            version=message.payload["version"],
+        )
+        self.peer.store.add_ref(ref)
+        return Message(
+            kind=MessageKind.UPDATE_ACK,
+            source=self.peer.address,
+            destination=message.source,
+            in_reply_to=message.message_id,
+        )
+
+
+def attach_nodes(grid: PGrid, transport: LocalTransport) -> dict[Address, PGridNode]:
+    """Create one node per peer of *grid*, registered on *transport*."""
+    return {
+        peer.address: PGridNode(peer, grid, transport) for peer in grid.peers()
+    }

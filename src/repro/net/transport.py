@@ -1,0 +1,162 @@
+"""Simulated transport: synchronous message delivery with failure modes.
+
+``LocalTransport`` delivers messages to registered handlers in-process while
+modelling the failure characteristics that matter to the paper's claims:
+
+* *offline peers* — delivery consults the grid's online oracle; contacting
+  an offline peer raises :class:`~repro.errors.PeerOfflineError` (the caller
+  treats it like the paper's ``IF online(peer(r))`` guard);
+* *message loss* — an optional independent drop probability;
+* *latency* — an optional per-message latency model feeding a simulated
+  clock, so experiments can report end-to-end response times, not only
+  message counts.
+
+All traffic is counted per :class:`~repro.net.message.MessageKind` in a
+:class:`TrafficStats`, which is what the networked examples report.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.grid import PGrid
+from repro.core.peer import Address
+from repro.errors import PeerOfflineError, TransportError
+from repro.net.message import Message, MessageKind
+
+Handler = Callable[[Message], Message | None]
+
+
+@dataclass
+class TrafficStats:
+    """Per-kind message counters plus failure tallies."""
+
+    delivered: Counter = field(default_factory=Counter)
+    dropped: int = 0
+    offline_failures: int = 0
+    simulated_time: float = 0.0
+
+    def total_delivered(self) -> int:
+        """Total messages successfully delivered."""
+        return sum(self.delivered.values())
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict copy for experiment records."""
+        return {
+            "delivered": {kind.value: n for kind, n in self.delivered.items()},
+            "total_delivered": self.total_delivered(),
+            "dropped": self.dropped,
+            "offline_failures": self.offline_failures,
+            "simulated_time": self.simulated_time,
+        }
+
+
+class LatencyModel(Protocol):
+    """Maps one message to a simulated delivery delay."""
+
+    def sample(self, message: Message) -> float:
+        """Latency in arbitrary simulated time units."""
+        ...  # pragma: no cover - protocol
+
+
+class ConstantLatency:
+    """Fixed latency per message hop."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def sample(self, message: Message) -> float:  # noqa: ARG002
+        return self.delay
+
+
+class UniformLatency:
+    """Uniform latency in ``[low, high]`` per message hop."""
+
+    def __init__(self, low: float, high: float, rng: random.Random) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got {low}, {high}")
+        self.low = low
+        self.high = high
+        self._rng = rng
+
+    def sample(self, message: Message) -> float:  # noqa: ARG002
+        return self._rng.uniform(self.low, self.high)
+
+
+class LocalTransport:
+    """In-process synchronous transport over a :class:`PGrid` population."""
+
+    def __init__(
+        self,
+        grid: PGrid,
+        *,
+        loss_probability: float = 0.0,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.grid = grid
+        self.loss_probability = loss_probability
+        self.latency = latency
+        self._rng = rng or grid.rng
+        self._handlers: dict[Address, Handler] = {}
+        self.stats = TrafficStats()
+
+    def register(self, address: Address, handler: Handler) -> None:
+        """Attach the message handler for *address* (one per peer)."""
+        if address in self._handlers:
+            raise TransportError(f"handler already registered for {address}")
+        self._handlers[address] = handler
+
+    def unregister(self, address: Address) -> None:
+        """Detach the handler for *address* (peer leaves the network)."""
+        self._handlers.pop(address, None)
+
+    def is_reachable(self, address: Address) -> bool:
+        """Registered and currently online."""
+        return address in self._handlers and self.grid.is_online(address)
+
+    def send(self, message: Message) -> Message | None:
+        """Deliver *message*; return the handler's synchronous reply.
+
+        Raises :class:`PeerOfflineError` if the destination is offline and
+        :class:`TransportError` if it has no handler or the message is
+        dropped by the loss model.
+        """
+        handler = self._handlers.get(message.destination)
+        if handler is None:
+            raise TransportError(
+                f"no handler registered for destination {message.destination}"
+            )
+        if not self.grid.is_online(message.destination):
+            self.stats.offline_failures += 1
+            raise PeerOfflineError(message.destination)
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            self.stats.dropped += 1
+            raise TransportError(
+                f"message {message.message_id} to {message.destination} lost"
+            )
+        if self.latency is not None:
+            self.stats.simulated_time += self.latency.sample(message)
+        self.stats.delivered[message.kind] += 1
+        return handler(message)
+
+    def try_send(self, message: Message) -> Message | None:
+        """Like :meth:`send` but returns ``None`` on offline/lost instead of
+        raising (the common pattern in the randomized algorithms)."""
+        try:
+            return self.send(message)
+        except (PeerOfflineError, TransportError):
+            return None
+
+    def count(self, kind: MessageKind) -> int:
+        """Delivered messages of one kind."""
+        return self.stats.delivered[kind]

@@ -1,0 +1,16 @@
+"""Plain-text reporting: ASCII tables, histograms, CSV/JSON writers."""
+
+from repro.report.csvout import results_dir, write_csv, write_json
+from repro.report.hist import render_histogram, render_plot, render_series
+from repro.report.tables import format_value, render_table
+
+__all__ = [
+    "format_value",
+    "render_histogram",
+    "render_plot",
+    "render_series",
+    "render_table",
+    "results_dir",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,52 @@
+"""CSV and JSON result writers.
+
+Every benchmark writes its rows under ``benchmarks/results/`` so the
+numbers survive the pytest run and can be diffed against the paper (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["write_csv", "write_json", "results_dir"]
+
+
+def results_dir(base: str | Path | None = None) -> Path:
+    """The results directory (created on demand)."""
+    root = Path(base) if base is not None else Path("benchmarks") / "results"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> Path:
+    """Write a header + rows CSV file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells but header has {len(headers)}"
+                )
+            writer.writerow(list(row))
+    return target
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Write *payload* as pretty JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return target

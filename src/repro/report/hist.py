@@ -1,0 +1,114 @@
+"""ASCII histograms and series plots for the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_histogram", "render_series", "render_plot"]
+
+
+def render_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    title: str | None = None,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Character-grid line plot of one or more (x, y) series.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ...); axes are scaled
+    to the joint data range.  Good enough to eyeball convergence curves in
+    a terminal without a plotting stack.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot needs width >= 8 and height >= 4")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(empty plot)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            column = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_max:g}, bottom={y_min:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    lines.append(" " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    pairs: Sequence[tuple[int, int]],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    value_label: str = "value",
+    count_label: str = "count",
+) -> str:
+    """Horizontal bar chart of ``(value, count)`` pairs (Fig. 4 rendering).
+
+    >>> print(render_histogram([(1, 2), (2, 4)], width=4))
+    1 | ##   2
+    2 | #### 4
+    """
+    if not pairs:
+        return "(empty histogram)"
+    max_count = max(count for _, count in pairs) or 1
+    value_width = max(len(str(value)) for value, _ in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append(f"{value_label} -> {count_label}")
+    bar_widths = [
+        max(1, round(count / max_count * width)) if count else 0
+        for _, count in pairs
+    ]
+    bar_pad = max(bar_widths, default=1)
+    for (value, count), bar in zip(pairs, bar_widths):
+        lines.append(
+            f"{str(value).rjust(value_width)} | {('#' * bar).ljust(bar_pad)} {count}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    float_digits: int = 3,
+) -> str:
+    """Tabular rendering of one or more (x, y) series (Fig. 5 rendering).
+
+    Each series is printed as aligned columns; the caller is expected to
+    pass comparable x grids (points are listed per series, not joined).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"-- {name} ({x_label} -> {y_label})")
+        for x, y in points:
+            lines.append(f"   {x:>12.{float_digits}f} -> {y:.{float_digits}f}")
+    return "\n".join(lines)

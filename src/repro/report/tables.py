@@ -1,0 +1,66 @@
+"""ASCII table rendering for experiment output.
+
+The benchmark harness prints each paper table/figure as a plain-text table
+(the offline environment has no plotting stack), in the same row/column
+layout the paper uses so results can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any, *, float_digits: int = 2) -> str:
+    """Human-friendly cell formatting (floats rounded, None blank)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.{float_digits}f}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_digits: int = 2,
+) -> str:
+    """Render a boxed ASCII table.
+
+    >>> print(render_table(["n", "e"], [[1, 2.5]]))
+    | n | e    |
+    |---|------|
+    | 1 | 2.50 |
+    """
+    formatted = [
+        [format_value(cell, float_digits=float_digits) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in formatted)
+    return "\n".join(parts)

@@ -1,0 +1,90 @@
+"""Simulation substrate: randomness, meetings, churn, construction driver,
+workloads, metrics and grid snapshots."""
+
+from repro.sim.builder import (
+    ConstructionReport,
+    ConstructionSample,
+    GridBuilder,
+)
+from repro.sim.churn import BernoulliChurn, FixedOnlineSet, SessionChurn
+from repro.sim.events import (
+    EventSimulator,
+    MeetingProcess,
+    PoissonProcess,
+    SessionProcess,
+    TimedConstructionReport,
+    TimedSample,
+    run_timed_construction,
+)
+from repro.sim.meetings import BiasedMeetings, RoundRobinMeetings, UniformMeetings
+from repro.sim.metrics import (
+    RateAccumulator,
+    Summary,
+    bootstrap_ci,
+    gini,
+    histogram_bins,
+    summarize,
+)
+from repro.sim.scenario import (
+    KeyDistribution,
+    ScenarioMetrics,
+    ScenarioSpec,
+    run_scenario,
+)
+from repro.sim.persistence import grid_from_dict, grid_to_dict, load_grid, save_grid
+from repro.sim.rng import derive, spawn
+from repro.sim.topology import (
+    ProximityExchangeEngine,
+    ProximitySearchEngine,
+    Topology,
+)
+from repro.sim.workload import (
+    QueryStream,
+    UniformKeyWorkload,
+    ZipfKeyWorkload,
+    generate_items,
+    zipf_weights,
+)
+
+__all__ = [
+    "BernoulliChurn",
+    "BiasedMeetings",
+    "ConstructionReport",
+    "ConstructionSample",
+    "EventSimulator",
+    "FixedOnlineSet",
+    "GridBuilder",
+    "KeyDistribution",
+    "MeetingProcess",
+    "PoissonProcess",
+    "ProximityExchangeEngine",
+    "ProximitySearchEngine",
+    "QueryStream",
+    "RateAccumulator",
+    "RoundRobinMeetings",
+    "ScenarioMetrics",
+    "ScenarioSpec",
+    "SessionChurn",
+    "SessionProcess",
+    "Summary",
+    "TimedConstructionReport",
+    "TimedSample",
+    "Topology",
+    "UniformKeyWorkload",
+    "UniformMeetings",
+    "ZipfKeyWorkload",
+    "derive",
+    "generate_items",
+    "grid_from_dict",
+    "bootstrap_ci",
+    "gini",
+    "grid_to_dict",
+    "histogram_bins",
+    "load_grid",
+    "run_scenario",
+    "run_timed_construction",
+    "save_grid",
+    "spawn",
+    "summarize",
+    "zipf_weights",
+]

@@ -1,0 +1,121 @@
+"""Peer availability (churn) models.
+
+The paper models availability as a probability ``online: P -> [0, 1]``
+evaluated whenever a peer is contacted (§2); the §5.2 experiments use a
+uniform 30%.  Three models are provided:
+
+:class:`BernoulliChurn`
+    Memoryless per-contact coin flip — the paper's model: each contact to a
+    peer independently succeeds with its online probability.
+:class:`SessionChurn`
+    Epoch-based on/off sessions: each peer is online for whole epochs with
+    the given probability; :meth:`SessionChurn.advance_epoch` re-samples.
+    Captures correlated availability within a burst of operations (the
+    realistic refinement §6 hints at with "known reliability of peers").
+:class:`FixedOnlineSet`
+    Deterministic membership — used by failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+from repro.core.peer import Address
+
+__all__ = ["BernoulliChurn", "SessionChurn", "FixedOnlineSet"]
+
+
+class BernoulliChurn:
+    """Per-contact independent availability (the paper's model)."""
+
+    def __init__(
+        self,
+        p_online: float,
+        rng: random.Random,
+        *,
+        per_peer: Mapping[Address, float] | None = None,
+    ) -> None:
+        if not 0.0 <= p_online <= 1.0:
+            raise ValueError(f"p_online must be in [0, 1], got {p_online}")
+        self.p_online = p_online
+        self._rng = rng
+        self._per_peer = dict(per_peer) if per_peer else {}
+        for address, probability in self._per_peer.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"per-peer online probability for {address} out of [0, 1]: "
+                    f"{probability}"
+                )
+
+    def probability_for(self, address: Address) -> float:
+        """The online probability in force for *address*."""
+        return self._per_peer.get(address, self.p_online)
+
+    def is_online(self, address: Address) -> bool:
+        """Flip the availability coin for one contact attempt."""
+        return self._rng.random() < self.probability_for(address)
+
+
+class SessionChurn:
+    """Epoch-correlated availability: peers stay up/down within an epoch."""
+
+    def __init__(
+        self,
+        p_online: float,
+        rng: random.Random,
+        addresses: Iterable[Address],
+    ) -> None:
+        if not 0.0 <= p_online <= 1.0:
+            raise ValueError(f"p_online must be in [0, 1], got {p_online}")
+        self.p_online = p_online
+        self._rng = rng
+        self._addresses = list(addresses)
+        self._online: set[Address] = set()
+        self.epoch = 0
+        self._resample()
+
+    def _resample(self) -> None:
+        self._online = {
+            address
+            for address in self._addresses
+            if self._rng.random() < self.p_online
+        }
+
+    def advance_epoch(self) -> None:
+        """Start a new epoch: re-sample the online set."""
+        self.epoch += 1
+        self._resample()
+
+    def track(self, address: Address) -> None:
+        """Add a peer created after construction to the churn population."""
+        if address not in self._addresses:
+            self._addresses.append(address)
+            if self._rng.random() < self.p_online:
+                self._online.add(address)
+
+    @property
+    def online_now(self) -> frozenset[Address]:
+        """The set of currently online peers."""
+        return frozenset(self._online)
+
+    def is_online(self, address: Address) -> bool:
+        """Whether *address* is up in the current epoch."""
+        return address in self._online
+
+
+class FixedOnlineSet:
+    """Deterministic availability — explicit up/down control for tests."""
+
+    def __init__(self, online: Iterable[Address] = ()) -> None:
+        self._online = set(online)
+
+    def set_online(self, address: Address, online: bool = True) -> None:
+        """Mark one peer up or down."""
+        if online:
+            self._online.add(address)
+        else:
+            self._online.discard(address)
+
+    def is_online(self, address: Address) -> bool:
+        return address in self._online

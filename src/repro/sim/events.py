@@ -1,0 +1,311 @@
+"""Discrete-event simulation kernel.
+
+The paper's simulations are round-based ("peers meet randomly pairwise");
+this kernel adds a *time* dimension so experiments can ask time-shaped
+questions: how long until convergence at a given meeting rate, what happens
+when sessions churn while the grid is still forming, how stale does the
+index get under a given update rate.
+
+Design: a classic event-heap simulator.
+
+* :class:`EventSimulator` owns the virtual clock and a priority queue of
+  ``(time, sequence, callback)`` entries; ``run_until`` / ``run_next``
+  advance the clock.
+* :class:`PoissonProcess` schedules recurring events with exponential
+  inter-arrival times — used for meeting arrivals and update arrivals.
+* :class:`SessionProcess` drives a :class:`~repro.sim.churn.SessionChurn`
+  model by re-sampling the online population at epoch boundaries.
+* :class:`MeetingProcess` wires a meeting scheduler and an exchange engine
+  into the event loop and records the convergence trajectory over *time*
+  (the round-based :class:`~repro.sim.builder.GridBuilder` records it over
+  meetings).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.exchange import ExchangeEngine
+from repro.core.grid import PGrid
+from repro.sim.churn import SessionChurn
+from repro.sim.meetings import UniformMeetings
+
+Callback = Callable[[float], None]
+
+
+class EventSimulator:
+    """A minimal event-heap simulator with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._clock = 0.0
+        self._sequence = itertools.count()
+        self._heap: list[tuple[float, int, Callback]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._clock
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run *callback(time)* after *delay* time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        heapq.heappush(
+            self._heap, (self._clock + delay, next(self._sequence), callback)
+        )
+
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Run *callback(time)* at the absolute virtual *time*."""
+        if time < self._clock:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < {self._clock}"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), callback))
+
+    def run_next(self) -> bool:
+        """Execute the earliest event; ``False`` when none is pending."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self._clock = time
+        callback(time)
+        return True
+
+    def run_until(self, deadline: float, *, max_events: int | None = None) -> int:
+        """Run events up to *deadline* (inclusive); returns events executed.
+
+        Events scheduled beyond the deadline stay queued.  The clock ends
+        exactly at *deadline*, unless *max_events* truncated the run, in
+        which case it stays at the last executed event's time.
+        """
+        if deadline < self._clock:
+            raise ValueError(
+                f"deadline {deadline} is before current time {self._clock}"
+            )
+        executed = 0
+        truncated = False
+        while self._heap and self._heap[0][0] <= deadline:
+            if max_events is not None and executed >= max_events:
+                truncated = True
+                break
+            self.run_next()
+            executed += 1
+        if not truncated:
+            self._clock = deadline
+        return executed
+
+
+class PoissonProcess:
+    """Recurring events with exponential inter-arrival times.
+
+    Calls *action(time)* at each arrival and reschedules itself until
+    :meth:`stop` is called.
+    """
+
+    def __init__(
+        self,
+        simulator: EventSimulator,
+        rate: float,
+        action: Callback,
+        rng: random.Random,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.simulator = simulator
+        self.rate = rate
+        self.action = action
+        self._rng = rng
+        self._running = False
+        self.arrivals = 0
+
+    def start(self) -> None:
+        """Begin generating arrivals."""
+        if not self._running:
+            self._running = True
+            self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop after the currently queued arrival (if any) fires."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        self.simulator.schedule(
+            self._rng.expovariate(self.rate), self._fire
+        )
+
+    def _fire(self, time: float) -> None:
+        if not self._running:
+            return
+        self.arrivals += 1
+        self.action(time)
+        if self._running:
+            self._schedule_next()
+
+
+class SessionProcess:
+    """Drives epoch-based churn: re-samples the online set periodically."""
+
+    def __init__(
+        self,
+        simulator: EventSimulator,
+        churn: SessionChurn,
+        epoch_length: float,
+    ) -> None:
+        if epoch_length <= 0:
+            raise ValueError(f"epoch_length must be > 0, got {epoch_length}")
+        self.simulator = simulator
+        self.churn = churn
+        self.epoch_length = epoch_length
+        self._running = False
+
+    def start(self) -> None:
+        """Begin advancing epochs."""
+        if not self._running:
+            self._running = True
+            self.simulator.schedule(self.epoch_length, self._tick)
+
+    def stop(self) -> None:
+        """Stop advancing epochs."""
+        self._running = False
+
+    def _tick(self, _time: float) -> None:
+        if not self._running:
+            return
+        self.churn.advance_epoch()
+        self.simulator.schedule(self.epoch_length, self._tick)
+
+
+@dataclass
+class TimedSample:
+    """One (time, exchanges, average depth) point."""
+
+    time: float
+    exchanges: int
+    average_depth: float
+
+
+@dataclass
+class TimedConstructionReport:
+    """Result of a time-driven construction run."""
+
+    duration: float
+    meetings: int
+    exchanges: int
+    average_depth: float
+    converged: bool
+    trajectory: list[TimedSample] = field(default_factory=list)
+
+
+class MeetingProcess:
+    """Random pairwise meetings as a Poisson arrival process.
+
+    Each arrival draws a pair from the scheduler and runs ``exchange``;
+    meetings where either endpoint is offline (per the grid's oracle) are
+    skipped — modelling that two peers must both be up to talk.
+    """
+
+    def __init__(
+        self,
+        simulator: EventSimulator,
+        grid: PGrid,
+        *,
+        rate: float,
+        rng: random.Random | None = None,
+        engine: ExchangeEngine | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.grid = grid
+        self.engine = engine or ExchangeEngine(grid)
+        self.scheduler = UniformMeetings(grid, rng or grid.rng)
+        self.skipped_offline = 0
+        self._process = PoissonProcess(
+            simulator, rate, self._meet, rng or grid.rng
+        )
+
+    @property
+    def meetings(self) -> int:
+        """Meetings executed (offline-skipped arrivals not counted)."""
+        return self.engine.stats.meetings
+
+    def start(self) -> None:
+        """Begin the arrival process."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Stop the arrival process."""
+        self._process.stop()
+
+    def _meet(self, _time: float) -> None:
+        first, second = self.scheduler.next_pair()
+        if not (self.grid.is_online(first) and self.grid.is_online(second)):
+            self.skipped_offline += 1
+            return
+        self.engine.meet(first, second)
+
+
+def run_timed_construction(
+    grid: PGrid,
+    *,
+    meeting_rate: float,
+    duration: float,
+    sample_every: float | None = None,
+    churn: SessionChurn | None = None,
+    epoch_length: float = 1.0,
+    rng: random.Random | None = None,
+) -> TimedConstructionReport:
+    """Build a grid under a Poisson meeting process for *duration* time.
+
+    With *churn*, the online population re-samples every *epoch_length*
+    and meetings involving offline endpoints are skipped — construction
+    under realistic availability, which the paper's round-based runs
+    cannot express.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    simulator = EventSimulator()
+    process = MeetingProcess(
+        simulator, grid, rate=meeting_rate, rng=rng
+    )
+    process.start()
+    if churn is not None:
+        grid.online_oracle = churn
+        SessionProcess(simulator, churn, epoch_length).start()
+
+    trajectory: list[TimedSample] = []
+    if sample_every is not None:
+        if sample_every <= 0:
+            raise ValueError(f"sample_every must be > 0, got {sample_every}")
+
+        def sample(time: float) -> None:
+            trajectory.append(
+                TimedSample(
+                    time=time,
+                    exchanges=process.engine.stats.calls,
+                    average_depth=grid.average_path_length(),
+                )
+            )
+            if time + sample_every <= duration:
+                simulator.schedule(sample_every, sample)
+
+        simulator.schedule(sample_every, sample)
+
+    simulator.run_until(duration)
+    process.stop()
+    average_depth = grid.average_path_length()
+    return TimedConstructionReport(
+        duration=duration,
+        meetings=process.meetings,
+        exchanges=process.engine.stats.calls,
+        average_depth=average_depth,
+        converged=average_depth >= 0.99 * grid.config.maxl,
+        trajectory=trajectory,
+    )

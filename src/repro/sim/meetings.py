@@ -1,0 +1,132 @@
+"""Meeting schedulers — who meets whom during construction (paper §3).
+
+The paper is deliberately agnostic about *why* peers meet ("they may meet
+randomly, because they are involved in other operations, or because they
+systematically want to build the access structure"); its simulations use
+uniform random pairs.  We provide that scheduler plus two alternatives used
+by ablations:
+
+:class:`UniformMeetings`
+    Uniformly random unordered pairs — the paper's §5 setting.
+:class:`BiasedMeetings`
+    Pairs biased towards peers with matching prefixes, modelling meetings
+    triggered by search traffic (searches route towards one's own region).
+:class:`RoundRobinMeetings`
+    A deterministic sweep pairing each peer with a random partner once per
+    round — bounds per-peer meeting skew.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core import keys as keyspace
+from repro.core.grid import PGrid
+from repro.core.peer import Address
+
+__all__ = ["UniformMeetings", "BiasedMeetings", "RoundRobinMeetings"]
+
+
+class UniformMeetings:
+    """Uniformly random pairwise meetings (the paper's scheduler)."""
+
+    def __init__(self, grid: PGrid, rng: random.Random | None = None) -> None:
+        if len(grid) < 2:
+            raise ValueError("meetings need at least two peers")
+        self.grid = grid
+        self._rng = rng or grid.rng
+        self._addresses = grid.addresses()
+
+    def refresh(self) -> None:
+        """Re-read the peer population (after joins)."""
+        self._addresses = self.grid.addresses()
+
+    def next_pair(self) -> tuple[Address, Address]:
+        """Draw one unordered uniform pair of distinct peers."""
+        first, second = self._rng.sample(self._addresses, 2)
+        return first, second
+
+    def pairs(self) -> Iterator[tuple[Address, Address]]:
+        """Infinite stream of meeting pairs."""
+        while True:
+            yield self.next_pair()
+
+
+class BiasedMeetings:
+    """Meetings biased towards prefix-related peers.
+
+    With probability *bias* the second peer is drawn from those sharing the
+    first peer's first bit (when any exist); otherwise uniformly.  Models
+    construction piggy-backed on search traffic, which is concentrated along
+    routing paths.
+    """
+
+    def __init__(
+        self,
+        grid: PGrid,
+        bias: float = 0.5,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError(f"bias must be in [0, 1], got {bias}")
+        if len(grid) < 2:
+            raise ValueError("meetings need at least two peers")
+        self.grid = grid
+        self.bias = bias
+        self._rng = rng or grid.rng
+
+    def next_pair(self) -> tuple[Address, Address]:
+        """Draw one pair, prefix-biased."""
+        addresses = self.grid.addresses()
+        first = self._rng.choice(addresses)
+        first_path = self.grid.peer(first).path
+        if first_path and self._rng.random() < self.bias:
+            related = [
+                address
+                for address in addresses
+                if address != first
+                and keyspace.common_prefix_length(
+                    self.grid.peer(address).path, first_path
+                )
+                >= 1
+            ]
+            if related:
+                return first, self._rng.choice(related)
+        second = self._rng.choice(addresses)
+        while second == first:
+            second = self._rng.choice(addresses)
+        return first, second
+
+    def pairs(self) -> Iterator[tuple[Address, Address]]:
+        """Infinite stream of meeting pairs."""
+        while True:
+            yield self.next_pair()
+
+
+class RoundRobinMeetings:
+    """Each round, every peer meets one random partner (shuffled sweep)."""
+
+    def __init__(self, grid: PGrid, rng: random.Random | None = None) -> None:
+        if len(grid) < 2:
+            raise ValueError("meetings need at least two peers")
+        self.grid = grid
+        self._rng = rng or grid.rng
+        self._queue: list[Address] = []
+
+    def next_pair(self) -> tuple[Address, Address]:
+        """Next pair of the sweep, reshuffling when a round completes."""
+        if not self._queue:
+            self._queue = self.grid.addresses()
+            self._rng.shuffle(self._queue)
+        first = self._queue.pop()
+        addresses = self.grid.addresses()
+        second = self._rng.choice(addresses)
+        while second == first:
+            second = self._rng.choice(addresses)
+        return first, second
+
+    def pairs(self) -> Iterator[tuple[Address, Address]]:
+        """Infinite stream of meeting pairs."""
+        while True:
+            yield self.next_pair()

@@ -1,0 +1,161 @@
+"""Light-weight measurement helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "RateAccumulator",
+    "histogram_bins",
+    "gini",
+    "bootstrap_ci",
+]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the sample mean.
+
+    Used by experiment reports to attach uncertainty to measured rates and
+    message counts without distributional assumptions (search costs are
+    decidedly non-normal: bounded below, long right tail under churn).
+    """
+    import random as _random
+
+    if not values:
+        raise ValueError("bootstrap_ci of an empty sample is undefined")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    data = [float(v) for v in values]
+    n = len(data)
+    rng = _random.Random(seed)
+    means = sorted(
+        sum(rng.choice(data) for _ in range(n)) / n for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lower = means[max(0, int(alpha * resamples))]
+    upper = means[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return lower, upper
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, ->1 = skewed).
+
+    Used by the load-balance ablation: per-peer query/storage load under
+    uniform vs. Zipf workloads.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("gini of an empty sample is undefined")
+    if any(v < 0 for v in data):
+        raise ValueError("gini requires non-negative values")
+    total = sum(data)
+    if total == 0:
+        return 0.0
+    n = len(data)
+    weighted = sum((index + 1) * value for index, value in enumerate(data))
+    return max(0.0, (2 * weighted) / (n * total) - (n + 1) / n)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for experiment records."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics of a non-empty sample (population stdev)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    middle = count // 2
+    if count % 2:
+        median = data[middle]
+    else:
+        median = (data[middle - 1] + data[middle]) / 2
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        median=median,
+    )
+
+
+class RateAccumulator:
+    """Counts successes over trials; reports the empirical rate."""
+
+    def __init__(self) -> None:
+        self.successes = 0
+        self.trials = 0
+
+    def record(self, success: bool) -> None:
+        """Record one trial outcome."""
+        self.trials += 1
+        if success:
+            self.successes += 1
+
+    @property
+    def rate(self) -> float:
+        """Empirical success rate (0.0 when no trials recorded)."""
+        if self.trials == 0:
+            return 0.0
+        return self.successes / self.trials
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation half-width of the rate's CI."""
+        if self.trials == 0:
+            return 0.0
+        p = self.rate
+        return z * math.sqrt(p * (1 - p) / self.trials)
+
+
+def histogram_bins(
+    values: Sequence[int], *, max_bins: int | None = None
+) -> list[tuple[int, int]]:
+    """Integer histogram as sorted ``(value, count)`` pairs.
+
+    With *max_bins*, the tail is merged into the final bin (used to keep
+    Fig. 4 renderings compact).
+    """
+    counter = Counter(values)
+    pairs = sorted(counter.items())
+    if max_bins is None or len(pairs) <= max_bins:
+        return pairs
+    head = pairs[: max_bins - 1]
+    tail_count = sum(count for _, count in pairs[max_bins - 1 :])
+    tail_value = pairs[max_bins - 1][0]
+    return [*head, (tail_value, tail_count)]

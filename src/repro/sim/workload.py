@@ -1,0 +1,134 @@
+"""Workload generators: keys, data items and query streams.
+
+The paper's simulations draw uniformly random binary keys (§5); the skewed
+(Zipf) generator supports the §6 future-work ablation that shows where the
+uniformity assumption breaks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core import keys as keyspace
+from repro.core.storage import DataItem
+
+__all__ = [
+    "UniformKeyWorkload",
+    "ZipfKeyWorkload",
+    "QueryStream",
+    "generate_items",
+    "zipf_weights",
+]
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
+    """Normalized Zipf weights ``1/rank^exponent`` for *count* ranks."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    raw = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+@dataclass
+class UniformKeyWorkload:
+    """Uniformly random keys of a fixed length — the paper's workload."""
+
+    key_length: int
+    rng: random.Random
+
+    def __post_init__(self) -> None:
+        if self.key_length < 1:
+            raise ValueError(f"key_length must be >= 1, got {self.key_length}")
+
+    def next_key(self) -> str:
+        """One uniformly random key."""
+        return keyspace.random_key(self.key_length, self.rng)
+
+    def keys(self, count: int) -> list[str]:
+        """A batch of *count* keys (duplicates possible, as in the paper)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.next_key() for _ in range(count)]
+
+
+@dataclass
+class ZipfKeyWorkload:
+    """Zipf-skewed keys: low-value leaves are exponentially more popular.
+
+    Leaf intervals are ranked by numeric value; leaf popularity follows a
+    Zipf law with the given exponent.  ``exponent = 0`` degenerates to the
+    uniform workload.
+    """
+
+    key_length: int
+    rng: random.Random
+    exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.key_length < 1:
+            raise ValueError(f"key_length must be >= 1, got {self.key_length}")
+        if self.key_length > 24:
+            raise ValueError(
+                "ZipfKeyWorkload materializes 2^key_length weights; "
+                f"key_length {self.key_length} is too large (max 24)"
+            )
+        self._weights = zipf_weights(2**self.key_length, self.exponent)
+        self._population = range(2**self.key_length)
+
+    def next_key(self) -> str:
+        """One Zipf-distributed key."""
+        value = self.rng.choices(self._population, weights=self._weights, k=1)[0]
+        return format(value, f"0{self.key_length}b")
+
+    def keys(self, count: int) -> list[str]:
+        """A batch of *count* keys."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        values = self.rng.choices(self._population, weights=self._weights, k=count)
+        return [format(value, f"0{self.key_length}b") for value in values]
+
+
+def generate_items(
+    keys: Sequence[str], *, payload_prefix: str = "item"
+) -> list[DataItem]:
+    """Wrap raw keys into :class:`DataItem` objects with synthetic payloads."""
+    return [
+        DataItem(key=key, value=f"{payload_prefix}-{index}")
+        for index, key in enumerate(keys)
+    ]
+
+
+class QueryStream:
+    """An infinite stream of (start peer, query key) search requests.
+
+    Start peers are uniform over the population, matching §5.2 ("a search
+    can start at each peer").
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[int],
+        workload: UniformKeyWorkload | ZipfKeyWorkload,
+        rng: random.Random,
+    ) -> None:
+        if not addresses:
+            raise ValueError("QueryStream needs at least one start address")
+        self._addresses = list(addresses)
+        self._workload = workload
+        self._rng = rng
+
+    def next_query(self) -> tuple[int, str]:
+        """Draw one (start address, key) pair."""
+        return self._rng.choice(self._addresses), self._workload.next_key()
+
+    def queries(self, count: int) -> Iterator[tuple[int, str]]:
+        """Yield *count* query requests."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            yield self.next_query()

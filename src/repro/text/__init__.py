@@ -1,0 +1,11 @@
+"""Prefix text search over P-Grid (§6 trie extension)."""
+
+from repro.text.encoding import DEFAULT_ALPHABET, TextEncoder
+from repro.text.trie import PrefixTextIndex, TextSearchResult
+
+__all__ = [
+    "DEFAULT_ALPHABET",
+    "PrefixTextIndex",
+    "TextEncoder",
+    "TextSearchResult",
+]

@@ -1,0 +1,80 @@
+"""Order-preserving text→binary-key encoding (paper §6).
+
+The paper notes that prefix search on text "can be adapted by extending the
+{0, 1} alphabet", directly supporting trie search structures.  We take the
+equivalent reduction in the other direction: encode each character of a
+finite ordered alphabet as a fixed-width bit string (its rank).  Fixed
+width gives the two properties the P-Grid needs:
+
+* **order preservation** — ``u < v`` lexicographically iff
+  ``encode(u) < encode(v)`` (on equal-length comparisons), so the key space
+  remains a totally ordered domain;
+* **prefix preservation** — ``u`` is a prefix of ``v`` iff ``encode(u)`` is
+  a prefix of ``encode(v)``, so text prefix queries become P-Grid prefix
+  queries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidKeyError
+
+#: Default alphabet: space, a-z — enough for the word workloads, 5 bits/char.
+DEFAULT_ALPHABET = " abcdefghijklmnopqrstuvwxyz"
+
+
+class TextEncoder:
+    """Fixed-width rank encoder over a finite ordered alphabet."""
+
+    def __init__(self, alphabet: str = DEFAULT_ALPHABET) -> None:
+        if len(alphabet) < 2:
+            raise ValueError("alphabet needs at least two symbols")
+        if len(set(alphabet)) != len(alphabet):
+            raise ValueError("alphabet contains duplicate symbols")
+        self.alphabet = alphabet
+        self._rank = {char: i for i, char in enumerate(alphabet)}
+        self.bits_per_char = max(1, (len(alphabet) - 1).bit_length())
+
+    def encode(self, text: str) -> str:
+        """Binary key for *text* (``bits_per_char`` bits per character)."""
+        try:
+            return "".join(
+                format(self._rank[char], f"0{self.bits_per_char}b")
+                for char in text
+            )
+        except KeyError as exc:
+            raise InvalidKeyError(
+                f"character {exc.args[0]!r} not in alphabet"
+            ) from None
+
+    def decode(self, key: str) -> str:
+        """Inverse of :meth:`encode`; *key* length must be a multiple of
+        ``bits_per_char`` and every chunk must be a valid rank."""
+        width = self.bits_per_char
+        if len(key) % width != 0:
+            raise InvalidKeyError(key)
+        characters = []
+        for offset in range(0, len(key), width):
+            chunk = key[offset : offset + width]
+            if any(bit not in "01" for bit in chunk):
+                raise InvalidKeyError(key)
+            rank = int(chunk, 2)
+            if rank >= len(self.alphabet):
+                raise InvalidKeyError(key)
+            characters.append(self.alphabet[rank])
+        return "".join(characters)
+
+    def max_chars_for_bits(self, bits: int) -> int:
+        """How many characters fit in a *bits*-long key."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        return bits // self.bits_per_char
+
+    def encode_truncated(self, text: str, max_bits: int) -> str:
+        """Encode *text*, truncated to at most *max_bits* whole characters.
+
+        Useful when the grid's ``maxl`` is shorter than full words: the key
+        is the deepest full-character prefix that fits, and exact matching
+        happens at the leaf store.
+        """
+        keep = self.max_chars_for_bits(max_bits)
+        return self.encode(text[:keep])

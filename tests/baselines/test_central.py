@@ -1,0 +1,102 @@
+"""Tests for the central and replicated index-server baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.central import CentralIndexServer
+from repro.baselines.replicated import ReplicatedIndexServers
+from repro.core.storage import DataItem
+
+
+class TestCentralServer:
+    def test_publish_and_search(self):
+        server = CentralIndexServer()
+        assert server.publish(DataItem(key="0101"), holder=3) == 1
+        result = server.search(0, "0101")
+        assert result.found
+        assert result.messages == 1
+        assert server.holders("0101") == {3}
+
+    def test_prefix_matching(self):
+        server = CentralIndexServer()
+        server.publish(DataItem(key="010111"), holder=1)
+        assert server.search(0, "0101").found
+        assert not server.search(0, "11").found
+
+    def test_storage_grows_linearly_with_data(self):
+        server = CentralIndexServer()
+        for index in range(100):
+            server.publish(DataItem(key=format(index, "08b")), holder=index)
+        assert server.index_size == 100
+        assert server.storage_per_node() == 100
+        assert server.max_storage_any_node() == 100
+
+    def test_query_load_counted(self):
+        server = CentralIndexServer()
+        for _ in range(25):
+            server.search(0, "01")
+        assert server.stats.queries_served == 25
+
+    def test_downtime_fails_queries(self):
+        server = CentralIndexServer(p_online=0.4, rng=random.Random(0))
+        server.publish(DataItem(key="01"), holder=0)
+        outcomes = [server.search(0, "01").found for _ in range(300)]
+        assert any(outcomes) and not all(outcomes)
+        assert server.stats.failures > 0
+
+    def test_p_online_validated(self):
+        with pytest.raises(ValueError):
+            CentralIndexServer(p_online=0.0)
+
+
+class TestReplicatedServers:
+    def test_publish_writes_all_replicas(self):
+        servers = ReplicatedIndexServers(3, rng=random.Random(1))
+        assert servers.publish(DataItem(key="0110"), holder=2) == 3
+        # every replica answers the query
+        for _ in range(20):
+            assert servers.search(0, "0110").found
+
+    def test_replica_count_validated(self):
+        with pytest.raises(ValueError):
+            ReplicatedIndexServers(0)
+        with pytest.raises(ValueError):
+            ReplicatedIndexServers(2, p_online=1.5)
+
+    def test_load_spreads_over_replicas(self):
+        servers = ReplicatedIndexServers(4, rng=random.Random(2))
+        servers.publish(DataItem(key="01"), holder=0)
+        for _ in range(400):
+            servers.search(0, "01")
+        loads = servers.stats.queries_per_replica
+        assert sum(loads) == 400
+        assert min(loads) > 50  # roughly uniform
+
+    def test_failover_retries_once(self):
+        servers = ReplicatedIndexServers(
+            2, p_online=0.5, rng=random.Random(3)
+        )
+        servers.publish(DataItem(key="01"), holder=0)
+        results = [servers.search(0, "01") for _ in range(300)]
+        assert any(r.messages == 2 for r in results)  # fail-over happened
+        assert all(r.messages <= 2 for r in results)
+        hit_rate = sum(r.found for r in results) / len(results)
+        assert hit_rate > 0.6  # one retry lifts 0.5 to ~0.75
+
+    def test_storage_per_replica_full_copy(self):
+        servers = ReplicatedIndexServers(3, rng=random.Random(4))
+        for index in range(50):
+            servers.publish(DataItem(key=format(index, "07b")), holder=index)
+        assert servers.index_size_per_replica == 50
+        assert servers.storage_per_node() == 50
+        assert servers.max_storage_any_node() == 50
+
+    def test_stats_helpers(self):
+        servers = ReplicatedIndexServers(2, rng=random.Random(5))
+        servers.publish(DataItem(key="1"), holder=0)
+        servers.search(0, "1")
+        assert servers.stats.total_queries() == 1
+        assert servers.stats.max_replica_load() == 1

@@ -1,0 +1,129 @@
+"""Tests for the Gnutella-style flooding baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.flooding import GnutellaNetwork
+from repro.core.storage import DataItem
+from repro.errors import InvalidKeyError
+
+
+def network(n=50, **kwargs) -> GnutellaNetwork:
+    kwargs.setdefault("rng", random.Random(1))
+    return GnutellaNetwork(n, **kwargs)
+
+
+class TestOverlay:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GnutellaNetwork(1)
+        with pytest.raises(ValueError):
+            GnutellaNetwork(5, extra_edges_per_peer=-1)
+        with pytest.raises(ValueError):
+            GnutellaNetwork(5, p_online=0.0)
+        with pytest.raises(ValueError):
+            GnutellaNetwork(5, default_ttl=0)
+
+    def test_ring_guarantees_connectivity(self):
+        net = network(20, extra_edges_per_peer=0)
+        # every node has at least its two ring neighbours
+        for address in range(20):
+            assert len(net.neighbors(address)) >= 2
+
+    def test_edges_are_symmetric(self):
+        net = network(30)
+        for address in range(30):
+            for neighbor in net.neighbors(address):
+                assert address in net.neighbors(neighbor)
+
+    def test_average_degree_grows_with_extra_edges(self):
+        sparse = network(40, extra_edges_per_peer=0)
+        dense = network(40, extra_edges_per_peer=5)
+        assert dense.average_degree() > sparse.average_degree()
+
+
+class TestSearch:
+    def test_local_hit_with_stop_on_hit_costs_nothing(self):
+        net = network()
+        net.publish(DataItem(key="0101"), holder=7)
+        result = net.search(7, "0101", stop_on_hit=True)
+        assert result.found
+        assert result.messages == 0
+
+    def test_gnutella_keeps_flooding_after_local_hit(self):
+        net = network()
+        net.publish(DataItem(key="0101"), holder=7)
+        result = net.search(7, "0101")
+        assert result.found
+        assert result.messages > 0  # the flood still goes out
+
+    def test_finds_remote_file(self):
+        net = network(30)
+        net.publish(DataItem(key="1100"), holder=15)
+        result = net.search(0, "1100", ttl=30)
+        assert result.found
+        assert result.messages > 0
+
+    def test_prefix_relation_matching(self):
+        net = network(10)
+        net.publish(DataItem(key="010111"), holder=3)
+        assert net.search(3, "0101").found     # query is prefix of stored
+        assert net.search(3, "01011101").found  # stored is prefix of query
+        assert not net.search(3, "11", ttl=1).found or True  # may reach others
+
+    def test_miss_returns_not_found(self):
+        net = network(20)
+        result = net.search(0, "0000", ttl=20)
+        assert not result.found
+
+    def test_ttl_limits_reach(self):
+        net = network(60, extra_edges_per_peer=0)  # pure ring
+        net.publish(DataItem(key="1111"), holder=30)
+        assert not net.search(0, "1111", ttl=2).found
+        assert net.search(0, "1111", ttl=40).found
+
+    def test_message_cost_scales_with_population(self):
+        costs = {}
+        for n in (50, 200):
+            net = GnutellaNetwork(n, rng=random.Random(2), default_ttl=20)
+            result = net.search(0, "0101")  # miss: floods everyone
+            costs[n] = result.messages
+        assert costs[200] > 2.5 * costs[50]
+
+    def test_flood_visits_each_peer_once(self):
+        net = network(25)
+        result = net.search(0, "0000", ttl=50)
+        assert result.messages <= 24  # at most one delivery per other peer
+
+    def test_offline_peers_skipped(self):
+        net = GnutellaNetwork(
+            40, rng=random.Random(3), p_online=0.3, default_ttl=20
+        )
+        net.search(0, "0101")
+        assert net.stats.offline_skips > 0
+
+    def test_invalid_inputs(self):
+        net = network()
+        with pytest.raises(InvalidKeyError):
+            net.search(0, "01x")
+        with pytest.raises(ValueError):
+            net.search(0, "01", ttl=0)
+
+
+class TestStatsAndStorage:
+    def test_stats_accumulate(self):
+        net = network(20)
+        net.publish(DataItem(key="0011"), holder=5)
+        net.search(0, "0011", ttl=20)
+        net.search(0, "1100", ttl=20)
+        assert net.stats.searches == 2
+        assert net.stats.hits == 1
+        assert net.stats.messages > 0
+
+    def test_storage_is_only_neighbor_lists(self):
+        net = network(20)
+        assert net.storage_per_node() == pytest.approx(net.average_degree())
+        assert net.max_storage_any_node() >= int(net.average_degree())

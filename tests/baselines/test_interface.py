@@ -1,0 +1,37 @@
+"""Tests for the comparison-interface adapter over P-Grid."""
+
+from __future__ import annotations
+
+from repro.baselines.interface import PGridSearchSystem
+from repro.core.storage import DataItem
+from tests.conftest import build_grid
+
+
+class TestPGridSearchSystem:
+    def test_publish_then_search(self):
+        grid = build_grid(64, maxl=4, refmax=2, seed=41)
+        system = PGridSearchSystem(grid)
+        assert system.publish(DataItem(key="011010"), holder=5) == 0
+        result = system.search(0, "011010")
+        assert result.found
+        assert result.messages <= 6
+
+    def test_storage_metrics(self):
+        grid = build_grid(32, maxl=3, refmax=2, seed=42)
+        system = PGridSearchSystem(grid)
+        assert system.storage_per_node() > 0
+        assert system.max_storage_any_node() >= system.storage_per_node()
+        before = system.storage_per_node()
+        for index in range(32):
+            system.publish(DataItem(key=format(index, "05b")), holder=index)
+        assert system.storage_per_node() > before
+
+    def test_empty_grid_storage(self):
+        import random
+
+        from repro.core.config import PGridConfig
+        from repro.core.grid import PGrid
+
+        grid = PGrid(PGridConfig(), rng=random.Random(0))
+        system = PGridSearchSystem(grid)
+        assert system.storage_per_node() == 0.0

@@ -1,0 +1,109 @@
+"""Tests for data-driven splitting (``split_min_items``, §3's hint)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import PGridConfig
+from repro.core.exchange import ExchangeEngine
+from repro.core.grid import PGrid
+from repro.core.storage import DataRef
+from repro.errors import InvalidConfigError
+from repro.sim.builder import GridBuilder
+from tests.conftest import assert_routing_consistent
+
+
+def seeded_pair(threshold, entries_a=0, entries_b=0, maxl=4):
+    grid = PGrid(
+        PGridConfig(maxl=maxl, refmax=2, recmax=0, split_min_items=threshold),
+        rng=random.Random(0),
+    )
+    a, b = grid.add_peers(2)
+    for index in range(entries_a):
+        a.store.add_ref(DataRef(key=format(index, "06b"), holder=a.address))
+    for index in range(entries_b):
+        b.store.add_ref(DataRef(key=format(index, "06b"), holder=b.address))
+    return grid, ExchangeEngine(grid)
+
+
+class TestConfig:
+    def test_threshold_validated(self):
+        with pytest.raises(InvalidConfigError):
+            PGridConfig(split_min_items=0)
+
+    def test_threshold_roundtrips(self):
+        config = PGridConfig(split_min_items=5)
+        assert PGridConfig.from_dict(config.to_dict()) == config
+
+    def test_missing_key_defaults_to_none(self):
+        # snapshots written before the field existed must still load
+        data = PGridConfig().to_dict()
+        del data["split_min_items"]
+        assert PGridConfig.from_dict(data).split_min_items is None
+
+
+class TestSplitGate:
+    def test_data_rich_peers_split(self):
+        grid, engine = seeded_pair(threshold=3, entries_a=5, entries_b=5)
+        engine.meet(0, 1)
+        assert {grid.peer(0).path, grid.peer(1).path} == {"0", "1"}
+
+    def test_data_poor_peers_do_not_split(self):
+        grid, engine = seeded_pair(threshold=3, entries_a=1, entries_b=1)
+        engine.meet(0, 1)
+        assert grid.peer(0).path == ""
+        assert grid.peer(1).path == ""
+        # ...but they recognized each other as replicas of the root region.
+        assert grid.peer(0).buddies == {1}
+
+    def test_mixed_pair_blocks_case1(self):
+        grid, engine = seeded_pair(threshold=3, entries_a=5, entries_b=0)
+        engine.meet(0, 1)
+        assert grid.peer(0).path == ""
+        assert grid.peer(1).path == ""
+
+    def test_case2_gates_on_the_specializing_peer(self):
+        grid, engine = seeded_pair(threshold=3, entries_a=0, entries_b=0)
+        grid.peer(1).set_path("01")
+        # peer 0 (shorter, empty store) must not specialize...
+        engine.meet(0, 1)
+        assert grid.peer(0).path == ""
+        # ...until it holds enough data.
+        for index in range(3):
+            grid.peer(0).store.add_ref(
+                DataRef(key=format(index, "06b"), holder=0)
+            )
+        engine.meet(0, 1)
+        # case 2 extends opposite to peer 1's first bit ('0') -> '1'
+        assert grid.peer(0).path == "1"
+
+    def test_threshold_none_is_paper_behavior(self):
+        grid, engine = seeded_pair(threshold=None)
+        engine.meet(0, 1)
+        assert {grid.peer(0).path, grid.peer(1).path} == {"0", "1"}
+
+    def test_depth_stops_where_data_runs_out(self):
+        # One peer starts with 8 entries under "0..."; after enough splits
+        # the per-region count falls below the threshold and depth freezes.
+        grid = PGrid(
+            PGridConfig(maxl=10, refmax=2, recmax=2, recursion_fanout=2,
+                        split_min_items=4),
+            rng=random.Random(3),
+        )
+        grid.add_peers(64)
+        rng = random.Random(4)
+        for peer in grid.peers():
+            for _ in range(8):
+                key = "".join(rng.choice("01") for _ in range(10))
+                peer.store.add_ref(DataRef(key=key, holder=peer.address))
+        GridBuilder(grid).build(
+            threshold_fraction=1.0, max_meetings=64 * 80
+        )
+        # 64 peers x 8 items = 512 items over the key space; a threshold of
+        # 4 supports roughly 512/4 = 128 regions, i.e. depth ~7 at most —
+        # and certainly far below the maxl=10 safety bound on average.
+        assert grid.average_path_length() < 9
+        assert all(peer.depth <= 10 for peer in grid.peers())
+        assert_routing_consistent(grid)

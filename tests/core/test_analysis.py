@@ -1,0 +1,192 @@
+"""Tests for the §4 closed-form analysis and sizing planner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    central_server_costs,
+    expected_search_messages,
+    index_entries_per_peer,
+    min_peers_for_replication,
+    pgrid_costs,
+    plan_grid,
+    required_key_length,
+    search_success_probability,
+)
+from repro.errors import InvalidConfigError
+
+
+class TestEquation1:
+    def test_paper_example(self):
+        # d_global = 10^7, i_leaf = 9800 -> k = 10 (2^10 = 1024 >= 1020.4)
+        assert required_key_length(10**7, 10**4 - 200) == 10
+
+    def test_exact_power(self):
+        assert required_key_length(1024, 1) == 10
+        assert required_key_length(1025, 1) == 11
+
+    def test_small_ratio(self):
+        assert required_key_length(10, 10) == 0
+        assert required_key_length(5, 10) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_key_length(0, 1)
+        with pytest.raises(ValueError):
+            required_key_length(1, 0)
+
+    @given(st.integers(1, 10**9), st.integers(1, 10**6))
+    def test_key_length_is_sufficient(self, d_global, i_leaf):
+        k = required_key_length(d_global, i_leaf)
+        assert 2**k * i_leaf >= d_global
+        if k > 0:
+            assert 2 ** (k - 1) * i_leaf < d_global
+
+
+class TestEquation2:
+    def test_paper_example(self):
+        assert min_peers_for_replication(10**7, 10**4 - 200, 20) == 20409
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_peers_for_replication(1, 1, 0)
+        with pytest.raises(ValueError):
+            min_peers_for_replication(1, 0, 1)
+        with pytest.raises(ValueError):
+            min_peers_for_replication(0, 1, 1)
+
+    @given(st.integers(1, 10**8), st.integers(1, 10**5), st.integers(1, 50))
+    def test_constraint_satisfied_at_minimum(self, d_global, i_leaf, refmax):
+        n = min_peers_for_replication(d_global, i_leaf, refmax)
+        assert d_global / i_leaf * refmax <= n
+        assert d_global / i_leaf * refmax > n - 1
+
+
+class TestEquation3:
+    def test_paper_example_exceeds_99_percent(self):
+        assert search_success_probability(0.3, 20, 10) > 0.99
+
+    def test_single_level_single_ref(self):
+        assert search_success_probability(0.3, 1, 1) == pytest.approx(0.3)
+
+    def test_zero_length_is_certain(self):
+        assert search_success_probability(0.1, 1, 0) == 1.0
+
+    def test_offline_world(self):
+        assert search_success_probability(0.0, 5, 3) == 0.0
+
+    def test_online_world(self):
+        assert search_success_probability(1.0, 1, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            search_success_probability(1.5, 1, 1)
+        with pytest.raises(ValueError):
+            search_success_probability(0.5, 0, 1)
+        with pytest.raises(ValueError):
+            search_success_probability(0.5, 1, -1)
+
+    @given(
+        st.floats(0.01, 0.99),
+        st.integers(1, 30),
+        st.integers(0, 30),
+    )
+    def test_monotone_in_refmax(self, p, refmax, k):
+        assert search_success_probability(p, refmax + 1, k) >= (
+            search_success_probability(p, refmax, k)
+        )
+
+    @given(
+        st.floats(0.01, 0.99),
+        st.integers(1, 30),
+        st.integers(0, 30),
+    )
+    def test_antitone_in_key_length(self, p, refmax, k):
+        assert search_success_probability(p, refmax, k + 1) <= (
+            search_success_probability(p, refmax, k)
+        )
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 30), st.integers(0, 30))
+    def test_is_probability(self, p, refmax, k):
+        value = search_success_probability(p, refmax, k)
+        assert 0.0 <= value <= 1.0
+
+
+class TestHelpers:
+    def test_index_entries_per_peer(self):
+        assert index_entries_per_peer(9800, 10, 20) == 10_000
+
+    def test_index_entries_validation(self):
+        with pytest.raises(ValueError):
+            index_entries_per_peer(-1, 1, 1)
+
+    def test_expected_search_messages(self):
+        assert expected_search_messages(10) == 10.0
+        with pytest.raises(ValueError):
+            expected_search_messages(-1)
+
+
+class TestPlanner:
+    def test_paper_worked_example(self):
+        plan = plan_grid(
+            10**7,
+            reference_bytes=10,
+            storage_bytes_per_peer=10**5,
+            p_online=0.3,
+            refmax=20,
+            i_leaf=10**4 - 200,
+        )
+        assert plan.key_length == 10
+        assert plan.min_peers == 20409
+        assert plan.success_probability > 0.99
+        assert plan.storage_used == 10**5
+        assert plan.meets(0.99)
+        assert not plan.meets(0.9999)
+
+    def test_auto_i_leaf_fixed_point(self):
+        plan = plan_grid(10**7, refmax=20)
+        # auto-chosen i_leaf must saturate the budget exactly:
+        assert plan.i_leaf + plan.key_length * plan.refmax == plan.i_peer
+        assert plan.key_length == required_key_length(10**7, plan.i_leaf)
+
+    def test_budget_too_small(self):
+        with pytest.raises(InvalidConfigError):
+            plan_grid(10**9, storage_bytes_per_peer=100, refmax=20)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigError):
+            plan_grid(10, reference_bytes=0)
+        with pytest.raises(InvalidConfigError):
+            plan_grid(10, reference_bytes=10, storage_bytes_per_peer=5)
+
+    @given(st.integers(100, 10**7))
+    def test_plan_always_feasible_within_budget(self, d_global):
+        plan = plan_grid(d_global, refmax=5)
+        assert plan.storage_used <= plan.storage_bytes_per_peer
+        assert plan.i_leaf >= 1
+
+
+class TestSection6Costs:
+    def test_central_server_costs(self):
+        costs = central_server_costs(10**6, 5000)
+        assert costs["server_storage"] == 10**6
+        assert costs["server_query_load"] == 5000
+        assert costs["client_query_messages"] == 1
+
+    def test_central_validation(self):
+        with pytest.raises(ValueError):
+            central_server_costs(-1, 0)
+
+    def test_pgrid_costs_logarithmic(self):
+        costs = pgrid_costs(10**6, 10**4)
+        assert costs["peer_storage"] == math.ceil(math.log2(10**6))
+        assert costs["query_messages"] == math.ceil(math.log2(10**4))
+
+    def test_pgrid_validation(self):
+        with pytest.raises(ValueError):
+            pgrid_costs(0, 1)

@@ -1,0 +1,198 @@
+"""Tests for the PGrid network container."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.config import PGridConfig
+from repro.core.grid import AlwaysOnline, PGrid
+from repro.core.storage import DataItem
+from repro.errors import DuplicatePeerError, UnknownPeerError
+from tests.conftest import build_grid
+
+
+def empty_grid(**config_kwargs) -> PGrid:
+    return PGrid(PGridConfig(**config_kwargs), rng=random.Random(0))
+
+
+class TestMembership:
+    def test_add_peer_auto_addresses(self):
+        grid = empty_grid()
+        peers = grid.add_peers(3)
+        assert [peer.address for peer in peers] == [0, 1, 2]
+        assert len(grid) == 3
+
+    def test_add_peer_explicit_address(self):
+        grid = empty_grid()
+        grid.add_peer(10)
+        follow_up = grid.add_peer()
+        assert follow_up.address == 11
+
+    def test_duplicate_address_rejected(self):
+        grid = empty_grid()
+        grid.add_peer(1)
+        with pytest.raises(DuplicatePeerError):
+            grid.add_peer(1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            empty_grid().add_peers(-1)
+
+    def test_peer_resolution(self):
+        grid = empty_grid()
+        peer = grid.add_peer()
+        assert grid.peer(peer.address) is peer
+        assert grid.has_peer(peer.address)
+        assert peer.address in grid
+
+    def test_unknown_peer(self):
+        grid = empty_grid()
+        with pytest.raises(UnknownPeerError):
+            grid.peer(99)
+        assert not grid.has_peer(99)
+
+    def test_peers_iterate_in_address_order(self):
+        grid = empty_grid()
+        for address in (5, 1, 3):
+            grid.add_peer(address)
+        assert [peer.address for peer in grid.peers()] == [1, 3, 5]
+        assert grid.addresses() == [1, 3, 5]
+
+    def test_refmax_flows_from_config(self):
+        grid = empty_grid(refmax=7)
+        assert grid.add_peer().routing.refmax == 7
+
+
+class TestAvailability:
+    def test_default_oracle_always_online(self):
+        grid = empty_grid()
+        peer = grid.add_peer()
+        assert grid.is_online(peer.address)
+
+    def test_custom_oracle(self):
+        class Nobody:
+            def is_online(self, address):  # noqa: ARG002
+                return False
+
+        grid = PGrid(PGridConfig(), online_oracle=Nobody())
+        peer = grid.add_peer()
+        assert not grid.is_online(peer.address)
+
+    def test_always_online_helper(self):
+        assert AlwaysOnline().is_online(123)
+
+
+class TestStatistics:
+    def test_average_path_length_empty(self):
+        assert empty_grid().average_path_length() == 0.0
+
+    def test_average_path_length(self):
+        grid = empty_grid()
+        for path in ("", "0", "01", "011"):
+            grid.add_peer().set_path(path)
+        assert grid.average_path_length() == 1.5
+
+    def test_path_length_histogram(self):
+        grid = empty_grid()
+        for path in ("0", "1", "01"):
+            grid.add_peer().set_path(path)
+        assert grid.path_length_histogram() == Counter({1: 2, 2: 1})
+
+    def test_replica_groups(self):
+        grid = empty_grid()
+        for address, path in enumerate(("00", "00", "01")):
+            grid.add_peer(address).set_path(path)
+        groups = grid.replica_groups()
+        assert groups == {"00": [0, 1], "01": [2]}
+
+    def test_replication_histogram_counts_peers(self):
+        grid = empty_grid()
+        for path in ("00", "00", "00", "01"):
+            grid.add_peer().set_path(path)
+        # three peers have factor 3, one peer has factor 1
+        assert grid.replication_histogram() == Counter({3: 3, 1: 1})
+        assert grid.average_replication() == pytest.approx((3 * 3 + 1) / 4)
+
+    def test_average_replication_empty(self):
+        assert empty_grid().average_replication() == 0.0
+
+    def test_replicas_for_key_prefix_semantics(self):
+        grid = empty_grid()
+        for address, path in enumerate(("00", "01", "0", "10")):
+            grid.add_peer(address).set_path(path)
+        assert grid.replicas_for_key("00") == [0, 2]
+        assert grid.replicas_for_key("0") == [0, 1, 2]
+        assert grid.replicas_for_key("11") == []
+
+    def test_total_routing_refs(self):
+        grid = empty_grid(refmax=2)
+        a = grid.add_peer()
+        a.set_path("0")
+        b = grid.add_peer()
+        b.set_path("1")
+        a.routing.set_refs(1, [b.address])
+        b.routing.set_refs(1, [a.address])
+        assert grid.total_routing_refs() == 2
+
+    def test_max_index_footprint_empty(self):
+        assert empty_grid().max_index_footprint() == 0
+
+
+class TestSeedIndex:
+    def test_seed_installs_at_all_replicas(self):
+        grid = empty_grid()
+        for address, path in enumerate(("00", "00", "01")):
+            grid.add_peer(address).set_path(path)
+        installed = grid.seed_index([(DataItem(key="001", value="f"), 2)])
+        assert installed == 2  # both "00" replicas
+        assert grid.peer(0).store.version_of("001", 2) == 0
+        assert grid.peer(1).store.version_of("001", 2) == 0
+        assert grid.peer(2).store.version_of("001", 2) is None
+        assert grid.peer(2).store.get_item("001").value == "f"
+
+
+class TestAudit:
+    def test_clean_grid_audits_clean(self, fig1_grid):
+        assert fig1_grid.audit_routing() == []
+
+    def test_constructed_grid_audits_clean(self):
+        grid = build_grid(48, maxl=4, refmax=2, seed=3)
+        assert grid.audit_routing() == []
+
+    def test_detects_wrong_side_reference(self):
+        grid = empty_grid()
+        a = grid.add_peer()
+        a.set_path("00")
+        b = grid.add_peer()
+        b.set_path("01")
+        # level-1 ref must point to a peer whose first bit is 1; b's is 0.
+        a.routing.set_refs(1, [b.address])
+        violations = grid.audit_routing()
+        assert len(violations) == 1
+        assert "level 1" in violations[0]
+
+    def test_detects_dangling_reference(self):
+        grid = empty_grid()
+        a = grid.add_peer()
+        a.set_path("0")
+        a.routing.set_refs(1, [42])
+        violations = grid.audit_routing()
+        assert any("dangling" in v for v in violations)
+
+    def test_detects_refs_beyond_depth(self):
+        grid = empty_grid()
+        a = grid.add_peer()
+        a.set_path("0")
+        b = grid.add_peer()
+        b.set_path("1")
+        a.routing.set_refs(2, [b.address])
+        violations = grid.audit_routing()
+        assert any("beyond" in v for v in violations)
+
+    def test_repr(self):
+        grid = empty_grid()
+        grid.add_peers(2)
+        assert "N=2" in repr(grid)

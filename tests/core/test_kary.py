@@ -1,0 +1,339 @@
+"""Tests for the k-ary P-Grid (§6 extended-alphabet extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import InvalidKeyError, UnknownPeerError
+from repro.kary import (
+    KaryExchangeEngine,
+    KaryGrid,
+    KaryItem,
+    KaryRoutingTable,
+    KarySearchEngine,
+    KeySpace,
+    build_kary_grid,
+)
+
+
+class TestKeySpace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeySpace("a")
+        with pytest.raises(ValueError):
+            KeySpace("aab")
+
+    def test_arity(self):
+        assert KeySpace("abc").arity == 3
+        assert KeySpace().arity == 27
+
+    def test_is_valid_and_validate(self):
+        space = KeySpace("abc")
+        assert space.is_valid("abcba")
+        assert space.is_valid("")
+        assert not space.is_valid("abd")
+        with pytest.raises(InvalidKeyError):
+            space.validate("xyz")
+
+    def test_siblings(self):
+        assert list(KeySpace("abc").siblings("b")) == ["a", "c"]
+        with pytest.raises(InvalidKeyError):
+            list(KeySpace("abc").siblings("z"))
+
+    def test_random_symbol_excluding(self):
+        space = KeySpace("ab")
+        rng = random.Random(1)
+        for _ in range(20):
+            assert space.random_symbol(rng, excluding="a") == "b"
+
+    def test_random_key(self):
+        space = KeySpace("abc")
+        key = space.random_key(5, random.Random(2))
+        assert len(key) == 5
+        assert space.is_valid(key)
+        with pytest.raises(ValueError):
+            space.random_key(-1, random.Random(0))
+
+    def test_common_prefix_and_relation(self):
+        assert KeySpace.common_prefix("abcx", "abcy") == "abc"
+        assert KeySpace.in_prefix_relation("ab", "abc")
+        assert not KeySpace.in_prefix_relation("ab", "ba")
+
+
+class TestKaryRoutingTable:
+    def test_capacity(self):
+        table = KaryRoutingTable(2)
+        assert table.add_ref(1, "a", 10)
+        assert table.add_ref(1, "a", 11)
+        assert not table.add_ref(1, "a", 12)
+        assert not table.add_ref(1, "a", 10)  # duplicate
+        assert table.refs(1, "a") == [10, 11]
+        assert table.refs(1, "b") == []
+
+    def test_levels_one_based(self):
+        table = KaryRoutingTable(1)
+        with pytest.raises(IndexError):
+            table.refs(0, "a")
+        with pytest.raises(IndexError):
+            table.add_ref(0, "a", 1)
+
+    def test_merge_caps_at_refmax(self):
+        table = KaryRoutingTable(2)
+        table.merge_refs(1, "a", [1, 2, 3, 4], random.Random(0))
+        refs = table.refs(1, "a")
+        assert len(refs) == 2
+        assert set(refs) <= {1, 2, 3, 4}
+
+    def test_remove_and_totals(self):
+        table = KaryRoutingTable(2)
+        table.add_ref(1, "a", 1)
+        table.add_ref(2, "b", 2)
+        assert table.total_refs() == 2
+        assert table.remove_ref(1, "a", 1)
+        assert not table.remove_ref(1, "a", 1)
+        assert table.total_refs() == 1
+
+    def test_iter_all_sorted(self):
+        table = KaryRoutingTable(2)
+        table.add_ref(2, "b", 5)
+        table.add_ref(1, "c", 6)
+        assert [(lvl, sym) for lvl, sym, _ in table.iter_all()] == [
+            (1, "c"),
+            (2, "b"),
+        ]
+
+    def test_refmax_validated(self):
+        with pytest.raises(ValueError):
+            KaryRoutingTable(0)
+
+
+class TestKaryGrid:
+    def test_parameter_validation(self):
+        space = KeySpace("abc")
+        for kwargs in (
+            {"maxl": 0},
+            {"refmax": 0},
+            {"recmax": -1},
+            {"recursion_fanout": 0},
+        ):
+            with pytest.raises(ValueError):
+                KaryGrid(space, **kwargs)
+
+    def test_membership(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(3)
+        assert len(grid) == 3
+        assert grid.addresses() == [0, 1, 2]
+        assert grid.has_peer(0)
+        with pytest.raises(UnknownPeerError):
+            grid.peer(9)
+        with pytest.raises(ValueError):
+            grid.add_peers(-1)
+
+    def test_replicas_for_key(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(3)
+        grid.peer(0).set_path("ab")
+        grid.peer(1).set_path("a")
+        grid.peer(2).set_path("b")
+        assert grid.replicas_for_key("ab") == [0, 1]
+        assert grid.replicas_for_key("abc") == [0, 1]
+        assert grid.replicas_for_key("c") == []
+
+    def test_seed_index(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(2)
+        grid.peer(0).set_path("a")
+        grid.peer(1).set_path("b")
+        installed = grid.seed_index([(KaryItem(key="ab", value="w"), 1)])
+        assert installed == 1
+        assert grid.peer(0).store.version_of("ab", 1) == 0
+        assert grid.peer(1).store.get_item("ab").value == "w"
+
+    def test_audit_detects_wrong_symbol(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(2)
+        grid.peer(0).set_path("a")
+        grid.peer(1).set_path("b")
+        # refs under own symbol are invalid
+        grid.peer(0).routing.add_ref(1, "a", 1)
+        assert any("own symbol" in v for v in grid.audit_routing())
+
+    def test_audit_detects_wrong_target(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(2)
+        grid.peer(0).set_path("a")
+        grid.peer(1).set_path("c")
+        grid.peer(0).routing.add_ref(1, "b", 1)  # peer 1's path is "c"
+        assert any("expected prefix" in v for v in grid.audit_routing())
+
+
+class TestConstructionAndSearch:
+    @pytest.mark.parametrize("alphabet", ["01", "abc", "abcde"])
+    def test_construction_converges_and_audits_clean(self, alphabet):
+        grid = KaryGrid(
+            KeySpace(alphabet), maxl=3, refmax=2, recmax=1,
+            rng=random.Random(11),
+        )
+        grid.add_peers(60 * len(alphabet))
+        report = build_kary_grid(grid)
+        assert report.converged
+        assert grid.audit_routing() == []
+        assert all(p.depth <= 3 for p in grid.peers())
+
+    def test_binary_alphabet_searches_like_core(self):
+        grid = KaryGrid(
+            KeySpace("01"), maxl=4, refmax=2, recmax=1, rng=random.Random(12)
+        )
+        grid.add_peers(128)
+        build_kary_grid(grid)
+        engine = KarySearchEngine(grid)
+        rng = random.Random(13)
+        hits = 0
+        for _ in range(100):
+            key = grid.space.random_key(4, rng)
+            result = engine.query_from(rng.choice(grid.addresses()), key)
+            hits += int(result.found)
+            if result.found:
+                assert grid.peer(result.responder).responsible_for(key)
+                assert result.messages <= len(key)
+        assert hits >= 98
+
+    def test_wider_alphabet_resolves_in_fewer_hops(self):
+        # depth-2 9-ary trie covers the same key space as a deeper binary
+        # trie; lookups need at most 2 forwards.
+        grid = KaryGrid(
+            KeySpace("abcdefghi"), maxl=2, refmax=3, recmax=1,
+            rng=random.Random(14),
+        )
+        grid.add_peers(700)
+        build_kary_grid(grid, threshold_fraction=0.9)
+        engine = KaryExchangeEngine(grid)
+        addresses = grid.addresses()
+        for _ in range(5 * len(grid)):  # populate sibling sets
+            a, b = grid.rng.sample(addresses, 2)
+            engine.meet(a, b)
+        search = KarySearchEngine(grid)
+        rng = random.Random(15)
+        messages = []
+        for _ in range(100):
+            result = search.query_from(
+                rng.choice(addresses), grid.space.random_key(2, rng)
+            )
+            if result.found:
+                messages.append(result.messages)
+        assert messages
+        assert max(messages) <= 2
+
+    def test_meet_rejects_self(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(2)
+        with pytest.raises(ValueError):
+            KaryExchangeEngine(grid).meet(0, 0)
+
+    def test_search_validates_key(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(2)
+        with pytest.raises(InvalidKeyError):
+            KarySearchEngine(grid).query_from(0, "xyz")
+
+    def test_build_validation(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peer()
+        with pytest.raises(ValueError):
+            build_kary_grid(grid)
+        grid.add_peer()
+        with pytest.raises(ValueError):
+            build_kary_grid(grid, threshold_fraction=0.0)
+
+    def test_case4_mutual_insertion(self):
+        grid = KaryGrid(KeySpace("abc"), maxl=2, refmax=2, recmax=0,
+                        rng=random.Random(16))
+        grid.add_peers(2)
+        grid.peer(0).set_path("ab")
+        grid.peer(1).set_path("ba")
+        KaryExchangeEngine(grid).meet(0, 1)
+        assert 1 in grid.peer(0).routing.refs(1, "b")
+        assert 0 in grid.peer(1).routing.refs(1, "a")
+
+    def test_index_handover_on_specialization(self):
+        grid = KaryGrid(KeySpace("abc"), maxl=2, refmax=2, recmax=0,
+                        rng=random.Random(17))
+        grid.add_peers(2)
+        from repro.kary import KaryRef
+
+        grid.peer(0).store.add_ref(KaryRef(key="aa", holder=5))
+        grid.peer(0).store.add_ref(KaryRef(key="cc", holder=6))
+        grid.peer(1).set_path("c")
+        KaryExchangeEngine(grid).meet(0, 1)
+        # peer 0 specialized away from "c" (some symbol != 'c'); the "cc"
+        # entry moved to peer 1 which covers it.
+        assert grid.peer(0).path and grid.peer(0).path != "c"
+        assert grid.peer(1).store.version_of("cc", 6) == 0
+
+
+class TestPrefixEnumeration:
+    def test_enumerates_subtree_responders(self):
+        grid = KaryGrid(
+            KeySpace("abcd"), maxl=3, refmax=3, recmax=1,
+            rng=random.Random(21),
+        )
+        grid.add_peers(400)
+        build_kary_grid(grid)
+        engine = KaryExchangeEngine(grid)
+        addresses = grid.addresses()
+        for _ in range(4 * len(grid)):  # populate sibling sets
+            a, b = grid.rng.sample(addresses, 2)
+            engine.meet(a, b)
+        search = KarySearchEngine(grid)
+        responders, messages = search.enumerate_prefix(0, "a", fanout=3)
+        assert responders
+        assert messages >= len(responders) - 1
+        for address in responders:
+            assert grid.peer(address).responsible_for("a")
+        # the fan-out should reach several distinct sub-branches of "a"
+        second_symbols = {
+            grid.peer(address).path[1]
+            for address in responders
+            if grid.peer(address).depth >= 2
+        }
+        assert len(second_symbols) >= 2
+
+    def test_enumeration_finds_indexed_words(self):
+        grid = KaryGrid(
+            KeySpace(), maxl=2, refmax=3, recmax=1, rng=random.Random(22)
+        )
+        grid.add_peers(1500)
+        build_kary_grid(grid, threshold_fraction=0.9)
+        engine = KaryExchangeEngine(grid)
+        addresses = grid.addresses()
+        for _ in range(8 * len(grid)):
+            a, b = grid.rng.sample(addresses, 2)
+            engine.meet(a, b)
+        words = ["banana", "band", "bark", "cat"]
+        grid.seed_index(
+            [(KaryItem(key=w[:2], value=w), i) for i, w in enumerate(words)]
+        )
+        search = KarySearchEngine(grid)
+        responders, _messages = search.enumerate_prefix(5, "b", fanout=4)
+        found = {
+            item
+            for address in responders
+            for ref in grid.peer(address).store.lookup("b")
+            for item in [grid.peer(ref.holder).store.get_item(ref.key).value]
+        }
+        assert {"banana", "band", "bark"} & found
+        assert "cat" not in found
+
+    def test_enumeration_validates(self):
+        grid = KaryGrid(KeySpace("abc"), rng=random.Random(0))
+        grid.add_peers(2)
+        search = KarySearchEngine(grid)
+        with pytest.raises(ValueError):
+            search.enumerate_prefix(0, "a", fanout=0)
+        from repro.errors import InvalidKeyError
+
+        with pytest.raises(InvalidKeyError):
+            search.enumerate_prefix(0, "zz")

@@ -1,0 +1,210 @@
+"""Tests for dynamic membership: join, leave, fail, repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.membership import MembershipEngine
+from repro.core.search import SearchEngine
+from repro.core.storage import DataRef
+from repro.errors import UnknownPeerError
+from repro.sim.churn import FixedOnlineSet
+from tests.conftest import assert_routing_consistent, build_grid
+
+
+@pytest.fixture
+def grid():
+    return build_grid(128, maxl=5, refmax=3, seed=71)
+
+
+class TestJoin:
+    def test_newcomer_acquires_a_path(self, grid):
+        membership = MembershipEngine(grid)
+        before = len(grid)
+        report = membership.join(bootstrap=0)
+        assert len(grid) == before + 1
+        assert grid.has_peer(report.address)
+        assert report.final_depth >= 1
+        assert report.exchanges >= 1
+
+    def test_newcomer_usually_reaches_full_depth(self, grid):
+        membership = MembershipEngine(grid)
+        depths = [membership.join(bootstrap=i).final_depth for i in range(10)]
+        assert max(depths) == grid.config.maxl
+        assert sum(depths) / len(depths) >= grid.config.maxl - 1
+
+    def test_join_preserves_routing_invariant(self, grid):
+        membership = MembershipEngine(grid)
+        for i in range(10):
+            membership.join(bootstrap=i * 7 % 128)
+        assert_routing_consistent(grid)
+
+    def test_newcomer_is_searchable_and_can_search(self, grid):
+        membership = MembershipEngine(grid)
+        report = membership.join(bootstrap=3)
+        engine = SearchEngine(grid)
+        # the newcomer can resolve queries...
+        assert engine.query_from(report.address, "10101").found
+        # ...and other peers can reach the newcomer's region
+        newcomer = grid.peer(report.address)
+        if newcomer.path:
+            result = engine.query_from(0, newcomer.path)
+            assert result.found
+
+    def test_join_respects_meeting_budget(self, grid):
+        membership = MembershipEngine(grid)
+        report = membership.join(bootstrap=0, max_meetings=1)
+        assert report.meetings <= 1
+
+    def test_join_validation(self, grid):
+        membership = MembershipEngine(grid)
+        with pytest.raises(ValueError):
+            membership.join(bootstrap=0, max_meetings=0)
+        with pytest.raises(ValueError):
+            membership.join(bootstrap=0, target_depth=-1)
+        with pytest.raises(UnknownPeerError):
+            membership.join(bootstrap=9999)
+
+    def test_join_target_depth(self, grid):
+        membership = MembershipEngine(grid)
+        report = membership.join(bootstrap=0, target_depth=2)
+        assert report.final_depth >= 2 or report.meetings == 64
+
+
+class TestLeave:
+    def test_leave_removes_peer(self, grid):
+        membership = MembershipEngine(grid)
+        membership.leave(5)
+        assert not grid.has_peer(5)
+
+    def test_graceful_leave_hands_over_index(self, grid):
+        membership = MembershipEngine(grid)
+        peer = grid.peer(10)
+        key = peer.path + "0" * (5 - peer.depth) if peer.depth < 5 else peer.path
+        ref = DataRef(key=key, holder=99, version=2)
+        peer.store.add_ref(ref)
+        report = membership.leave(10)
+        if report.handover_target is not None:
+            target = grid.peer(report.handover_target)
+            assert target.store.version_of(key, 99) == 2
+            assert report.entries_handed_over >= 1
+
+    def test_leave_prefers_buddies(self, grid):
+        membership = MembershipEngine(grid)
+        peer = grid.peer(20)
+        # fabricate a buddy relationship
+        twin = next(
+            p for p in grid.peers()
+            if p.path == peer.path and p.address != peer.address
+        ) if any(
+            p.path == peer.path and p.address != peer.address
+            for p in grid.peers()
+        ) else None
+        if twin is None:
+            pytest.skip("no exact replica in this seed")
+        peer.add_buddy(twin.address)
+        peer.store.add_ref(DataRef(key=peer.path, holder=1, version=1))
+        report = membership.leave(20)
+        assert report.handover_target == twin.address
+
+    def test_fail_drops_state(self, grid):
+        membership = MembershipEngine(grid)
+        peer = membership.fail(7)
+        assert peer.address == 7
+        assert not grid.has_peer(7)
+        with pytest.raises(UnknownPeerError):
+            grid.peer(7)
+
+    def test_search_survives_failures(self, grid):
+        membership = MembershipEngine(grid)
+        for victim in (3, 30, 60, 90):
+            membership.fail(victim)
+        engine = SearchEngine(grid)
+        hits = sum(
+            engine.query_from(start, "01010").found
+            for start in grid.addresses()[:40]
+        )
+        assert hits >= 30  # refmax=3 absorbs a few failures
+
+
+class TestRepair:
+    def test_repair_drops_dangling_refs(self, grid):
+        membership = MembershipEngine(grid)
+        victim = 40
+        holders = [
+            peer.address
+            for peer in grid.peers()
+            if any(
+                victim in refs for _lvl, refs in peer.routing.iter_levels()
+            )
+        ]
+        membership.fail(victim)
+        assert holders, "victim was referenced by someone"
+        report = membership.repair(holders[0])
+        assert report.dead_refs_dropped >= 1
+        for _lvl, refs in grid.peer(holders[0]).routing.iter_levels():
+            assert victim not in refs
+
+    def test_repair_refills_via_search(self, grid):
+        membership = MembershipEngine(grid)
+        peer = grid.peer(50)
+        # artificially deplete level 1 (keep other levels as delegates)
+        for ref in peer.routing.refs(1):
+            peer.routing.remove_ref(1, ref)
+        report = membership.repair(50)
+        assert report.refs_added >= 1
+        refs = peer.routing.refs(1)
+        assert refs
+        expected_prefix = ("1" if peer.path[0] == "0" else "0")
+        for ref in refs:
+            assert grid.peer(ref).path.startswith(expected_prefix)
+
+    def test_repair_preserves_invariant(self, grid):
+        membership = MembershipEngine(grid)
+        for victim in (8, 16, 24, 32):
+            membership.fail(victim)
+        membership.repair_all()
+        assert_routing_consistent(grid)
+
+    def test_repair_without_refill(self, grid):
+        membership = MembershipEngine(grid)
+        membership.fail(60)
+        reports = membership.repair_all(refill=False)
+        assert all(report.refs_added == 0 for report in reports)
+
+    def test_repair_counts_messages(self, grid):
+        membership = MembershipEngine(grid)
+        peer = grid.peer(70)
+        for ref in peer.routing.refs(1):
+            peer.routing.remove_ref(1, ref)
+        report = membership.repair(70)
+        assert report.messages >= 1
+
+    def test_repair_respects_churn(self, grid):
+        membership = MembershipEngine(grid)
+        peer = grid.peer(80)
+        for level in range(1, peer.depth + 1):
+            for ref in peer.routing.refs(level):
+                peer.routing.remove_ref(level, ref)
+        grid.online_oracle = FixedOnlineSet({80})  # everyone else offline
+        report = membership.repair(80)
+        assert report.refs_added == 0
+        assert report.levels_left_empty
+
+
+class TestChurnCycle:
+    def test_replace_and_repair_recovers_search(self, grid):
+        membership = MembershipEngine(grid)
+        rng_victims = [2, 12, 22, 32, 42, 52, 62, 72, 82, 92]
+        for victim in rng_victims:
+            membership.fail(victim)
+        for bootstrap in (0, 1, 3, 4, 5, 6, 7, 8, 9, 10):
+            membership.join(bootstrap)
+        membership.repair_all()
+        engine = SearchEngine(grid)
+        hits = sum(
+            engine.query_from(start, "11011").found
+            for start in grid.addresses()[:50]
+        )
+        assert hits >= 48
+        assert len(grid) == 128

@@ -1,0 +1,113 @@
+"""Tests for peer state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.peer import Peer
+from repro.core.storage import DataRef
+from repro.errors import InvalidKeyError
+
+
+def make_peer(address: int = 0, refmax: int = 2) -> Peer:
+    return Peer(address, refmax)
+
+
+class TestPath:
+    def test_starts_at_root(self):
+        peer = make_peer()
+        assert peer.path == ""
+        assert peer.depth == 0
+
+    def test_extend_path(self):
+        peer = make_peer()
+        peer.extend_path("0")
+        peer.extend_path("1")
+        assert peer.path == "01"
+        assert peer.depth == 2
+
+    def test_extend_rejects_non_bit(self):
+        peer = make_peer()
+        with pytest.raises(InvalidKeyError):
+            peer.extend_path("2")
+        with pytest.raises(InvalidKeyError):
+            peer.extend_path("01")  # one bit at a time
+
+    def test_set_path_validates(self):
+        peer = make_peer()
+        peer.set_path("0101")
+        assert peer.path == "0101"
+        with pytest.raises(InvalidKeyError):
+            peer.set_path("01a")
+
+    def test_prefix_accessor(self):
+        peer = make_peer()
+        peer.set_path("0110")
+        assert peer.prefix(0) == ""
+        assert peer.prefix(2) == "01"
+        assert peer.prefix(4) == "0110"
+
+    def test_prefix_out_of_range(self):
+        peer = make_peer()
+        peer.set_path("01")
+        with pytest.raises(IndexError):
+            peer.prefix(3)
+        with pytest.raises(IndexError):
+            peer.prefix(-1)
+
+
+class TestResponsibility:
+    def test_root_peer_responsible_for_everything(self):
+        peer = make_peer()
+        assert peer.responsible_for("")
+        assert peer.responsible_for("0101")
+
+    def test_prefix_relation_semantics(self):
+        peer = make_peer()
+        peer.set_path("01")
+        assert peer.responsible_for("01")      # equal
+        assert peer.responsible_for("0110")    # peer path is prefix of query
+        assert peer.responsible_for("0")       # query is prefix of peer path
+        assert not peer.responsible_for("10")  # diverges
+
+
+class TestBuddies:
+    def test_add_buddy_excludes_self(self):
+        peer = make_peer(address=3)
+        peer.add_buddy(3)
+        assert peer.buddies == set()
+        peer.add_buddy(4)
+        assert peer.buddies == {4}
+
+    def test_merge_buddies(self):
+        peer = make_peer(address=1)
+        peer.merge_buddies([2, 3, 1, 3])
+        assert peer.buddies == {2, 3}
+
+    def test_specialization_clears_buddies(self):
+        peer = make_peer()
+        peer.add_buddy(9)
+        peer.extend_path("0")
+        assert peer.buddies == set()
+
+    def test_set_path_clears_buddies(self):
+        peer = make_peer()
+        peer.add_buddy(9)
+        peer.set_path("11")
+        assert peer.buddies == set()
+
+
+class TestFootprint:
+    def test_index_footprint_counts_routing_and_leaf_refs(self):
+        peer = make_peer()
+        peer.set_path("01")
+        peer.routing.set_refs(1, [5])
+        peer.routing.set_refs(2, [6, 7])
+        peer.store.add_ref(DataRef(key="011", holder=9))
+        assert peer.index_footprint() == 4
+
+    def test_repr(self):
+        peer = make_peer(address=12)
+        peer.set_path("10")
+        assert "addr=12" in repr(peer)
+        assert "'10'" in repr(peer)

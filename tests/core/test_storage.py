@@ -1,0 +1,171 @@
+"""Tests for data items, index entries and the per-peer data store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.storage import DataItem, DataRef, DataStore
+from repro.errors import InvalidKeyError
+
+keys_st = st.text(alphabet="01", min_size=1, max_size=12)
+
+
+class TestDataItem:
+    def test_valid(self):
+        item = DataItem(key="0101", value={"name": "song.mp3"})
+        assert item.key == "0101"
+
+    def test_invalid_key(self):
+        with pytest.raises(InvalidKeyError):
+            DataItem(key="01x1")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DataItem(key="01").key = "10"  # type: ignore[misc]
+
+
+class TestDataRef:
+    def test_valid(self):
+        ref = DataRef(key="0101", holder=3, version=2)
+        assert (ref.key, ref.holder, ref.version) == ("0101", 3, 2)
+
+    def test_default_version_zero(self):
+        assert DataRef(key="1", holder=0).version == 0
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError):
+            DataRef(key="1", holder=0, version=-1)
+
+    def test_invalid_key(self):
+        with pytest.raises(InvalidKeyError):
+            DataRef(key="ab", holder=0)
+
+
+class TestItemStorage:
+    def test_store_and_get(self):
+        store = DataStore()
+        store.store_item(DataItem(key="010", value="x"))
+        assert store.get_item("010").value == "x"
+        assert store.get_item("011") is None
+        assert store.item_count == 1
+
+    def test_same_key_overwrites(self):
+        store = DataStore()
+        store.store_item(DataItem(key="010", value="old"))
+        store.store_item(DataItem(key="010", value="new"))
+        assert store.get_item("010").value == "new"
+        assert store.item_count == 1
+
+    def test_iter_items(self):
+        store = DataStore()
+        for key in ("0", "1", "01"):
+            store.store_item(DataItem(key=key))
+        assert {item.key for item in store.iter_items()} == {"0", "1", "01"}
+
+
+class TestIndex:
+    def test_add_and_lookup_exact(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="0101", holder=7))
+        refs = store.refs_for_key("0101")
+        assert [ref.holder for ref in refs] == [7]
+
+    def test_multiple_holders_sorted(self):
+        store = DataStore()
+        for holder in (9, 3, 5):
+            store.add_ref(DataRef(key="01", holder=holder))
+        assert [ref.holder for ref in store.refs_for_key("01")] == [3, 5, 9]
+
+    def test_version_upgrade(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1, version=0))
+        store.add_ref(DataRef(key="01", holder=1, version=2))
+        assert store.version_of("01", 1) == 2
+
+    def test_stale_version_ignored(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1, version=5))
+        store.add_ref(DataRef(key="01", holder=1, version=3))
+        assert store.version_of("01", 1) == 5
+
+    def test_equal_version_idempotent(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1, version=1))
+        store.add_ref(DataRef(key="01", holder=1, version=1))
+        assert store.ref_count == 1
+
+    def test_version_of_absent(self):
+        store = DataStore()
+        assert store.version_of("01", 1) is None
+        store.add_ref(DataRef(key="01", holder=2))
+        assert store.version_of("01", 1) is None
+
+    def test_remove_ref(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1))
+        assert store.remove_ref("01", 1)
+        assert not store.remove_ref("01", 1)
+        assert store.ref_count == 0
+        assert store.indexed_keys() == []
+
+    def test_lookup_prefix_relation_both_directions(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="0101", holder=1))
+        store.add_ref(DataRef(key="0110", holder=2))
+        store.add_ref(DataRef(key="1000", holder=3))
+        # short query returns entries below it
+        assert {ref.holder for ref in store.lookup("01")} == {1, 2}
+        # long query returns entries that are prefixes of it
+        assert {ref.holder for ref in store.lookup("010111")} == {1}
+        # unrelated query returns nothing
+        assert store.lookup("00") == []
+
+    def test_lookup_sorted_deterministic(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=5))
+        store.add_ref(DataRef(key="01", holder=2))
+        store.add_ref(DataRef(key="00", holder=9))
+        result = store.lookup("0")
+        assert [(ref.key, ref.holder) for ref in result] == [
+            ("00", 9),
+            ("01", 2),
+            ("01", 5),
+        ]
+
+    def test_indexed_keys_sorted(self):
+        store = DataStore()
+        for key in ("11", "00", "01"):
+            store.add_ref(DataRef(key=key, holder=0))
+        assert store.indexed_keys() == ["00", "01", "11"]
+
+    def test_drop_refs_outside(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="000", holder=1))
+        store.add_ref(DataRef(key="001", holder=2))
+        store.add_ref(DataRef(key="01", holder=3))
+        store.add_ref(DataRef(key="0", holder=4))  # prefix of the path: kept
+        dropped = store.drop_refs_outside("00")
+        assert {ref.holder for ref in dropped} == {3}
+        assert {ref.holder for ref in store.iter_refs()} == {1, 2, 4}
+
+    def test_drop_refs_outside_returns_sorted(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="11", holder=5))
+        store.add_ref(DataRef(key="10", holder=1))
+        dropped = store.drop_refs_outside("0")
+        assert [(ref.key, ref.holder) for ref in dropped] == [("10", 1), ("11", 5)]
+
+    @given(st.lists(st.tuples(keys_st, st.integers(0, 20), st.integers(0, 5))))
+    def test_version_monotone_under_any_insertion_order(self, entries):
+        """Property: the stored version is the max ever inserted per
+        (key, holder) — propagation order cannot roll an entry back."""
+        store = DataStore()
+        expected: dict[tuple[str, int], int] = {}
+        for key, holder, version in entries:
+            store.add_ref(DataRef(key=key, holder=holder, version=version))
+            pair = (key, holder)
+            expected[pair] = max(expected.get(pair, -1), version)
+        for (key, holder), version in expected.items():
+            assert store.version_of(key, holder) == version

@@ -1,0 +1,113 @@
+"""Tests for deletion (tombstone) semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.storage import DataItem, DataRef, DataStore
+from repro.core.updates import UpdateEngine, UpdateStrategy
+from repro.core.search import SearchEngine
+from tests.conftest import build_grid
+
+
+class TestStoreTombstones:
+    def test_tombstone_constructor(self):
+        live = DataRef(key="0101", holder=3, version=2)
+        dead = live.tombstone()
+        assert dead.deleted
+        assert dead.version == 3
+        assert (dead.key, dead.holder) == (live.key, live.holder)
+
+    def test_tombstone_hides_entry_from_lookup(self):
+        store = DataStore()
+        live = DataRef(key="0101", holder=3, version=0)
+        store.add_ref(live)
+        assert store.lookup("0101")
+        store.add_ref(live.tombstone())
+        assert store.lookup("0101") == []
+        assert store.refs_for_key("0101") == []
+        assert store.is_deleted("0101", 3)
+
+    def test_tombstone_survives_stale_republish(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1, version=0))
+        store.add_ref(DataRef(key="01", holder=1, version=1, deleted=True))
+        # a delayed copy of the original publish arrives late:
+        store.add_ref(DataRef(key="01", holder=1, version=0))
+        assert store.lookup("01") == []
+
+    def test_newer_publish_resurrects(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1, version=1, deleted=True))
+        store.add_ref(DataRef(key="01", holder=1, version=2))
+        assert not store.is_deleted("01", 1)
+        assert store.refs_for_key("01")
+
+    def test_is_deleted_absent_entry(self):
+        assert not DataStore().is_deleted("01", 1)
+
+    def test_version_of_still_visible_for_tombstones(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1, version=4, deleted=True))
+        assert store.version_of("01", 1) == 4
+
+    def test_other_holders_unaffected(self):
+        store = DataStore()
+        store.add_ref(DataRef(key="01", holder=1, version=0))
+        store.add_ref(DataRef(key="01", holder=2, version=0))
+        store.add_ref(DataRef(key="01", holder=1, version=1, deleted=True))
+        assert [ref.holder for ref in store.refs_for_key("01")] == [2]
+
+
+class TestRetractPropagation:
+    def test_retract_hides_entry_at_reached_replicas(self):
+        grid = build_grid(256, maxl=5, refmax=3, seed=91)
+        updates = UpdateEngine(grid)
+        item = DataItem(key="01101", value="old-file")
+        updates.publish(
+            2, item, holder=9, strategy=UpdateStrategy.BFS, recbreadth=3
+        )
+        result = updates.retract(
+            2, "01101", holder=9, version=1,
+            strategy=UpdateStrategy.BFS, recbreadth=3,
+        )
+        assert result.reached
+        for address in result.reached:
+            store = grid.peer(address).store
+            assert store.is_deleted("01101", 9)
+            assert not any(
+                ref.holder == 9 for ref in store.lookup("01101")
+            )
+
+    def test_search_stops_returning_deleted_entries(self):
+        grid = build_grid(256, maxl=5, refmax=3, seed=92)
+        grid.seed_index([(DataItem(key="10010", value="x"), 7)])
+        engine = SearchEngine(grid)
+        before = engine.query_from(0, "10010")
+        assert any(ref.holder == 7 for ref in before.data_refs)
+        # retract everywhere (seeded ground truth: every replica)
+        for address in grid.replicas_for_key("10010"):
+            grid.peer(address).store.add_ref(
+                DataRef(key="10010", holder=7, version=1, deleted=True)
+            )
+        after = engine.query_from(0, "10010")
+        assert not any(ref.holder == 7 for ref in after.data_refs)
+
+    def test_range_queries_skip_tombstones(self):
+        grid = build_grid(128, maxl=4, refmax=3, seed=93)
+        grid.seed_index([(DataItem(key="010100", value="x"), 5)])
+        for address in grid.replicas_for_key("010100"):
+            grid.peer(address).store.add_ref(
+                DataRef(key="010100", holder=5, version=1, deleted=True)
+            )
+        engine = SearchEngine(grid)
+        result = engine.query_range(0, "000000", "111111", recbreadth=4)
+        assert not any(
+            ref.holder == 5 and ref.key == "010100"
+            for ref in result.data_refs
+        )
+
+    def test_retract_validates_key(self):
+        grid = build_grid(32, maxl=3, seed=94)
+        with pytest.raises(Exception):
+            UpdateEngine(grid).retract(0, "xx", holder=1, version=1)

@@ -1,0 +1,136 @@
+"""Tests for the experiment infrastructure."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    SCALE_ENV_VAR,
+    active_scale,
+    build_section52_grid,
+    section52_profile,
+)
+
+
+class TestProfiles:
+    def test_all_scales_defined(self):
+        for scale in ("quick", "scaled", "paper"):
+            profile = section52_profile(scale)
+            assert profile.name == scale
+            assert profile.n_peers >= 2
+
+    def test_paper_profile_matches_section52(self):
+        profile = section52_profile("paper")
+        assert profile.n_peers == 20_000
+        assert profile.maxl == 10
+        assert profile.refmax == 20
+        assert profile.recmax == 2
+        assert profile.p_online == 0.3
+        assert profile.query_key_length == 9
+
+    def test_scaled_profile_preserves_ratios(self):
+        profile = section52_profile("scaled")
+        # mean replication ballpark of the paper's ~19.5
+        assert 8 <= profile.n_peers / 2**profile.maxl <= 40
+        # same refmax so eq.(3) per-level survival is identical
+        assert profile.refmax == 20
+
+    def test_config_property(self):
+        config = section52_profile("quick").config
+        assert config.recursion_fanout == 2
+
+    def test_cache_key_distinguishes_profiles(self):
+        assert (
+            section52_profile("quick").cache_key()
+            != section52_profile("paper").cache_key()
+        )
+
+
+class TestActiveScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert active_scale() == "scaled"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "quick")
+        assert active_scale() == "quick"
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, " PAPER ")
+        assert active_scale() == "paper"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "huge")
+        with pytest.raises(ValueError):
+            active_scale()
+
+
+class TestGridCache:
+    def test_build_and_cache_roundtrip(self, tmp_path):
+        profile = section52_profile("quick")
+        tiny = profile.__class__(
+            **{**profile.__dict__, "name": "tiny", "n_peers": 60, "maxl": 3,
+               "refmax": 3, "max_exchanges": 200_000}
+        )
+        first = build_section52_grid(tiny, cache_dir=tmp_path)
+        cache_files = list(tmp_path.glob("*.json*"))
+        assert len(cache_files) == 1
+        second = build_section52_grid(tiny, cache_dir=tmp_path)
+        assert [p.path for p in first.peers()] == [p.path for p in second.peers()]
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        profile = section52_profile("quick")
+        tiny = profile.__class__(
+            **{**profile.__dict__, "name": "tiny2", "n_peers": 40, "maxl": 3,
+               "refmax": 2, "max_exchanges": 200_000}
+        )
+        build_section52_grid(tiny, cache_dir=tmp_path, use_cache=False)
+        assert list(tmp_path.glob("*.json*")) == []
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            headers=["a", "b"],
+            rows=[[1, 2.5], [3, 4.0]],
+            config={"n": 1},
+            notes="shape note",
+            extra_text="figure text",
+        )
+
+    def test_to_text_contains_everything(self):
+        text = self._result().to_text()
+        assert "[demo] Demo" in text
+        assert "shape note" in text
+        assert "figure text" in text
+        assert "| a" in text
+
+    def test_save_writes_csv_and_json(self, tmp_path):
+        self._result().save(tmp_path)
+        csv_text = (tmp_path / "demo.csv").read_text(encoding="utf-8")
+        assert csv_text.startswith("a,b")
+        payload = json.loads((tmp_path / "demo.json").read_text(encoding="utf-8"))
+        assert payload["experiment_id"] == "demo"
+        assert payload["rows"] == [[1, 2.5], [3, 4.0]]
+        assert payload["config"] == {"n": 1}
+
+
+class TestCacheDirOverride:
+    def test_env_override(self, monkeypatch, tmp_path):
+        from repro.experiments.common import default_cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_default_under_benchmarks(self, monkeypatch):
+        from repro.experiments.common import default_cache_dir
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        path = default_cache_dir()
+        assert path.name == ".cache"
+        assert path.parent.name == "benchmarks"

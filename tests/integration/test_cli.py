@@ -1,0 +1,137 @@
+"""Integration tests for the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestBuild:
+    def test_build_reports_and_snapshots(self, tmp_path, capsys):
+        snapshot = tmp_path / "grid.json"
+        code = main(
+            [
+                "build",
+                "--peers", "64",
+                "--maxl", "3",
+                "--refmax", "2",
+                "--seed", "1",
+                "--snapshot", str(snapshot),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "violations: 0" in out
+        assert snapshot.exists()
+
+    def test_build_unbounded_fanout_flag(self, capsys):
+        assert main(["build", "--peers", "32", "--maxl", "2", "--fanout", "0"]) == 0
+        assert "converged=True" in capsys.readouterr().out
+
+
+class TestSearch:
+    @pytest.fixture
+    def snapshot(self, tmp_path):
+        path = tmp_path / "grid.json"
+        main(
+            ["build", "--peers", "64", "--maxl", "4", "--refmax", "2",
+             "--seed", "2", "--snapshot", str(path)]
+        )
+        return path
+
+    def test_search_found(self, snapshot, capsys):
+        code = main(["search", str(snapshot), "0101", "--start", "3"])
+        assert code == 0
+        assert "found=True" in capsys.readouterr().out
+
+    def test_search_under_churn_may_fail_gracefully(self, snapshot, capsys):
+        code = main(
+            ["search", str(snapshot), "0101", "--p-online", "0.05",
+             "--seed", "3"]
+        )
+        assert code in (0, 1)
+        assert "found=" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_paper_example(self, capsys):
+        code = main(
+            ["analyze", "--d-global", "10000000", "--storage", "100000",
+             "--p-online", "0.3", "--refmax", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "key length k        : 10" in out
+        assert "min peers (eq. 2)   : 20409" in out
+
+
+class TestExperiment:
+    def test_registry_covers_all_paper_artifacts(self):
+        assert {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig4", "fig5", "search_reliability", "table6",
+            "discussion_scaling", "analysis_example",
+        } <= set(EXPERIMENTS)
+
+    def test_run_analysis_example_and_save(self, tmp_path, capsys):
+        code = main(
+            ["experiment", "analysis_example", "--save", str(tmp_path)]
+        )
+        assert code == 0
+        assert "analysis_example" in capsys.readouterr().out
+        assert (tmp_path / "analysis_example.csv").exists()
+        assert (tmp_path / "analysis_example.json").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+
+class TestInfo:
+    def test_info_dumps_statistics(self, tmp_path, capsys):
+        snapshot = tmp_path / "grid.json"
+        main(
+            ["build", "--peers", "48", "--maxl", "3", "--refmax", "2",
+             "--seed", "4", "--snapshot", str(snapshot)]
+        )
+        capsys.readouterr()
+        assert main(["info", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "peers               : 48" in out
+        assert "invariant violations: 0" in out
+        assert "peers per path length" in out
+
+
+class TestScenario:
+    def test_scenario_prints_metrics(self, capsys):
+        code = main(
+            ["scenario", "--peers", "80", "--maxl", "4", "--refmax", "3",
+             "--operations", "100", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "search_success_rate" in out
+        assert "invariant_violations" in out
+
+    def test_scenario_zipf_flag(self, capsys):
+        code = main(
+            ["scenario", "--peers", "60", "--maxl", "3", "--operations",
+             "50", "--zipf", "1.2", "--p-online", "0.5"]
+        )
+        assert code == 0
+        assert "update_coverage_mean" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_combines_experiments(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            ["report", "--experiments", "analysis_example", "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("# P-Grid reproduction report")
+        assert "## analysis_example" in text
+        assert "20409" in text

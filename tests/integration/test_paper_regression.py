@@ -1,0 +1,93 @@
+"""Reproduction-regression tests: paper numbers that must keep holding.
+
+These pin the cheap, high-signal paper comparisons so that a refactor
+that silently changes the algorithms' cost profile fails CI — the full
+sweeps live in ``benchmarks/``; these are their canaries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.analysis import (
+    min_peers_for_replication,
+    plan_grid,
+    required_key_length,
+    search_success_probability,
+)
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from repro.core.search import SearchEngine
+from repro.sim.builder import GridBuilder
+from repro.sim.churn import BernoulliChurn
+
+
+class TestSection4Exact:
+    """The §4 worked example is closed-form: exact match required."""
+
+    def test_key_length(self):
+        assert required_key_length(10**7, 10**4 - 200) == 10
+
+    def test_min_peers(self):
+        assert min_peers_for_replication(10**7, 10**4 - 200, 20) == 20409
+
+    def test_success_probability_exceeds_99(self):
+        assert search_success_probability(0.3, 20, 10) > 0.99
+
+    def test_planner_reproduces_example(self):
+        plan = plan_grid(
+            10**7,
+            reference_bytes=10,
+            storage_bytes_per_peer=10**5,
+            p_online=0.3,
+            refmax=20,
+            i_leaf=10**4 - 200,
+        )
+        assert (plan.key_length, plan.min_peers) == (10, 20409)
+        assert plan.storage_used == 10**5
+
+
+class TestTable1Canary:
+    """T1 row N=200: e within a generous band of the paper's 15942/4937."""
+
+    @pytest.mark.parametrize(
+        "recmax,paper_e,low,high",
+        [(0, 15942, 10_000, 26_000), (2, 4937, 3_000, 9_000)],
+    )
+    def test_construction_cost_band(self, recmax, paper_e, low, high):
+        config = PGridConfig(maxl=6, refmax=1, recmax=recmax)
+        grid = PGrid(config, rng=random.Random(2024))
+        grid.add_peers(200)
+        report = GridBuilder(grid).build(max_exchanges=1_000_000)
+        assert report.converged
+        assert low <= report.exchanges <= high, (
+            f"recmax={recmax}: e={report.exchanges}, paper={paper_e}"
+        )
+
+
+class TestSearchReliabilityCanary:
+    """§5.2's reliability claim at a small scale: success >> eq.(3) naive
+    expectations and only a handful of messages."""
+
+    def test_reliable_search_under_30_percent_availability(self):
+        config = PGridConfig(maxl=6, refmax=10, recmax=2, recursion_fanout=2)
+        grid = PGrid(config, rng=random.Random(2025))
+        grid.add_peers(1000)
+        GridBuilder(grid).build(max_exchanges=2_000_000)
+        grid.online_oracle = BernoulliChurn(0.3, random.Random(7))
+        engine = SearchEngine(grid)
+        rng = random.Random(8)
+        hits = 0
+        messages = 0
+        trials = 1000
+        for _ in range(trials):
+            key = format(rng.randrange(32), "05b")
+            result = engine.query_from(rng.randrange(1000), key)
+            hits += int(result.found)
+            messages += result.messages
+        bound = search_success_probability(0.3, 10, 5)
+        assert hits / trials >= bound - 0.02
+        assert hits / trials > 0.95
+        assert messages / trials < 6  # the paper's ~5.5 at depth 9

@@ -1,0 +1,73 @@
+"""Tests for protocol messages."""
+
+from __future__ import annotations
+
+from repro.net.message import (
+    Message,
+    MessageKind,
+    ping,
+    pong,
+    query_message,
+    query_response,
+    update_message,
+)
+
+
+class TestIdentity:
+    def test_message_ids_unique_and_increasing(self):
+        a = ping(0, 1)
+        b = ping(0, 1)
+        assert a.message_id != b.message_id
+        assert b.message_id > a.message_id
+
+    def test_frozen(self):
+        message = ping(0, 1)
+        try:
+            message.source = 5  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Message must be immutable")
+
+
+class TestConstructors:
+    def test_query_message_payload(self):
+        message = query_message(3, 9, "0101", 2)
+        assert message.kind is MessageKind.QUERY
+        assert message.source == 3
+        assert message.destination == 9
+        assert message.payload == {"query": "0101", "level": 2}
+
+    def test_query_response_links_request(self):
+        request = query_message(3, 9, "01", 0)
+        response = query_response(request, found=True, responder=9)
+        assert response.kind is MessageKind.QUERY_RESPONSE
+        assert response.in_reply_to == request.message_id
+        assert response.source == 9
+        assert response.destination == 3
+        assert response.payload["found"] is True
+        assert response.payload["responder"] == 9
+        assert response.payload["refs"] == []
+
+    def test_query_response_with_refs(self):
+        request = query_message(1, 2, "0", 0)
+        refs = [{"key": "01", "holder": 5, "version": 0}]
+        response = query_response(request, found=True, responder=2, refs=refs)
+        assert response.payload["refs"] == refs
+
+    def test_update_message(self):
+        message = update_message(1, 2, "011", holder=7, version=4)
+        assert message.kind is MessageKind.UPDATE
+        assert message.payload == {"key": "011", "holder": 7, "version": 4}
+
+    def test_ping_pong(self):
+        request = ping(4, 5)
+        reply = pong(request)
+        assert reply.kind is MessageKind.PONG
+        assert reply.in_reply_to == request.message_id
+        assert (reply.source, reply.destination) == (5, 4)
+
+    def test_generic_message_defaults(self):
+        message = Message(kind=MessageKind.PING, source=0, destination=1)
+        assert message.payload == {}
+        assert message.in_reply_to is None

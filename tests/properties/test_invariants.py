@@ -1,0 +1,146 @@
+"""Property-based system invariants (hypothesis).
+
+These run the *actual* randomized protocols under hypothesis-chosen
+parameters and assert the structural guarantees the paper's correctness
+rests on:
+
+* the §2 routing-reference invariant survives any construction run;
+* paths never exceed ``maxl`` and only ever extend;
+* with everyone online, a converged grid answers every query;
+* search responders are genuinely responsible for the query;
+* snapshots round-trip arbitrary constructed grids.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import keys as keyspace
+from repro.core.config import PGridConfig
+from repro.core.exchange import ExchangeEngine
+from repro.core.grid import PGrid
+from repro.core.search import SearchEngine
+from repro.sim.builder import GridBuilder
+from repro.sim.persistence import grid_from_dict, grid_to_dict
+
+construction_params = st.fixed_dictionaries(
+    {
+        "n_peers": st.integers(8, 48),
+        "maxl": st.integers(1, 5),
+        "refmax": st.integers(1, 4),
+        "recmax": st.integers(0, 3),
+        "fanout": st.one_of(st.none(), st.integers(1, 3)),
+        "seed": st.integers(0, 10**6),
+        "meetings": st.integers(0, 400),
+    }
+)
+
+slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_construction(params) -> tuple[PGrid, ExchangeEngine]:
+    config = PGridConfig(
+        maxl=params["maxl"],
+        refmax=params["refmax"],
+        recmax=params["recmax"],
+        recursion_fanout=params["fanout"],
+    )
+    grid = PGrid(config, rng=random.Random(params["seed"]))
+    grid.add_peers(params["n_peers"])
+    engine = ExchangeEngine(grid)
+    rng = random.Random(params["seed"] + 1)
+    addresses = grid.addresses()
+    for _ in range(params["meetings"]):
+        a, b = rng.sample(addresses, 2)
+        engine.meet(a, b)
+    return grid, engine
+
+
+class TestConstructionInvariants:
+    @slow
+    @given(construction_params)
+    def test_routing_invariant_holds_mid_construction(self, params):
+        grid, _ = run_construction(params)
+        assert grid.audit_routing() == []
+
+    @slow
+    @given(construction_params)
+    def test_paths_bounded_by_maxl(self, params):
+        grid, _ = run_construction(params)
+        assert all(peer.depth <= params["maxl"] for peer in grid.peers())
+
+    @slow
+    @given(construction_params)
+    def test_exchange_counter_consistent_with_depth(self, params):
+        grid, engine = run_construction(params)
+        stats = engine.stats
+        expected_depth = (
+            2 * stats.case1_splits
+            + stats.case2_specializations
+            + stats.case3_specializations
+        )
+        assert sum(peer.depth for peer in grid.peers()) == expected_depth
+
+    @slow
+    @given(construction_params)
+    def test_refmax_respected_everywhere(self, params):
+        grid, _ = run_construction(params)
+        for peer in grid.peers():
+            for _level, refs in peer.routing.iter_levels():
+                assert len(refs) <= params["refmax"]
+                assert len(set(refs)) == len(refs)
+                assert peer.address not in refs
+
+    @slow
+    @given(construction_params)
+    def test_buddies_share_exact_path(self, params):
+        grid, _ = run_construction(params)
+        for peer in grid.peers():
+            for buddy in peer.buddies:
+                assert grid.peer(buddy).path == peer.path
+
+
+class TestSearchInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(16, 48),
+        st.integers(2, 4),
+        st.integers(1, 3),
+        st.integers(0, 10**6),
+        st.data(),
+    )
+    def test_converged_grid_answers_every_query(
+        self, n_peers, maxl, refmax, seed, data
+    ):
+        config = PGridConfig(
+            maxl=maxl, refmax=refmax, recmax=2, recursion_fanout=2
+        )
+        grid = PGrid(config, rng=random.Random(seed))
+        grid.add_peers(n_peers)
+        report = GridBuilder(grid).build(max_exchanges=500_000)
+        if not report.converged:
+            return  # tiny populations may not converge; nothing to assert
+        engine = SearchEngine(grid)
+        query = data.draw(st.text(alphabet="01", min_size=1, max_size=maxl))
+        start = data.draw(st.sampled_from(grid.addresses()))
+        result = engine.query_from(start, query)
+        assert result.found
+        responder = grid.peer(result.responder)
+        assert keyspace.in_prefix_relation(responder.path, query)
+        assert result.messages <= len(query)
+
+
+class TestSnapshotProperty:
+    @slow
+    @given(construction_params)
+    def test_snapshot_roundtrip_exact(self, params):
+        grid, _ = run_construction(params)
+        clone = grid_from_dict(grid_to_dict(grid))
+        assert grid_to_dict(clone) == grid_to_dict(grid)

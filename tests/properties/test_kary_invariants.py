@@ -1,0 +1,94 @@
+"""Property-based invariants for the k-ary P-Grid extension."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kary import (
+    KaryExchangeEngine,
+    KaryGrid,
+    KarySearchEngine,
+    KeySpace,
+)
+
+ALPHABETS = ["01", "abc", "abcd", "abcde"]
+
+construction_params = st.fixed_dictionaries(
+    {
+        "alphabet": st.sampled_from(ALPHABETS),
+        "n_peers": st.integers(6, 40),
+        "maxl": st.integers(1, 3),
+        "refmax": st.integers(1, 3),
+        "recmax": st.integers(0, 2),
+        "seed": st.integers(0, 10**6),
+        "meetings": st.integers(0, 300),
+    }
+)
+
+slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_construction(params) -> KaryGrid:
+    grid = KaryGrid(
+        KeySpace(params["alphabet"]),
+        maxl=params["maxl"],
+        refmax=params["refmax"],
+        recmax=params["recmax"],
+        rng=random.Random(params["seed"]),
+    )
+    grid.add_peers(params["n_peers"])
+    engine = KaryExchangeEngine(grid)
+    rng = random.Random(params["seed"] + 1)
+    addresses = grid.addresses()
+    for _ in range(params["meetings"]):
+        a, b = rng.sample(addresses, 2)
+        engine.meet(a, b)
+    return grid
+
+
+class TestKaryConstructionInvariants:
+    @slow
+    @given(construction_params)
+    def test_routing_invariant_holds(self, params):
+        grid = run_construction(params)
+        assert grid.audit_routing() == []
+
+    @slow
+    @given(construction_params)
+    def test_paths_bounded_and_valid(self, params):
+        grid = run_construction(params)
+        for peer in grid.peers():
+            assert peer.depth <= params["maxl"]
+            assert grid.space.is_valid(peer.path)
+
+    @slow
+    @given(construction_params)
+    def test_refmax_respected_per_symbol(self, params):
+        grid = run_construction(params)
+        for peer in grid.peers():
+            for _level, _symbol, refs in peer.routing.iter_all():
+                assert len(refs) <= params["refmax"]
+                assert len(set(refs)) == len(refs)
+                assert peer.address not in refs
+
+    @slow
+    @given(construction_params, st.data())
+    def test_search_responders_are_responsible(self, params, data):
+        grid = run_construction(params)
+        engine = KarySearchEngine(grid)
+        query = data.draw(
+            st.text(alphabet=params["alphabet"], min_size=1,
+                    max_size=params["maxl"])
+        )
+        start = data.draw(st.sampled_from(grid.addresses()))
+        result = engine.query_from(start, query)
+        if result.found:
+            assert grid.peer(result.responder).responsible_for(query)
+            assert result.messages <= len(query)

@@ -1,0 +1,101 @@
+"""Tests for availability (churn) models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.churn import BernoulliChurn, FixedOnlineSet, SessionChurn
+
+
+class TestBernoulliChurn:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            BernoulliChurn(1.2, random.Random(0))
+        with pytest.raises(ValueError):
+            BernoulliChurn(-0.1, random.Random(0))
+
+    def test_extremes(self):
+        always = BernoulliChurn(1.0, random.Random(0))
+        never = BernoulliChurn(0.0, random.Random(0))
+        assert all(always.is_online(a) for a in range(100))
+        assert not any(never.is_online(a) for a in range(100))
+
+    def test_empirical_rate_close_to_p(self):
+        churn = BernoulliChurn(0.3, random.Random(1))
+        hits = sum(churn.is_online(0) for _ in range(20_000))
+        assert 0.28 < hits / 20_000 < 0.32
+
+    def test_memoryless_per_contact(self):
+        # Same peer can flip between contacts: both outcomes occur.
+        churn = BernoulliChurn(0.5, random.Random(2))
+        outcomes = {churn.is_online(7) for _ in range(100)}
+        assert outcomes == {True, False}
+
+    def test_per_peer_override(self):
+        churn = BernoulliChurn(
+            0.0, random.Random(3), per_peer={42: 1.0}
+        )
+        assert churn.probability_for(42) == 1.0
+        assert churn.probability_for(1) == 0.0
+        assert churn.is_online(42)
+        assert not churn.is_online(1)
+
+    def test_per_peer_override_validated(self):
+        with pytest.raises(ValueError):
+            BernoulliChurn(0.5, random.Random(0), per_peer={1: 1.5})
+
+
+class TestSessionChurn:
+    def test_stable_within_epoch(self):
+        churn = SessionChurn(0.5, random.Random(4), range(50))
+        snapshot = {a: churn.is_online(a) for a in range(50)}
+        for _ in range(5):
+            assert {a: churn.is_online(a) for a in range(50)} == snapshot
+
+    def test_advance_epoch_resamples(self):
+        churn = SessionChurn(0.5, random.Random(5), range(200))
+        before = churn.online_now
+        churn.advance_epoch()
+        assert churn.epoch == 1
+        assert churn.online_now != before  # astronomically unlikely to match
+
+    def test_fraction_roughly_p(self):
+        churn = SessionChurn(0.3, random.Random(6), range(5000))
+        assert 0.27 < len(churn.online_now) / 5000 < 0.33
+
+    def test_track_new_peer(self):
+        churn = SessionChurn(1.0, random.Random(7), range(3))
+        churn.track(99)
+        assert churn.is_online(99)
+
+    def test_track_is_idempotent(self):
+        churn = SessionChurn(1.0, random.Random(8), range(3))
+        churn.track(99)
+        churn.track(99)
+        churn.advance_epoch()
+        assert churn.is_online(99)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            SessionChurn(2.0, random.Random(0), range(3))
+
+
+class TestFixedOnlineSet:
+    def test_membership(self):
+        oracle = FixedOnlineSet({1, 2})
+        assert oracle.is_online(1)
+        assert not oracle.is_online(3)
+
+    def test_set_online_toggles(self):
+        oracle = FixedOnlineSet()
+        oracle.set_online(5)
+        assert oracle.is_online(5)
+        oracle.set_online(5, online=False)
+        assert not oracle.is_online(5)
+
+    def test_set_offline_absent_is_noop(self):
+        oracle = FixedOnlineSet()
+        oracle.set_online(9, online=False)
+        assert not oracle.is_online(9)

@@ -1,0 +1,242 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from repro.sim.churn import SessionChurn
+from repro.sim.events import (
+    EventSimulator,
+    MeetingProcess,
+    PoissonProcess,
+    SessionProcess,
+    run_timed_construction,
+)
+
+
+class TestEventSimulator:
+    def test_clock_starts_at_zero(self):
+        assert EventSimulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        simulator = EventSimulator()
+        log = []
+        simulator.schedule(3.0, lambda t: log.append(("c", t)))
+        simulator.schedule(1.0, lambda t: log.append(("a", t)))
+        simulator.schedule(2.0, lambda t: log.append(("b", t)))
+        while simulator.run_next():
+            pass
+        assert [name for name, _ in log] == ["a", "b", "c"]
+        assert simulator.now == 3.0
+
+    def test_ties_run_in_schedule_order(self):
+        simulator = EventSimulator()
+        log = []
+        simulator.schedule(1.0, lambda t: log.append("first"))
+        simulator.schedule(1.0, lambda t: log.append("second"))
+        simulator.run_until(2.0)
+        assert log == ["first", "second"]
+
+    def test_run_until_leaves_future_events(self):
+        simulator = EventSimulator()
+        log = []
+        simulator.schedule(1.0, lambda t: log.append(t))
+        simulator.schedule(5.0, lambda t: log.append(t))
+        executed = simulator.run_until(2.0)
+        assert executed == 1
+        assert log == [1.0]
+        assert simulator.pending == 1
+        assert simulator.now == 2.0
+
+    def test_events_can_schedule_events(self):
+        simulator = EventSimulator()
+        log = []
+
+        def ping(time):
+            log.append(time)
+            if time < 3:
+                simulator.schedule(1.0, ping)
+
+        simulator.schedule(1.0, ping)
+        simulator.run_until(10.0)
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute(self):
+        simulator = EventSimulator()
+        log = []
+        simulator.schedule_at(4.5, lambda t: log.append(t))
+        simulator.run_until(5.0)
+        assert log == [4.5]
+
+    def test_validation(self):
+        simulator = EventSimulator()
+        with pytest.raises(ValueError):
+            simulator.schedule(-1.0, lambda t: None)
+        simulator.schedule(1.0, lambda t: None)
+        simulator.run_until(2.0)
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0, lambda t: None)
+        with pytest.raises(ValueError):
+            simulator.run_until(1.0)
+
+    def test_max_events_truncation(self):
+        simulator = EventSimulator()
+        for _ in range(5):
+            simulator.schedule(1.0, lambda t: None)
+        executed = simulator.run_until(2.0, max_events=3)
+        assert executed == 3
+        assert simulator.pending == 2
+
+
+class TestPoissonProcess:
+    def test_arrival_count_near_rate_times_duration(self):
+        simulator = EventSimulator()
+        process = PoissonProcess(
+            simulator, rate=10.0, action=lambda t: None, rng=random.Random(1)
+        )
+        process.start()
+        simulator.run_until(100.0)
+        # expect ~1000 arrivals; allow generous slack
+        assert 850 < process.arrivals < 1150
+
+    def test_stop_halts_arrivals(self):
+        simulator = EventSimulator()
+        process = PoissonProcess(
+            simulator, rate=5.0, action=lambda t: None, rng=random.Random(2)
+        )
+        process.start()
+        simulator.run_until(10.0)
+        count = process.arrivals
+        process.stop()
+        simulator.run_until(50.0)
+        assert process.arrivals == count
+
+    def test_start_idempotent(self):
+        simulator = EventSimulator()
+        process = PoissonProcess(
+            simulator, rate=1.0, action=lambda t: None, rng=random.Random(3)
+        )
+        process.start()
+        process.start()
+        simulator.run_until(1000.0)
+        assert 900 < process.arrivals < 1120
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(
+                EventSimulator(), rate=0.0, action=lambda t: None,
+                rng=random.Random(0),
+            )
+
+
+class TestSessionProcess:
+    def test_epochs_advance(self):
+        simulator = EventSimulator()
+        churn = SessionChurn(0.5, random.Random(4), range(100))
+        process = SessionProcess(simulator, churn, epoch_length=1.0)
+        process.start()
+        simulator.run_until(5.5)
+        assert churn.epoch == 5
+
+    def test_stop(self):
+        simulator = EventSimulator()
+        churn = SessionChurn(0.5, random.Random(5), range(10))
+        process = SessionProcess(simulator, churn, epoch_length=1.0)
+        process.start()
+        simulator.run_until(2.5)
+        process.stop()
+        simulator.run_until(10.0)
+        assert churn.epoch == 2
+
+    def test_epoch_length_validated(self):
+        with pytest.raises(ValueError):
+            SessionProcess(
+                EventSimulator(),
+                SessionChurn(0.5, random.Random(0), range(2)),
+                epoch_length=0.0,
+            )
+
+
+class TestTimedConstruction:
+    def _grid(self, n=64, maxl=4):
+        grid = PGrid(
+            PGridConfig(maxl=maxl, refmax=2, recmax=2, recursion_fanout=2),
+            rng=random.Random(6),
+        )
+        grid.add_peers(n)
+        return grid
+
+    def test_converges_given_enough_time(self):
+        grid = self._grid()
+        report = run_timed_construction(
+            grid, meeting_rate=64.0, duration=100.0, rng=random.Random(7)
+        )
+        assert report.converged
+        assert report.average_depth >= 0.99 * 4
+        assert report.meetings > 0
+        assert report.duration == 100.0
+
+    def test_short_duration_incomplete(self):
+        grid = self._grid()
+        report = run_timed_construction(
+            grid, meeting_rate=64.0, duration=0.5, rng=random.Random(8)
+        )
+        assert report.average_depth < 4
+
+    def test_trajectory_sampled_over_time(self):
+        grid = self._grid()
+        report = run_timed_construction(
+            grid,
+            meeting_rate=64.0,
+            duration=20.0,
+            sample_every=2.0,
+            rng=random.Random(9),
+        )
+        times = [sample.time for sample in report.trajectory]
+        assert times == sorted(times)
+        assert len(times) >= 9
+        depths = [sample.average_depth for sample in report.trajectory]
+        assert depths == sorted(depths)
+
+    def test_churn_slows_construction(self):
+        fast = run_timed_construction(
+            self._grid(128, maxl=5),
+            meeting_rate=128.0,
+            duration=30.0,
+            rng=random.Random(10),
+        )
+        churned_grid = self._grid(128, maxl=5)
+        churn = SessionChurn(0.3, random.Random(11), churned_grid.addresses())
+        slow = run_timed_construction(
+            churned_grid,
+            meeting_rate=128.0,
+            duration=30.0,
+            churn=churn,
+            rng=random.Random(10),
+        )
+        assert slow.average_depth < fast.average_depth or not slow.converged
+
+    def test_offline_meetings_skipped(self):
+        grid = self._grid(32, maxl=3)
+        churn = SessionChurn(0.2, random.Random(12), grid.addresses())
+        simulator = EventSimulator()
+        grid.online_oracle = churn
+        process = MeetingProcess(
+            simulator, grid, rate=32.0, rng=random.Random(13)
+        )
+        process.start()
+        simulator.run_until(20.0)
+        assert process.skipped_offline > 0
+
+    def test_validation(self):
+        grid = self._grid()
+        with pytest.raises(ValueError):
+            run_timed_construction(grid, meeting_rate=1.0, duration=0.0)
+        with pytest.raises(ValueError):
+            run_timed_construction(
+                grid, meeting_rate=1.0, duration=1.0, sample_every=0.0
+            )

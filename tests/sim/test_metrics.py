@@ -1,0 +1,169 @@
+"""Tests for measurement helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    RateAccumulator,
+    gini,
+    histogram_bins,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.median == 2.5
+
+    def test_odd_median(self):
+        assert summarize([5, 1, 3]).median == 3
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.stdev == 0.0
+        assert summary.median == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict(self):
+        d = summarize([1, 2]).as_dict()
+        assert set(d) == {"count", "mean", "stdev", "min", "max", "median"}
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_bounds_hold(self, values):
+        summary = summarize(values)
+        ulp = 1e-9 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+        assert summary.minimum - ulp <= summary.mean <= summary.maximum + ulp
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.stdev >= 0
+
+
+class TestRateAccumulator:
+    def test_empty_rate_zero(self):
+        acc = RateAccumulator()
+        assert acc.rate == 0.0
+        assert acc.confidence_halfwidth() == 0.0
+
+    def test_rate(self):
+        acc = RateAccumulator()
+        for outcome in (True, True, False, True):
+            acc.record(outcome)
+        assert acc.rate == 0.75
+        assert acc.trials == 4
+        assert acc.successes == 3
+
+    def test_confidence_shrinks_with_trials(self):
+        small = RateAccumulator()
+        large = RateAccumulator()
+        for _ in range(10):
+            small.record(True)
+            small.record(False)
+        for _ in range(1000):
+            large.record(True)
+            large.record(False)
+        assert large.confidence_halfwidth() < small.confidence_halfwidth()
+
+
+class TestHistogramBins:
+    def test_plain(self):
+        assert histogram_bins([1, 1, 2, 3, 3, 3]) == [(1, 2), (2, 1), (3, 3)]
+
+    def test_empty(self):
+        assert histogram_bins([]) == []
+
+    def test_max_bins_merges_tail(self):
+        bins = histogram_bins([1, 2, 3, 4, 5], max_bins=3)
+        assert len(bins) == 3
+        assert bins[:2] == [(1, 1), (2, 1)]
+        assert bins[2] == (3, 3)  # 3,4,5 merged with total count 3
+
+    def test_max_bins_no_merge_needed(self):
+        assert histogram_bins([1, 2], max_bins=5) == [(1, 1), (2, 1)]
+
+    def test_counts_preserved_under_merge(self):
+        values = [1, 1, 2, 5, 9, 9, 9]
+        bins = histogram_bins(values, max_bins=2)
+        assert sum(count for _, count in bins) == len(values)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_inequality_approaches_one(self):
+        value = gini([0] * 99 + [100])
+        assert value > 0.9
+
+    def test_known_value(self):
+        # For [1, 3]: gini = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25
+        assert gini([1, 3]) == pytest.approx(0.25)
+
+    def test_all_zero(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini([])
+        with pytest.raises(ValueError):
+            gini([1, -2])
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=40))
+    def test_range(self, values):
+        assert 0.0 <= gini(values) < 1.0
+
+    @given(st.lists(st.floats(0.01, 1e6), min_size=1, max_size=40))
+    def test_scale_invariant(self, values):
+        assert gini(values) == pytest.approx(
+            gini([v * 3 for v in values]), abs=1e-9
+        )
+
+
+class TestBootstrapCI:
+    def test_interval_contains_true_mean_usually(self):
+        from repro.sim.metrics import bootstrap_ci
+
+        values = [1.0, 2.0, 3.0, 4.0, 5.0] * 20
+        lower, upper = bootstrap_ci(values, seed=1)
+        assert lower <= 3.0 <= upper
+        assert lower < upper
+
+    def test_narrows_with_more_data(self):
+        from repro.sim.metrics import bootstrap_ci
+
+        small = bootstrap_ci([1.0, 5.0] * 5, seed=2)
+        large = bootstrap_ci([1.0, 5.0] * 500, seed=2)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_degenerate_sample(self):
+        from repro.sim.metrics import bootstrap_ci
+
+        lower, upper = bootstrap_ci([7.0, 7.0, 7.0], seed=3)
+        assert lower == upper == 7.0
+
+    def test_deterministic_for_seed(self):
+        from repro.sim.metrics import bootstrap_ci
+
+        values = [1.0, 2.0, 9.0, 4.0]
+        assert bootstrap_ci(values, seed=4) == bootstrap_ci(values, seed=4)
+
+    def test_validation(self):
+        import pytest
+
+        from repro.sim.metrics import bootstrap_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)

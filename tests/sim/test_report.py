@@ -1,0 +1,170 @@
+"""Tests for ASCII reporting and CSV/JSON writers."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.report.csvout import results_dir, write_csv, write_json
+from repro.report.hist import render_histogram, render_series
+from repro.report.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_none_blank(self):
+        assert format_value(None) == ""
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_rounding(self):
+        assert format_value(2.456) == "2.46"
+        assert format_value(2.456, float_digits=1) == "2.5"
+
+    def test_int_passthrough(self):
+        assert format_value(17) == "17"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["n", "e"], [[1, 2.5], [100, 30.25]])
+        lines = text.splitlines()
+        assert lines[0] == "| n   | e     |"
+        assert set(lines[1]) <= {"|", "-"}
+        assert lines[2] == "| 1   | 2.50  |"
+        assert lines[3] == "| 100 | 30.25 |"
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "| a |" in text
+
+
+class TestRenderHistogram:
+    def test_empty(self):
+        assert render_histogram([]) == "(empty histogram)"
+
+    def test_bars_scale(self):
+        text = render_histogram([(1, 2), (2, 4)], width=4)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 4
+        assert lines[0].endswith("2")
+        assert lines[1].endswith("4")
+
+    def test_zero_count_no_bar(self):
+        text = render_histogram([(1, 0), (2, 10)], width=4)
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_title_and_labels(self):
+        text = render_histogram(
+            [(1, 1)], title="T", value_label="factor", count_label="peers"
+        )
+        assert text.startswith("T\nfactor -> peers")
+
+
+class TestRenderSeries:
+    def test_multiple_series(self):
+        text = render_series(
+            {"a": [(1.0, 0.5)], "b": [(2.0, 0.75), (3.0, 1.0)]},
+            title="Fig",
+        )
+        assert text.startswith("Fig")
+        assert "-- a" in text and "-- b" in text
+        assert "0.500" in text and "0.750" in text
+
+
+class TestWriters:
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["x", "y"], [[1, 2], [3, 4]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+    def test_write_csv_validates_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "out.csv", ["x"], [[1, 2]])
+
+    def test_write_json(self, tmp_path):
+        path = write_json(tmp_path / "out.json", {"b": 1, "a": [1, 2]})
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload == {"b": 1, "a": [1, 2]}
+
+    def test_write_json_handles_non_serializable(self, tmp_path):
+        path = write_json(tmp_path / "out.json", {"p": tmp_path})
+        assert json.loads(path.read_text(encoding="utf-8"))["p"] == str(tmp_path)
+
+    def test_results_dir_created(self, tmp_path):
+        target = results_dir(tmp_path / "nested" / "results")
+        assert target.is_dir()
+
+    def test_writers_create_parents(self, tmp_path):
+        assert write_csv(tmp_path / "a" / "b.csv", ["x"], [[1]]).exists()
+        assert write_json(tmp_path / "c" / "d.json", []).exists()
+
+
+class TestRenderPlot:
+    def _series(self):
+        return {
+            "a": [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)],
+            "b": [(0.0, 2.0), (2.0, 0.0)],
+        }
+
+    def test_empty(self):
+        from repro.report.hist import render_plot
+
+        assert render_plot({}) == "(empty plot)"
+        assert render_plot({"a": []}) == "(empty plot)"
+
+    def test_contains_markers_and_legend(self):
+        from repro.report.hist import render_plot
+
+        text = render_plot(self._series(), title="T")
+        assert text.startswith("T")
+        assert "* = a" in text
+        assert "o = b" in text
+        assert "*" in text and "o" in text
+
+    def test_axis_labels_and_ranges(self):
+        from repro.report.hist import render_plot
+
+        text = render_plot(self._series(), x_label="time", y_label="depth")
+        assert "depth (top=2" in text
+        assert "time: 0 .. 2" in text
+
+    def test_dimensions(self):
+        from repro.report.hist import render_plot
+
+        text = render_plot(self._series(), width=20, height=6)
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(rows) == 6
+        assert all(len(row) == 21 for row in rows)
+
+    def test_constant_series_handled(self):
+        from repro.report.hist import render_plot
+
+        text = render_plot({"flat": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "(empty plot)" not in text
+
+    def test_validation(self):
+        import pytest
+
+        from repro.report.hist import render_plot
+
+        with pytest.raises(ValueError):
+            render_plot(self._series(), width=4)
+        with pytest.raises(ValueError):
+            render_plot(self._series(), height=2)

@@ -1,0 +1,133 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import keys as keyspace
+from repro.sim.workload import (
+    QueryStream,
+    UniformKeyWorkload,
+    ZipfKeyWorkload,
+    generate_items,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert sum(zipf_weights(10)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, exponent=1.2)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(5, exponent=0.0)
+        assert all(w == pytest.approx(0.2) for w in weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, exponent=-1)
+
+
+class TestUniformKeyWorkload:
+    def test_key_shape(self):
+        workload = UniformKeyWorkload(8, random.Random(0))
+        for key in workload.keys(50):
+            assert len(key) == 8
+            assert keyspace.is_valid_key(key)
+
+    def test_deterministic(self):
+        a = UniformKeyWorkload(6, random.Random(1)).keys(20)
+        b = UniformKeyWorkload(6, random.Random(1)).keys(20)
+        assert a == b
+
+    def test_roughly_uniform_first_bit(self):
+        workload = UniformKeyWorkload(4, random.Random(2))
+        counts = Counter(key[0] for key in workload.keys(4000))
+        assert 1800 < counts["0"] < 2200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformKeyWorkload(0, random.Random(0))
+        with pytest.raises(ValueError):
+            UniformKeyWorkload(4, random.Random(0)).keys(-1)
+
+
+class TestZipfKeyWorkload:
+    def test_key_shape(self):
+        workload = ZipfKeyWorkload(6, random.Random(3), exponent=1.0)
+        for key in workload.keys(50):
+            assert len(key) == 6
+            assert keyspace.is_valid_key(key)
+
+    def test_skew_concentrates_on_low_values(self):
+        workload = ZipfKeyWorkload(6, random.Random(4), exponent=1.5)
+        keys = workload.keys(3000)
+        low_half = sum(1 for key in keys if key[0] == "0")
+        assert low_half / len(keys) > 0.7  # low ranks dominate
+
+    def test_zero_exponent_behaves_uniform(self):
+        workload = ZipfKeyWorkload(6, random.Random(5), exponent=0.0)
+        keys = workload.keys(4000)
+        low_half = sum(1 for key in keys if key[0] == "0")
+        assert 0.45 < low_half / len(keys) < 0.55
+
+    def test_next_key_single(self):
+        workload = ZipfKeyWorkload(4, random.Random(6))
+        assert len(workload.next_key()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfKeyWorkload(0, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfKeyWorkload(30, random.Random(0))  # would materialize 2^30
+        with pytest.raises(ValueError):
+            ZipfKeyWorkload(4, random.Random(0)).keys(-1)
+
+
+class TestGenerateItems:
+    def test_items_wrap_keys(self):
+        items = generate_items(["01", "10"], payload_prefix="file")
+        assert [item.key for item in items] == ["01", "10"]
+        assert items[0].value == "file-0"
+        assert items[1].value == "file-1"
+
+    def test_empty(self):
+        assert generate_items([]) == []
+
+
+class TestQueryStream:
+    def test_queries_shape(self):
+        workload = UniformKeyWorkload(5, random.Random(7))
+        stream = QueryStream([10, 20, 30], workload, random.Random(8))
+        queries = list(stream.queries(40))
+        assert len(queries) == 40
+        for start, key in queries:
+            assert start in (10, 20, 30)
+            assert len(key) == 5
+
+    def test_needs_addresses(self):
+        workload = UniformKeyWorkload(5, random.Random(0))
+        with pytest.raises(ValueError):
+            QueryStream([], workload, random.Random(0))
+
+    def test_negative_count(self):
+        workload = UniformKeyWorkload(5, random.Random(0))
+        stream = QueryStream([1], workload, random.Random(0))
+        with pytest.raises(ValueError):
+            list(stream.queries(-1))
+
+    def test_deterministic(self):
+        def run():
+            workload = UniformKeyWorkload(5, random.Random(9))
+            stream = QueryStream([1, 2], workload, random.Random(10))
+            return list(stream.queries(10))
+
+        assert run() == run()

@@ -1,0 +1,100 @@
+"""Tests for the order-preserving text encoder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidKeyError
+from repro.text.encoding import DEFAULT_ALPHABET, TextEncoder
+
+words = st.text(alphabet=DEFAULT_ALPHABET, max_size=12)
+
+
+class TestConstruction:
+    def test_default_alphabet(self):
+        encoder = TextEncoder()
+        assert encoder.bits_per_char == 5  # 27 symbols -> 5 bits
+
+    def test_binary_alphabet(self):
+        encoder = TextEncoder("ab")
+        assert encoder.bits_per_char == 1
+        assert encoder.encode("ab") == "01"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TextEncoder("a")
+        with pytest.raises(ValueError):
+            TextEncoder("aab")
+
+
+class TestEncodeDecode:
+    def test_known_encoding(self):
+        encoder = TextEncoder(" ab")  # ranks: ' '=0, a=1, b=2; 2 bits/char
+        assert encoder.encode("ab") == "0110"
+        assert encoder.decode("0110") == "ab"
+
+    def test_empty_text(self):
+        assert TextEncoder().encode("") == ""
+        assert TextEncoder().decode("") == ""
+
+    def test_unknown_character(self):
+        with pytest.raises(InvalidKeyError):
+            TextEncoder().encode("ABC")  # uppercase not in alphabet
+
+    def test_decode_bad_length(self):
+        with pytest.raises(InvalidKeyError):
+            TextEncoder(" ab").decode("011")  # not a multiple of 2
+
+    def test_decode_bad_rank(self):
+        with pytest.raises(InvalidKeyError):
+            TextEncoder(" ab").decode("11")  # rank 3 >= alphabet size
+
+    def test_decode_non_binary(self):
+        with pytest.raises(InvalidKeyError):
+            TextEncoder(" ab").decode("0a")
+
+    @given(words)
+    def test_roundtrip(self, word):
+        encoder = TextEncoder()
+        assert encoder.decode(encoder.encode(word)) == word
+
+    @given(words, words)
+    def test_order_preservation(self, a, b):
+        encoder = TextEncoder()
+        if a < b:
+            assert encoder.encode(a) < encoder.encode(b)
+        elif a == b:
+            assert encoder.encode(a) == encoder.encode(b)
+
+    @given(words, words)
+    def test_prefix_preservation(self, a, b):
+        encoder = TextEncoder()
+        assert b.startswith(a) == encoder.encode(b).startswith(encoder.encode(a))
+
+
+class TestTruncation:
+    def test_max_chars_for_bits(self):
+        encoder = TextEncoder()  # 5 bits/char
+        assert encoder.max_chars_for_bits(0) == 0
+        assert encoder.max_chars_for_bits(4) == 0
+        assert encoder.max_chars_for_bits(5) == 1
+        assert encoder.max_chars_for_bits(12) == 2
+
+    def test_max_chars_validated(self):
+        with pytest.raises(ValueError):
+            TextEncoder().max_chars_for_bits(-1)
+
+    def test_encode_truncated(self):
+        encoder = TextEncoder()
+        full = encoder.encode("hat")
+        assert encoder.encode_truncated("hat", 10) == full[:10]
+        assert encoder.encode_truncated("hat", 100) == full
+
+    @given(words, st.integers(0, 60))
+    def test_truncated_is_prefix_of_full(self, word, bits):
+        encoder = TextEncoder()
+        assert encoder.encode(word).startswith(
+            encoder.encode_truncated(word, bits)
+        )

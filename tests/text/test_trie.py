@@ -1,0 +1,114 @@
+"""Tests for distributed prefix text search over P-Grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.encoding import TextEncoder
+from repro.text.trie import PrefixTextIndex
+from tests.conftest import build_grid
+
+WORDS = ["apple", "apricot", "banana", "band", "bandage", "cat"]
+
+
+@pytest.fixture
+def index():
+    grid = build_grid(128, maxl=5, refmax=3, seed=51)
+    text_index = PrefixTextIndex(grid)
+    for offset, word in enumerate(WORDS):
+        text_index.publish(word, holder=offset, recbreadth=3)
+    return text_index
+
+
+class TestPublish:
+    def test_publish_costs_messages(self):
+        grid = build_grid(64, maxl=4, refmax=2, seed=52)
+        text_index = PrefixTextIndex(grid)
+        cost = text_index.publish("hello", holder=0, recbreadth=2)
+        assert cost >= 0
+        # the word is stored at its holder under the truncated key
+        key = text_index.word_key("hello")
+        assert "hello" in grid.peer(0).store.get_item(key).value
+
+    def test_publish_empty_word_rejected(self):
+        grid = build_grid(16, maxl=3, seed=53)
+        with pytest.raises(ValueError):
+            PrefixTextIndex(grid).publish("", holder=0)
+
+    def test_key_bits_validated(self):
+        grid = build_grid(16, maxl=3, seed=54)
+        with pytest.raises(ValueError):
+            PrefixTextIndex(grid, key_bits=2)  # below one character
+
+    def test_aliased_words_accumulate_at_holder(self):
+        grid = build_grid(64, maxl=4, refmax=2, seed=55)
+        # key_bits = 5: single character keys, "cat" and "car" share key
+        text_index = PrefixTextIndex(grid, key_bits=5)
+        text_index.publish("cat", holder=3)
+        text_index.publish("car", holder=3)
+        key = text_index.word_key("cat")
+        assert set(grid.peer(3).store.get_item(key).value) == {"cat", "car"}
+
+    def test_publish_corpus(self):
+        grid = build_grid(64, maxl=4, refmax=2, seed=56)
+        text_index = PrefixTextIndex(grid)
+        total = text_index.publish_corpus({0: ["ant"], 1: ["bee", "bat"]})
+        assert total >= 0
+        assert text_index.lookup("bee", start=5).found
+
+
+class TestLookup:
+    def test_exact_lookup_finds_word(self, index):
+        result = index.lookup("banana", start=40)
+        assert result.found
+        assert result.words == ["banana"]
+
+    def test_lookup_case_insensitive(self, index):
+        assert index.lookup("APPLE", start=9).found
+
+    def test_lookup_missing_word(self, index):
+        result = index.lookup("zebra", start=3)
+        assert not result.found
+        assert result.words == []
+
+    def test_lookup_near_alias_is_exact(self, index):
+        # "band" and "bandage" share a truncated key but lookup("band")
+        # must return only the exact word.
+        result = index.lookup("band", start=17)
+        assert result.words == ["band"]
+
+
+class TestPrefixSearch:
+    def test_prefix_enumerates_matching_words(self, index):
+        result = index.prefix_search("ban", start=22, recbreadth=4)
+        assert set(result.words) >= {"banana", "band"}
+        assert all(word.startswith("ban") for word in result.words)
+
+    def test_single_letter_prefix(self, index):
+        result = index.prefix_search("a", start=8, recbreadth=4)
+        assert set(result.words) >= {"apple", "apricot"}
+
+    def test_prefix_excludes_non_matching(self, index):
+        result = index.prefix_search("cat", start=1, recbreadth=4)
+        assert result.words == ["cat"]
+
+    def test_empty_prefix_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.prefix_search("", start=0)
+
+    def test_miss_prefix(self, index):
+        result = index.prefix_search("zz", start=0, recbreadth=4)
+        assert not result.found
+
+
+class TestWordKey:
+    def test_word_key_is_truncated_encoding(self):
+        grid = build_grid(16, maxl=3, seed=57)
+        text_index = PrefixTextIndex(grid, key_bits=10)
+        encoder = TextEncoder()
+        assert text_index.word_key("hello") == encoder.encode("he")
+
+    def test_word_key_lowercases(self):
+        grid = build_grid(16, maxl=3, seed=58)
+        text_index = PrefixTextIndex(grid)
+        assert text_index.word_key("Cat") == text_index.word_key("cat")
