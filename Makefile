@@ -2,13 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper bench-quick examples clean results
+.PHONY: install test lint check bench bench-paper bench-quick examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Lint degrades gracefully: offline environments may lack ruff/mypy
+# (CI always installs them — see .github/workflows/ci.yml).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed - skipping"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PYTHON) -m mypy src/repro/obs; \
+	else \
+		echo "mypy not installed - skipping"; \
+	fi
+
+check: test lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,7 +14,7 @@ matching measured Gnutella topologies closely enough for cost *shape*).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core import keys as keyspace
 from repro.core.peer import Address

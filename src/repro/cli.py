@@ -15,6 +15,9 @@ Subcommands
 ``scenario``
     Run a declarative end-to-end scenario (build + seed + mixed workload)
     and print its metrics.
+``stats``
+    Run a scenario with a :class:`~repro.obs.MetricsProbe` attached and
+    print the full metrics registry (optionally exported to JSON/CSV).
 ``experiment``
     Run one of the paper-reproduction experiments and print its table.
 ``report``
@@ -98,6 +101,8 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--max-exchanges", type=int, default=5_000_000)
     build.add_argument("--snapshot", type=str, default=None,
                        help="write the constructed grid to this JSON file")
+    build.add_argument("--trace", action="store_true",
+                       help="record exchange events (bounded) and print a summary")
 
     search = sub.add_parser("search", help="search a snapshot grid")
     search.add_argument("snapshot", type=str)
@@ -105,6 +110,8 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--start", type=int, default=0)
     search.add_argument("--p-online", type=float, default=1.0)
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--trace", action="store_true",
+                        help="dump the hop-level trace of the search")
 
     analyze = sub.add_parser("analyze", help="run the §4 sizing planner")
     analyze.add_argument("--d-global", type=int, default=10**7)
@@ -130,6 +137,25 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--operations", type=int, default=2000)
     scenario.add_argument("--update-fraction", type=float, default=0.1)
     scenario.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser(
+        "stats", help="run an instrumented scenario and print the metrics registry"
+    )
+    stats.add_argument("--peers", type=int, default=512)
+    stats.add_argument("--maxl", type=int, default=6)
+    stats.add_argument("--refmax", type=int, default=5)
+    stats.add_argument("--items-per-peer", type=int, default=4)
+    stats.add_argument("--key-length", type=int, default=8)
+    stats.add_argument("--zipf", type=float, default=0.0,
+                       help="Zipf exponent for keys (0 = uniform)")
+    stats.add_argument("--p-online", type=float, default=1.0)
+    stats.add_argument("--operations", type=int, default=2000)
+    stats.add_argument("--update-fraction", type=float, default=0.1)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--json", type=str, default=None,
+                       help="write the metrics snapshot to this JSON file")
+    stats.add_argument("--csv", type=str, default=None,
+                       help="write the flat metric rows to this CSV file")
 
     experiment = sub.add_parser(
         "experiment", help="run a paper-reproduction experiment"
@@ -162,7 +188,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     grid = PGrid(config, rng=random.Random(args.seed))
     grid.add_peers(args.peers)
-    report = GridBuilder(grid).build(
+    trace = None
+    engine = None
+    if args.trace:
+        from repro.core.exchange import ExchangeEngine
+        from repro.obs import TraceRecorder
+
+        trace = TraceRecorder(limit=100_000)
+        engine = ExchangeEngine(grid, probe=trace)
+    report = GridBuilder(grid, engine=engine).build(
         threshold_fraction=args.threshold, max_exchanges=args.max_exchanges
     )
     print(
@@ -172,6 +206,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     violations = grid.audit_routing()
     print(f"routing invariant violations: {len(violations)}")
+    if trace is not None:
+        _print_trace_summary(trace)
     if args.snapshot:
         path = save_grid(grid, args.snapshot)
         print(f"snapshot written to {path}")
@@ -183,7 +219,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     grid = load_grid(args.snapshot, rng=rng)
     if args.p_online < 1.0:
         grid.online_oracle = BernoulliChurn(args.p_online, random.Random(args.seed + 1))
-    engine = SearchEngine(grid)
+    trace = None
+    if args.trace:
+        from repro.obs import TraceRecorder
+
+        trace = TraceRecorder()
+    engine = SearchEngine(grid, probe=trace)
     result = engine.query_from(args.start, args.key)
     print(
         f"found={result.found} responder={result.responder} "
@@ -191,7 +232,69 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     for ref in result.data_refs:
         print(f"  data: key={ref.key} holder={ref.holder} version={ref.version}")
+    if trace is not None:
+        print("trace:")
+        for line in trace.replay():
+            print(f"  {line}")
     return 0 if result.found else 1
+
+
+def _print_trace_summary(trace) -> int:
+    """Per-kind event counts for a (possibly bounded) trace."""
+    from collections import Counter as _Counter
+
+    by_kind = _Counter(event.kind for event in trace.events)
+    print(f"trace: {len(trace)} events recorded, {trace.dropped} dropped")
+    for kind, count in sorted(by_kind.items()):
+        print(f"  {kind:<14} {count}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsProbe
+    from repro.report.tables import render_table
+    from repro.sim.scenario import KeyDistribution, ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(
+        n_peers=args.peers,
+        config=PGridConfig(
+            maxl=args.maxl, refmax=args.refmax, recmax=2, recursion_fanout=2
+        ),
+        items_per_peer=args.items_per_peer,
+        key_length=args.key_length,
+        key_distribution=(
+            KeyDistribution.ZIPF if args.zipf > 0 else KeyDistribution.UNIFORM
+        ),
+        zipf_exponent=args.zipf if args.zipf > 0 else 1.0,
+        p_online=args.p_online,
+        operations=args.operations,
+        update_fraction=args.update_fraction,
+        seed=args.seed,
+    )
+    probe = MetricsProbe()
+    metrics = run_scenario(spec, probe=probe)
+    registry = probe.registry
+    print(
+        render_table(
+            ["metric", "type", "field", "value"],
+            list(registry.to_rows()),
+            title=f"metrics for {args.operations} operations over "
+            f"{args.peers} peers (p_online={args.p_online})",
+            float_digits=3,
+        )
+    )
+    print(
+        f"\nscenario: search_success={metrics.search_success_rate:.4f} "
+        f"read_success={metrics.read_success_rate:.4f} "
+        f"update_coverage={metrics.update_coverage_mean:.4f}"
+    )
+    if args.json:
+        path = registry.write_json(args.json)
+        print(f"metrics snapshot written to {path}")
+    if args.csv:
+        path = registry.write_csv(args.csv)
+        print(f"metric rows written to {path}")
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -303,6 +406,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "info": _cmd_info,
         "scenario": _cmd_scenario,
+        "stats": _cmd_stats,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
     }

@@ -16,6 +16,8 @@ Modules
     The randomized construction algorithm (Fig. 3).
 ``updates``
     Update propagation strategies and read strategies (§3, §5.2).
+``results``
+    The shared result protocol every engine outcome satisfies.
 ``analysis``
     Closed-form sizing and reliability analysis (§4).
 """
@@ -43,6 +45,7 @@ from repro.core.membership import (
     RepairReport,
 )
 from repro.core.peer import Address, Peer
+from repro.core.results import ContactAccounting, SearchOutcome
 from repro.core.routing import RoutingTable
 from repro.core.search import (
     BreadthSearchResult,
@@ -68,6 +71,7 @@ __all__ = [
     "Address",
     "AlwaysOnline",
     "BreadthSearchResult",
+    "ContactAccounting",
     "DataItem",
     "DataRef",
     "DataStore",
@@ -89,6 +93,7 @@ __all__ = [
     "RoutingTable",
     "SearchConfig",
     "SearchEngine",
+    "SearchOutcome",
     "SearchResult",
     "ShortcutCache",
     "ShortcutSearchEngine",

@@ -33,6 +33,7 @@ from repro.core import keys as keyspace
 from repro.core.config import PGridConfig
 from repro.core.grid import PGrid
 from repro.core.peer import Address, Peer
+from repro.obs.probe import Probe
 
 
 @dataclass
@@ -66,11 +67,23 @@ class ExchangeStats:
 
 
 class ExchangeEngine:
-    """Executes the Fig. 3 protocol on a :class:`PGrid`."""
+    """Executes the Fig. 3 protocol on a :class:`PGrid`.
 
-    def __init__(self, grid: PGrid, config: PGridConfig | None = None) -> None:
+    ``probe`` receives one ``on_meeting`` per top-level meeting and one
+    ``on_exchange_case`` per CASE action fired (including recursive
+    exchanges); ``None`` disables observation.
+    """
+
+    def __init__(
+        self,
+        grid: PGrid,
+        *,
+        config: PGridConfig | None = None,
+        probe: Probe | None = None,
+    ) -> None:
         self.grid = grid
         self.config = config or grid.config
+        self.probe = probe
         self.stats = ExchangeStats()
 
     # -- public entry point ------------------------------------------------------
@@ -85,6 +98,8 @@ class ExchangeEngine:
             raise ValueError("a peer cannot meet itself")
         before = self.stats.calls
         self.stats.meetings += 1
+        if self.probe is not None:
+            self.probe.on_meeting(address1, address2)
         self._exchange(self.grid.peer(address1), self.grid.peer(address2), 0)
         return self.stats.calls - before
 
@@ -102,6 +117,7 @@ class ExchangeEngine:
         l1 = a1.depth - lc
         l2 = a2.depth - lc
 
+        probe = self.probe
         if l1 == 0 and l2 == 0:
             if (
                 lc < config.maxl
@@ -109,20 +125,32 @@ class ExchangeEngine:
                 and self._may_specialize(a2)
             ):
                 self._case1_split(a1, a2, lc)
+                if probe is not None:
+                    probe.on_exchange_case("case1", a1.address, a2.address, lc, depth)
             else:
                 # Identical paths that will not split further (depth or
                 # data threshold reached): the peers are replicas.
                 self._record_replicas(a1, a2)
+                if probe is not None:
+                    probe.on_exchange_case(
+                        "replicas", a1.address, a2.address, lc, depth
+                    )
         elif l1 == 0 and l2 > 0:
             if lc < config.maxl and self._may_specialize(a1):
                 self._case23_specialize(shorter=a1, longer=a2, lc=lc)
                 self.stats.case2_specializations += 1
+                if probe is not None:
+                    probe.on_exchange_case("case2", a1.address, a2.address, lc, depth)
         elif l1 > 0 and l2 == 0:
             if lc < config.maxl and self._may_specialize(a2):
                 self._case23_specialize(shorter=a2, longer=a1, lc=lc)
                 self.stats.case3_specializations += 1
+                if probe is not None:
+                    probe.on_exchange_case("case3", a1.address, a2.address, lc, depth)
         else:  # l1 > 0 and l2 > 0: paths diverge at bit lc + 1
             if depth < config.recmax:
+                if probe is not None:
+                    probe.on_exchange_case("case4", a1.address, a2.address, lc, depth)
                 self._case4_recurse(a1, a2, lc, depth)
 
     def _may_specialize(self, peer: Peer) -> bool:

@@ -30,6 +30,7 @@ from repro.core.exchange import ExchangeEngine
 from repro.core.grid import PGrid
 from repro.core.peer import Address, Peer
 from repro.core.search import SearchEngine
+from repro.obs.probe import Probe
 
 
 @dataclass
@@ -72,10 +73,12 @@ class MembershipEngine:
         *,
         exchange: ExchangeEngine | None = None,
         search: SearchEngine | None = None,
+        probe: Probe | None = None,
     ) -> None:
         self.grid = grid
-        self.exchange = exchange or ExchangeEngine(grid)
-        self.search = search or SearchEngine(grid)
+        self.exchange = exchange or ExchangeEngine(grid, probe=probe)
+        self.search = search or SearchEngine(grid, probe=probe)
+        self.probe = probe
 
     # -- join ---------------------------------------------------------------
 
@@ -117,6 +120,12 @@ class MembershipEngine:
                 continue
             self.exchange.meet(newcomer.address, partner)
             meetings += 1
+        if self.probe is not None:
+            self.probe.on_join(
+                newcomer.address,
+                meetings=meetings,
+                exchanges=self.exchange.stats.calls - before,
+            )
         return JoinReport(
             address=newcomer.address,
             exchanges=self.exchange.stats.calls - before,
@@ -201,6 +210,8 @@ class MembershipEngine:
                 store.add_ref(ref)
                 handed += 1
         self.grid.remove_peer(address)
+        if self.probe is not None:
+            self.probe.on_leave(address, entries_handed_over=handed)
         return LeaveReport(
             address=address,
             handover_target=target,
@@ -243,6 +254,13 @@ class MembershipEngine:
                     break  # this level cannot be refilled right now
             if not peer.routing.refs(level):
                 report.levels_left_empty.append(level)
+        if self.probe is not None:
+            self.probe.on_repair(
+                address,
+                dead_refs_dropped=report.dead_refs_dropped,
+                refs_added=report.refs_added,
+                messages=report.messages,
+            )
         return report
 
     def _refill_one(

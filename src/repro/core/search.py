@@ -24,21 +24,30 @@ primitive: instead of trying references one by one until a single responsible
 peer answers, it forwards to up to ``recbreadth`` references *at every
 divergence level in parallel*, collecting the full set of responsible peers
 it reaches.
+
+Observability: the engine accepts a keyword-only ``probe``
+(:class:`repro.obs.Probe`) and reports every forward, offline miss,
+backtrack and termination.  With the default ``probe=None`` the hooks cost
+one identity check each; probes must not draw from the grid's RNG
+(observation is asserted to be bit-identical to an uninstrumented run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core import keys as keyspace
 from repro.core.config import SearchConfig
 from repro.core.grid import PGrid
 from repro.core.peer import Address, Peer
+from repro.core.results import ContactAccounting
 from repro.core.storage import DataRef
+from repro.obs.probe import Probe
 
 
 @dataclass
-class SearchResult:
+class SearchResult(ContactAccounting):
     """Outcome of one depth-first search.
 
     ``latency`` is the simulated end-to-end latency along the contact
@@ -55,14 +64,9 @@ class SearchResult:
     data_refs: list[DataRef] = field(default_factory=list)
     latency: float = 0.0
 
-    @property
-    def total_contacts(self) -> int:
-        """Messages plus failed contact attempts."""
-        return self.messages + self.failed_attempts
-
 
 @dataclass
-class RangeSearchResult:
+class RangeSearchResult(ContactAccounting):
     """Outcome of one range query."""
 
     low: str
@@ -80,7 +84,7 @@ class RangeSearchResult:
 
 
 @dataclass
-class BreadthSearchResult:
+class BreadthSearchResult(ContactAccounting):
     """Outcome of one breadth-first (multi-replica) search."""
 
     query: str
@@ -119,18 +123,28 @@ class SearchEngine:
     simulated end-to-end latency of the contact chain.  It does not
     influence routing here — :class:`repro.sim.topology` provides the
     proximity-aware engine variants that do.
+
+    ``probe`` receives the hop-level observability hooks; ``None`` (the
+    default) disables observation entirely.
     """
 
     def __init__(
         self,
         grid: PGrid,
-        config: SearchConfig | None = None,
         *,
+        config: SearchConfig | None = None,
+        probe: Probe | None = None,
         topology=None,
     ) -> None:
         self.grid = grid
         self.config = config or SearchConfig()
+        self.probe = probe
         self.topology = topology
+        # True when this instance uses the base attempt order, letting
+        # _query skip the generator machinery on the uninstrumented path.
+        self._inline_order = (
+            type(self)._attempt_order is SearchEngine._attempt_order
+        )
 
     # -- depth-first search (Fig. 2) -------------------------------------------
 
@@ -142,12 +156,25 @@ class SearchEngine:
         """
         keyspace.validate_key(query)
         peer = self.grid.peer(start)
+        probe = self.probe
+        if probe is not None:
+            probe.on_search_start("dfs", start, query)
         budget = _Budget(self.config.max_messages)
         stats: dict[str, float] = {"messages": 0, "failed": 0, "latency": 0.0}
         found, responder = self._query(peer, query, 0, budget, stats)
         data_refs: list[DataRef] = []
         if found and responder is not None:
             data_refs = self.grid.peer(responder).store.lookup(query)
+        if probe is not None:
+            probe.on_search_end(
+                "dfs",
+                start,
+                query,
+                found=found,
+                messages=int(stats["messages"]),
+                failed_attempts=int(stats["failed"]),
+                latency=stats["latency"],
+            )
         return SearchResult(
             query=query,
             start=start,
@@ -159,6 +186,22 @@ class SearchEngine:
             latency=stats["latency"],
         )
 
+    def _attempt_order(
+        self, peer: Peer, refs: list[Address]
+    ) -> Iterator[Address]:
+        """Yield forwarding candidates in attempt order.
+
+        The base engine draws uniformly without replacement — *lazily*,
+        so the RNG is consulted only for attempts actually made (this
+        preserves the paper's random-reference semantics and keeps the
+        RNG stream identical whether or not later candidates are
+        needed).  :class:`repro.sim.topology.ProximitySearchEngine`
+        overrides this with a nearest-first ordering.
+        """
+        rng = self.grid.rng
+        while refs:
+            yield refs.pop(rng.randrange(len(refs)))
+
     def _query(
         self,
         peer: Peer,
@@ -168,26 +211,56 @@ class SearchEngine:
         stats: dict[str, float],
     ) -> tuple[bool, Address | None]:
         """Recursive body of Fig. 2; *level* = bits of ``path(peer)`` consumed."""
+        probe = self.probe
         rempath = peer.path[level:]
         compath = keyspace.common_prefix(p, rempath)
         lc = len(compath)
         if lc == len(p) or lc == len(rempath):
+            if probe is not None:
+                probe.on_responsible(peer.address, level + lc)
             return True, peer.address
         # Divergence: forward the unmatched suffix sideways.
         querypath = p[lc:]
-        refs = list(peer.routing.refs(level + lc + 1))
-        rng = self.grid.rng
-        while refs:
-            index = rng.randrange(len(refs))
-            address = refs.pop(index)
+        ref_level = level + lc + 1
+        refs = list(peer.routing.refs(ref_level))
+        if probe is None and self._inline_order:
+            # Uninstrumented fast path: the same lazy draws as
+            # _attempt_order without a generator frame per hop.  The
+            # probe-transparency property test pins both paths to
+            # identical results and RNG streams.
+            grid = self.grid
+            rng = grid.rng
+            while refs:
+                address = refs.pop(rng.randrange(len(refs)))
+                if not grid.has_peer(address) or not grid.is_online(address):
+                    stats["failed"] += 1
+                    continue
+                if not budget.consume():
+                    return False, None
+                stats["messages"] += 1
+                if self.topology is not None:
+                    stats["latency"] += self.topology.latency(
+                        peer.address, address
+                    )
+                found, responder = self._query(
+                    grid.peer(address), querypath, level + lc, budget, stats
+                )
+                if found:
+                    return True, responder
+            return False, None
+        for address in self._attempt_order(peer, refs):
             # A dangling reference (departed peer) behaves like an offline
             # one: the contact attempt fails.
             if not self.grid.has_peer(address) or not self.grid.is_online(address):
                 stats["failed"] += 1
+                if probe is not None:
+                    probe.on_offline_miss(peer.address, address, ref_level)
                 continue
             if not budget.consume():
                 return False, None
             stats["messages"] += 1
+            if probe is not None:
+                probe.on_forward(peer.address, address, ref_level)
             if self.topology is not None:
                 stats["latency"] += self.topology.latency(peer.address, address)
             found, responder = self._query(
@@ -195,6 +268,8 @@ class SearchEngine:
             )
             if found:
                 return True, responder
+            if probe is not None:
+                probe.on_backtrack(peer.address, ref_level)
         return False, None
 
     # -- repeated depth-first search (§5.2 update strategy 1) ---------------------
@@ -251,6 +326,9 @@ class SearchEngine:
         if recbreadth < 1:
             raise ValueError(f"recbreadth must be >= 1, got {recbreadth}")
         keyspace.validate_key(query)
+        probe = self.probe
+        if probe is not None:
+            probe.on_search_start("bfs", start, query)
         budget = _Budget(self.config.max_messages)
         stats = {"messages": 0, "failed": 0}
         responders: list[Address] = []
@@ -266,6 +344,15 @@ class SearchEngine:
             seen,
             enumerate_subtree,
         )
+        if probe is not None:
+            probe.on_search_end(
+                "bfs",
+                start,
+                query,
+                found=bool(responders),
+                messages=stats["messages"],
+                failed_attempts=stats["failed"],
+            )
         return BreadthSearchResult(
             query=query,
             start=start,
@@ -287,8 +374,14 @@ class SearchEngine:
         resolved with a breadth-first search and the responders' leaf
         entries are filtered to the range.  Duplicate entries returned by
         several replicas are deduplicated.
+
+        The probe sees one ``range`` search wrapping the per-prefix
+        ``bfs`` sub-searches (nested start/end events).
         """
         cover = keyspace.range_cover(low, high)
+        probe = self.probe
+        if probe is not None:
+            probe.on_search_start("range", start, f"{low}..{high}")
         responders: list[Address] = []
         seen_responders: set[Address] = set()
         refs: dict[tuple[str, Address], DataRef] = {}
@@ -311,6 +404,15 @@ class SearchEngine:
                         if existing is None or ref.version > existing.version:
                             refs[key] = ref
         data_refs = sorted(refs.values(), key=lambda r: (r.key, r.holder))
+        if probe is not None:
+            probe.on_search_end(
+                "range",
+                start,
+                f"{low}..{high}",
+                found=bool(responders),
+                messages=messages,
+                failed_attempts=failed,
+            )
         return RangeSearchResult(
             low=low,
             high=high,
@@ -358,6 +460,8 @@ class SearchEngine:
         lc = len(compath)
         if lc == len(p) or lc == len(rempath):
             responders.append(peer.address)
+            if self.probe is not None:
+                self.probe.on_responsible(peer.address, level + lc)
             if enumerate_subtree and lc == len(p):
                 # The peer's path extends past the query: its references at
                 # every level below the match point into the *other* halves
@@ -392,6 +496,7 @@ class SearchEngine:
         Offline contacts are skipped and replaced by further candidates
         (the depth-first search retries the same way, one at a time).
         """
+        probe = self.probe
         refs = list(peer.routing.refs(ref_level))
         rng = self.grid.rng
         rng.shuffle(refs)
@@ -403,10 +508,14 @@ class SearchEngine:
                 continue
             if not self.grid.has_peer(address) or not self.grid.is_online(address):
                 stats["failed"] += 1
+                if probe is not None:
+                    probe.on_offline_miss(peer.address, address, ref_level)
                 continue
             if not budget.consume():
                 return
             stats["messages"] += 1
+            if probe is not None:
+                probe.on_forward(peer.address, address, ref_level)
             forwarded += 1
             self._breadth(
                 self.grid.peer(address),

@@ -25,12 +25,13 @@ semantics are identical to the plain search.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core import keys as keyspace
 from repro.core.grid import PGrid
 from repro.core.peer import Address
 from repro.core.search import SearchEngine, SearchResult
+from repro.obs.probe import Probe
 
 
 @dataclass
@@ -81,22 +82,32 @@ class ShortcutCache:
         return len(self._entries)
 
 
-@dataclass
 class ShortcutSearchEngine:
     """A caching layer over the Fig. 2 search.
 
     One cache per initiating peer (a deployed node caches locally; a
     shared cache would be a different system).  Caches are created lazily.
+
+    ``probe`` sees one ``on_shortcut`` event per cache decision
+    (``hit``/``miss``/``invalidate``) plus the direct contact of a hit as
+    an ``on_forward``; cache misses fall through to the wrapped engine,
+    which reports its own hop events when it shares the probe (the
+    default when no explicit ``search`` is given).
     """
 
-    grid: PGrid
-    search: SearchEngine | None = None
-    capacity: int = 128
-    stats: ShortcutStats = field(default_factory=ShortcutStats)
-
-    def __post_init__(self) -> None:
-        if self.search is None:
-            self.search = SearchEngine(self.grid)
+    def __init__(
+        self,
+        grid: PGrid,
+        *,
+        search: SearchEngine | None = None,
+        capacity: int = 128,
+        probe: Probe | None = None,
+    ) -> None:
+        self.grid = grid
+        self.search = search or SearchEngine(grid, probe=probe)
+        self.capacity = capacity
+        self.probe = probe
+        self.stats = ShortcutStats()
         self._caches: dict[Address, ShortcutCache] = {}
 
     def cache_for(self, address: Address) -> ShortcutCache:
@@ -110,16 +121,25 @@ class ShortcutSearchEngine:
     def query_from(self, start: Address, query: str) -> SearchResult:
         """Search with shortcut attempt first, Fig. 2 fallback."""
         keyspace.validate_key(query)
+        probe = self.probe
         cache = self.cache_for(start)
         cached = cache.get(query)
         if cached is not None:
             result = self._try_shortcut(start, query, cached)
             if result is not None:
                 self.stats.hits += 1
+                if probe is not None:
+                    probe.on_shortcut("hit", start, query)
+                    if result.messages:
+                        probe.on_forward(start, cached, 0)
                 return result
             cache.invalidate(query)
             self.stats.invalidations += 1
+            if probe is not None:
+                probe.on_shortcut("invalidate", start, query)
         self.stats.misses += 1
+        if probe is not None:
+            probe.on_shortcut("miss", start, query)
         result = self.search.query_from(start, query)
         if result.found and result.responder is not None:
             cache.put(query, result.responder)

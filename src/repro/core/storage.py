@@ -17,7 +17,7 @@ indexed key with the peer's path as a prefix, the addresses of the peers that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.core import keys as keyspace

@@ -27,8 +27,10 @@ from repro.core import keys as keyspace
 from repro.core.config import UpdateConfig
 from repro.core.grid import PGrid
 from repro.core.peer import Address
+from repro.core.results import ContactAccounting
 from repro.core.search import SearchEngine
 from repro.core.storage import DataItem, DataRef
+from repro.obs.probe import Probe
 
 
 class UpdateStrategy(enum.Enum):
@@ -40,7 +42,7 @@ class UpdateStrategy(enum.Enum):
 
 
 @dataclass
-class UpdateResult:
+class UpdateResult(ContactAccounting):
     """Outcome of one update propagation."""
 
     key: str
@@ -51,6 +53,11 @@ class UpdateResult:
     replica_count: int
 
     @property
+    def found(self) -> bool:
+        """Whether the update reached at least one replica."""
+        return bool(self.reached)
+
+    @property
     def coverage(self) -> float:
         """Fraction of existing replicas that received the update."""
         if self.replica_count == 0:
@@ -59,7 +66,7 @@ class UpdateResult:
 
 
 @dataclass
-class ReadResult:
+class ReadResult(ContactAccounting):
     """Outcome of one read (query for an index entry)."""
 
     key: str
@@ -67,6 +74,11 @@ class ReadResult:
     messages: int
     failed_attempts: int
     repetitions: int
+
+    @property
+    def found(self) -> bool:
+        """Alias of ``success`` (the shared result protocol's name)."""
+        return self.success
 
 
 class UpdateEngine:
@@ -80,13 +92,15 @@ class UpdateEngine:
     def __init__(
         self,
         grid: PGrid,
-        search: SearchEngine | None = None,
         *,
+        search: SearchEngine | None = None,
         config: UpdateConfig | None = None,
+        probe: Probe | None = None,
     ) -> None:
         self.grid = grid
-        self.search = search or SearchEngine(grid)
+        self.search = search or SearchEngine(grid, probe=probe)
         self.config = config or UpdateConfig()
+        self.probe = probe
 
     # -- insertion / update ------------------------------------------------------
 
@@ -140,6 +154,14 @@ class UpdateEngine:
         )
         for address in reached:
             self.grid.peer(address).store.add_ref(ref)
+        if self.probe is not None:
+            self.probe.on_update(
+                ref.key,
+                strategy.value,
+                reached=len(reached),
+                messages=messages,
+                failed_attempts=failed,
+            )
         return UpdateResult(
             key=ref.key,
             version=ref.version,
@@ -254,9 +276,27 @@ class UpdateEngine:
 class ReadEngine:
     """Query strategies for reading possibly partially-updated entries."""
 
-    def __init__(self, grid: PGrid, search: SearchEngine | None = None) -> None:
+    def __init__(
+        self,
+        grid: PGrid,
+        *,
+        search: SearchEngine | None = None,
+        probe: Probe | None = None,
+    ) -> None:
         self.grid = grid
-        self.search = search or SearchEngine(grid)
+        self.search = search or SearchEngine(grid, probe=probe)
+        self.probe = probe
+
+    def _finish(self, result: ReadResult) -> ReadResult:
+        if self.probe is not None:
+            self.probe.on_read(
+                result.key,
+                success=result.success,
+                messages=result.messages,
+                failed_attempts=result.failed_attempts,
+                repetitions=result.repetitions,
+            )
+        return result
 
     def _responder_is_fresh(
         self, responder: Address, key: str, holder: Address, version: int
@@ -276,12 +316,14 @@ class ReadEngine:
             and result.responder is not None
             and self._responder_is_fresh(result.responder, key, holder, version)
         )
-        return ReadResult(
-            key=key,
-            success=success,
-            messages=result.messages,
-            failed_attempts=result.failed_attempts,
-            repetitions=1,
+        return self._finish(
+            ReadResult(
+                key=key,
+                success=success,
+                messages=result.messages,
+                failed_attempts=result.failed_attempts,
+                repetitions=1,
+            )
         )
 
     def read_repeated(
@@ -315,19 +357,23 @@ class ReadEngine:
                 and result.responder is not None
                 and self._responder_is_fresh(result.responder, key, holder, version)
             ):
-                return ReadResult(
-                    key=key,
-                    success=True,
-                    messages=messages,
-                    failed_attempts=failed,
-                    repetitions=attempt,
+                return self._finish(
+                    ReadResult(
+                        key=key,
+                        success=True,
+                        messages=messages,
+                        failed_attempts=failed,
+                        repetitions=attempt,
+                    )
                 )
-        return ReadResult(
-            key=key,
-            success=False,
-            messages=messages,
-            failed_attempts=failed,
-            repetitions=max_repetitions,
+        return self._finish(
+            ReadResult(
+                key=key,
+                success=False,
+                messages=messages,
+                failed_attempts=failed,
+                repetitions=max_repetitions,
+            )
         )
 
     def read_majority(
@@ -350,10 +396,12 @@ class ReadEngine:
                 if self._responder_is_fresh(result.responder, key, holder, version):
                     fresh += 1
         success = answered > 0 and fresh * 2 > answered
-        return ReadResult(
-            key=key,
-            success=success,
-            messages=messages,
-            failed_attempts=failed,
-            repetitions=votes,
+        return self._finish(
+            ReadResult(
+                key=key,
+                success=success,
+                messages=messages,
+                failed_attempts=failed,
+                repetitions=votes,
+            )
         )

@@ -690,7 +690,7 @@ def run_shortcut_cache(
             )
             plain = SearchEngine(grid)
             engine = (
-                ShortcutSearchEngine(grid, plain, capacity=cache_capacity)
+                ShortcutSearchEngine(grid, search=plain, capacity=cache_capacity)
                 if cached
                 else plain
             )

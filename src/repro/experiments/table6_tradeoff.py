@@ -78,7 +78,7 @@ def run(
         profile.p_online, rngmod.derive(profile.seed, "t6-churn")
     )
     updates = UpdateEngine(grid)
-    reads = ReadEngine(grid, updates.search)
+    reads = ReadEngine(grid, search=updates.search)
     keys = UniformKeyWorkload(
         profile.query_key_length, rngmod.derive(profile.seed, "t6-keys")
     )

@@ -26,6 +26,7 @@ from repro.core.grid import PGrid
 from repro.core.peer import Address
 from repro.errors import PeerOfflineError, TransportError
 from repro.net.message import Message, MessageKind
+from repro.obs.probe import Probe
 
 Handler = Callable[[Message], Message | None]
 
@@ -98,6 +99,7 @@ class LocalTransport:
         loss_probability: float = 0.0,
         latency: LatencyModel | None = None,
         rng: random.Random | None = None,
+        probe: Probe | None = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
@@ -108,6 +110,7 @@ class LocalTransport:
         self.latency = latency
         self._rng = rng or grid.rng
         self._handlers: dict[Address, Handler] = {}
+        self.probe = probe
         self.stats = TrafficStats()
 
     def register(self, address: Address, handler: Handler) -> None:
@@ -131,6 +134,7 @@ class LocalTransport:
         :class:`TransportError` if it has no handler or the message is
         dropped by the loss model.
         """
+        probe = self.probe
         handler = self._handlers.get(message.destination)
         if handler is None:
             raise TransportError(
@@ -138,15 +142,27 @@ class LocalTransport:
             )
         if not self.grid.is_online(message.destination):
             self.stats.offline_failures += 1
+            if probe is not None:
+                probe.on_transport(
+                    message.kind.value, message.source, message.destination, "offline"
+                )
             raise PeerOfflineError(message.destination)
         if self.loss_probability and self._rng.random() < self.loss_probability:
             self.stats.dropped += 1
+            if probe is not None:
+                probe.on_transport(
+                    message.kind.value, message.source, message.destination, "dropped"
+                )
             raise TransportError(
                 f"message {message.message_id} to {message.destination} lost"
             )
         if self.latency is not None:
             self.stats.simulated_time += self.latency.sample(message)
         self.stats.delivered[message.kind] += 1
+        if probe is not None:
+            probe.on_transport(
+                message.kind.value, message.source, message.destination, "delivered"
+            )
         return handler(message)
 
     def try_send(self, message: Message) -> Message | None:

@@ -1,0 +1,49 @@
+"""Observability layer: probes, metrics registry and hop-level tracing.
+
+Every engine and the simulated transport accept a keyword-only ``probe``
+(:class:`Probe`); the two shipped implementations are
+:class:`MetricsProbe` (aggregates into a :class:`MetricsRegistry`) and
+:class:`TraceRecorder` (structured per-hop event log).  The default
+``probe=None`` path costs one identity check per decision point —
+observation is strictly opt-in and must never perturb the simulation.
+
+Typical use::
+
+    from repro.obs import MetricsProbe, TraceRecorder
+
+    probe = MetricsProbe()
+    engine = SearchEngine(grid, probe=probe)
+    engine.query_from(0, "0101")
+    print(probe.registry.snapshot())
+
+    trace = TraceRecorder()
+    SearchEngine(grid, probe=trace).query_from(0, "0101")
+    for line in trace.replay():
+        print(line)
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRIC_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsProbe,
+    MetricsRegistry,
+)
+from repro.obs.probe import CompositeProbe, Probe
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "CompositeProbe",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRIC_NAMES",
+    "MetricsProbe",
+    "MetricsRegistry",
+    "Probe",
+    "TraceEvent",
+    "TraceRecorder",
+]

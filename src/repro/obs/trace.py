@@ -1,0 +1,290 @@
+"""Hop-level tracing: record one operation's decision points end-to-end.
+
+:class:`TraceRecorder` is a :class:`~repro.obs.probe.Probe` that captures
+every hook invocation as a structured :class:`TraceEvent`, so a single
+search or exchange can be replayed and audited: which peer contacted
+which, at what routing level, where the depth-first search backtracked,
+which contacts hit offline peers, and which CASE actions an exchange
+cascade fired.
+
+The recorder is the ground truth the cost model is validated against:
+for a depth-first search, ``messages == len(events_of(FORWARD))`` and
+``failed_attempts == len(events_of(OFFLINE_MISS))`` — the test suite
+asserts these reconstruct the :class:`~repro.core.search.SearchResult`
+tallies exactly.
+
+A ``limit`` bounds memory for long runs (e.g. tracing a full
+construction): once full, further events are counted in ``dropped`` but
+not stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.probe import Address, Probe
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded decision point.
+
+    ``source``/``target`` are peer addresses where applicable (−1 when
+    the hook carries no such operand); ``detail`` holds the hook-specific
+    extras (query, case label, counters...).
+    """
+
+    seq: int
+    kind: str
+    source: Address = -1
+    target: Address = -1
+    level: int = -1
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One human-readable line (the CLI ``--trace`` output format)."""
+        parts = [f"#{self.seq:<4} {self.kind}"]
+        if self.source >= 0:
+            parts.append(f"from={self.source}")
+        if self.target >= 0:
+            parts.append(f"to={self.target}")
+        if self.level >= 0:
+            parts.append(f"level={self.level}")
+        parts.extend(f"{key}={value}" for key, value in self.detail.items())
+        return " ".join(parts)
+
+
+class TraceRecorder(Probe):
+    """Records probe hooks as an ordered event log."""
+
+    # Event kinds (one per probe hook family).
+    SEARCH_START = "search_start"
+    SEARCH_END = "search_end"
+    FORWARD = "forward"
+    OFFLINE_MISS = "offline_miss"
+    BACKTRACK = "backtrack"
+    RESPONSIBLE = "responsible"
+    SHORTCUT = "shortcut"
+    MEETING = "meeting"
+    EXCHANGE_CASE = "exchange_case"
+    UPDATE = "update"
+    READ = "read"
+    JOIN = "join"
+    LEAVE = "leave"
+    REPAIR = "repair"
+    TRANSPORT = "transport"
+
+    def __init__(self, *, limit: int | None = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1 or None, got {limit}")
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    # -- recording core -----------------------------------------------------------
+
+    def _record(
+        self,
+        kind: str,
+        source: Address = -1,
+        target: Address = -1,
+        level: int = -1,
+        **detail: Any,
+    ) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                seq=len(self.events),
+                kind=kind,
+                source=source,
+                target=target,
+                level=level,
+                detail=detail,
+            )
+        )
+
+    def clear(self) -> None:
+        """Drop all recorded events (reuse the recorder between operations)."""
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- queries ---------------------------------------------------------------
+
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        """All events of one *kind*, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def hop_chain(self) -> list[tuple[Address, Address, int]]:
+        """The contact chain: ``(source, target, level)`` per forward hop."""
+        return [
+            (event.source, event.target, event.level)
+            for event in self.events
+            if event.kind == self.FORWARD
+        ]
+
+    @property
+    def message_count(self) -> int:
+        """Successful contacts recorded (== §5.2 *messages*)."""
+        return sum(1 for event in self.events if event.kind == self.FORWARD)
+
+    @property
+    def failed_count(self) -> int:
+        """Offline misses recorded (== ``failed_attempts``)."""
+        return sum(1 for event in self.events if event.kind == self.OFFLINE_MISS)
+
+    @property
+    def backtrack_count(self) -> int:
+        """Backtracking steps of the depth-first search."""
+        return sum(1 for event in self.events if event.kind == self.BACKTRACK)
+
+    def replay(self) -> Iterator[str]:
+        """Human-readable lines for every event, in recorded order."""
+        for event in self.events:
+            yield event.describe()
+        if self.dropped:
+            yield f"... {self.dropped} further events dropped (limit={self.limit})"
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """JSON-friendly copies of all events."""
+        return [
+            {
+                "seq": event.seq,
+                "kind": event.kind,
+                "source": event.source,
+                "target": event.target,
+                "level": event.level,
+                **({"detail": event.detail} if event.detail else {}),
+            }
+            for event in self.events
+        ]
+
+    # -- probe hooks ---------------------------------------------------------------
+
+    def on_search_start(self, kind: str, start: Address, query: str) -> None:
+        self._record(self.SEARCH_START, source=start, search=kind, query=query)
+
+    def on_search_end(
+        self,
+        kind: str,
+        start: Address,
+        query: str,
+        *,
+        found: bool,
+        messages: int,
+        failed_attempts: int,
+        latency: float = 0.0,
+    ) -> None:
+        self._record(
+            self.SEARCH_END,
+            source=start,
+            search=kind,
+            query=query,
+            found=found,
+            messages=messages,
+            failed_attempts=failed_attempts,
+        )
+
+    def on_forward(self, source: Address, target: Address, level: int) -> None:
+        self._record(self.FORWARD, source=source, target=target, level=level)
+
+    def on_offline_miss(self, source: Address, target: Address, level: int) -> None:
+        self._record(self.OFFLINE_MISS, source=source, target=target, level=level)
+
+    def on_backtrack(self, peer: Address, level: int) -> None:
+        self._record(self.BACKTRACK, source=peer, level=level)
+
+    def on_responsible(self, peer: Address, level: int) -> None:
+        self._record(self.RESPONSIBLE, source=peer, level=level)
+
+    def on_shortcut(self, event: str, start: Address, query: str) -> None:
+        self._record(self.SHORTCUT, source=start, event=event, query=query)
+
+    def on_meeting(self, peer1: Address, peer2: Address) -> None:
+        self._record(self.MEETING, source=peer1, target=peer2)
+
+    def on_exchange_case(
+        self, case: str, peer1: Address, peer2: Address, lc: int, depth: int
+    ) -> None:
+        self._record(
+            self.EXCHANGE_CASE,
+            source=peer1,
+            target=peer2,
+            level=lc,
+            case=case,
+            depth=depth,
+        )
+
+    def on_update(
+        self,
+        key: str,
+        strategy: str,
+        *,
+        reached: int,
+        messages: int,
+        failed_attempts: int,
+    ) -> None:
+        self._record(
+            self.UPDATE,
+            key=key,
+            strategy=strategy,
+            reached=reached,
+            messages=messages,
+            failed_attempts=failed_attempts,
+        )
+
+    def on_read(
+        self,
+        key: str,
+        *,
+        success: bool,
+        messages: int,
+        failed_attempts: int,
+        repetitions: int,
+    ) -> None:
+        self._record(
+            self.READ,
+            key=key,
+            success=success,
+            messages=messages,
+            failed_attempts=failed_attempts,
+            repetitions=repetitions,
+        )
+
+    def on_join(self, address: Address, *, meetings: int, exchanges: int) -> None:
+        self._record(self.JOIN, source=address, meetings=meetings, exchanges=exchanges)
+
+    def on_leave(self, address: Address, *, entries_handed_over: int) -> None:
+        self._record(
+            self.LEAVE, source=address, entries_handed_over=entries_handed_over
+        )
+
+    def on_repair(
+        self,
+        address: Address,
+        *,
+        dead_refs_dropped: int,
+        refs_added: int,
+        messages: int,
+    ) -> None:
+        self._record(
+            self.REPAIR,
+            source=address,
+            dead_refs_dropped=dead_refs_dropped,
+            refs_added=refs_added,
+            messages=messages,
+        )
+
+    def on_transport(
+        self, kind: str, source: Address, target: Address, status: str
+    ) -> None:
+        self._record(
+            self.TRANSPORT, source=source, target=target, message=kind, status=status
+        )

@@ -21,6 +21,7 @@ from repro.sim.metrics import (
     RateAccumulator,
     Summary,
     bootstrap_ci,
+    flatten_metrics,
     gini,
     histogram_bins,
     summarize,
@@ -74,6 +75,7 @@ __all__ = [
     "UniformMeetings",
     "ZipfKeyWorkload",
     "derive",
+    "flatten_metrics",
     "generate_items",
     "grid_from_dict",
     "bootstrap_ci",

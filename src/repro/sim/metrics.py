@@ -11,10 +11,33 @@ __all__ = [
     "Summary",
     "summarize",
     "RateAccumulator",
+    "flatten_metrics",
     "histogram_bins",
     "gini",
     "bootstrap_ci",
 ]
+
+
+def flatten_metrics(snapshot: dict) -> dict[str, float]:
+    """Flatten a :meth:`repro.obs.MetricsRegistry.snapshot` into one level.
+
+    Counters and gauges keep their names; each histogram contributes
+    ``name.count`` / ``name.total`` / ``name.mean``.  The flat form is what
+    experiment records and :func:`summarize`-style post-processing expect
+    (duck-typed on the snapshot dict, so this module needs no obs import).
+    """
+    flat: dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[name] = float(value)
+    for name, value in snapshot.get("gauges", {}).items():
+        flat[name] = float(value)
+    for name, hist in snapshot.get("histograms", {}).items():
+        count = float(hist["count"])
+        total = float(hist["total"])
+        flat[f"{name}.count"] = count
+        flat[f"{name}.total"] = total
+        flat[f"{name}.mean"] = total / count if count else 0.0
+    return flat
 
 
 def bootstrap_ci(

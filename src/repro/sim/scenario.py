@@ -21,6 +21,7 @@ from repro.core.search import SearchEngine
 from repro.core.storage import DataItem
 from repro.core.updates import ReadEngine, UpdateEngine, UpdateStrategy
 from repro.errors import InvalidConfigError
+from repro.obs.probe import Probe
 from repro.sim import rng as rngmod
 from repro.sim.builder import GridBuilder
 from repro.sim.churn import BernoulliChurn
@@ -125,7 +126,9 @@ def _workload(spec: ScenarioSpec, stream: str):
     return UniformKeyWorkload(spec.key_length, rng)
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioMetrics:
+def run_scenario(
+    spec: ScenarioSpec, *, probe: Probe | None = None
+) -> ScenarioMetrics:
     """Execute *spec* end to end.
 
     Phases: (1) construct the grid failure-free; (2) seed
@@ -134,6 +137,10 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioMetrics:
     each operation is an update (publish a new version of a seeded item
     followed by one repeated read-back) with probability
     ``update_fraction``, otherwise a search for a workload key.
+
+    ``probe`` (e.g. a :class:`~repro.obs.MetricsProbe`) observes every
+    engine the scenario drives; observation never perturbs the seeded
+    RNG streams, so metrics are free of Heisenberg effects.
     """
     grid = PGrid(spec.config, rng=rngmod.derive(spec.seed, "scenario-grid"))
     grid.add_peers(spec.n_peers)
@@ -158,9 +165,9 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioMetrics:
         grid.online_oracle = BernoulliChurn(
             spec.p_online, rngmod.derive(spec.seed, "scenario-churn")
         )
-    search = SearchEngine(grid)
-    updates = UpdateEngine(grid, search)
-    reads = ReadEngine(grid, search)
+    search = SearchEngine(grid, probe=probe)
+    updates = UpdateEngine(grid, search=search, probe=probe)
+    reads = ReadEngine(grid, search=search, probe=probe)
     ops_rng = rngmod.derive(spec.seed, "scenario-ops")
     query_keys = _workload(spec, "scenario-queries")
     addresses = grid.addresses()

@@ -22,10 +22,14 @@ from __future__ import annotations
 
 import math
 import random
+from typing import Iterator
 
+from repro.core.config import PGridConfig, SearchConfig
 from repro.core.exchange import ExchangeEngine
+from repro.core.grid import PGrid
 from repro.core.peer import Address, Peer
 from repro.core.search import SearchEngine
+from repro.obs.probe import Probe
 
 __all__ = [
     "Topology",
@@ -90,37 +94,21 @@ class ProximitySearchEngine(SearchEngine):
     churn the fallback attempts walk outward by distance.
     """
 
-    def __init__(self, grid, topology: Topology, config=None) -> None:
-        super().__init__(grid, config, topology=topology)
+    def __init__(
+        self,
+        grid: PGrid,
+        topology: Topology,
+        *,
+        config: SearchConfig | None = None,
+        probe: Probe | None = None,
+    ) -> None:
+        super().__init__(grid, config=config, probe=probe, topology=topology)
 
-    def _query(self, peer: Peer, p, level, budget, stats):
-        rempath = peer.path[level:]
-        from repro.core import keys as keyspace
-
-        compath = keyspace.common_prefix(p, rempath)
-        lc = len(compath)
-        if lc == len(p) or lc == len(rempath):
-            return True, peer.address
-        querypath = p[lc:]
-        refs = self.topology.nearest(
-            peer.address,
-            list(peer.routing.refs(level + lc + 1)),
-            count=len(peer.routing.refs(level + lc + 1)),
-        )
-        for address in refs:
-            if not self.grid.has_peer(address) or not self.grid.is_online(address):
-                stats["failed"] += 1
-                continue
-            if not budget.consume():
-                return False, None
-            stats["messages"] += 1
-            stats["latency"] += self.topology.latency(peer.address, address)
-            found, responder = self._query(
-                self.grid.peer(address), querypath, level + lc, budget, stats
-            )
-            if found:
-                return True, responder
-        return False, None
+    def _attempt_order(
+        self, peer: Peer, refs: list[Address]
+    ) -> Iterator[Address]:
+        """Nearest-first attempt order (no RNG draw, unlike the base)."""
+        return iter(self.topology.nearest(peer.address, refs, len(refs)))
 
 
 class ProximityExchangeEngine(ExchangeEngine):
@@ -133,8 +121,15 @@ class ProximityExchangeEngine(ExchangeEngine):
     of the equally-valid references survive.
     """
 
-    def __init__(self, grid, topology: Topology, config=None) -> None:
-        super().__init__(grid, config)
+    def __init__(
+        self,
+        grid: PGrid,
+        topology: Topology,
+        *,
+        config: PGridConfig | None = None,
+        probe: Probe | None = None,
+    ) -> None:
+        super().__init__(grid, config=config, probe=probe)
         self.topology = topology
 
     def _exchange_refs(self, a1: Peer, a2: Peer, lc: int) -> None:

@@ -47,7 +47,7 @@ class PrefixTextIndex:
         self.grid = grid
         self.encoder = encoder or TextEncoder()
         self.search = search or SearchEngine(grid)
-        self.updates = UpdateEngine(grid, self.search)
+        self.updates = UpdateEngine(grid, search=self.search)
         # Keys longer than the deepest peer path are fine (prefix relation
         # still holds), but very long keys waste work; default to a couple
         # of levels past maxl.

@@ -1,0 +1,69 @@
+"""`PGrid.audit_routing` must flag every way a reference can be wrong."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from tests.conftest import build_grid
+
+
+@pytest.fixture
+def hand_grid() -> PGrid:
+    """Four peers over a depth-2 trie with a consistent reference set."""
+    config = PGridConfig(maxl=2, refmax=2, recmax=1, recursion_fanout=1)
+    grid = PGrid(config, rng=random.Random(0))
+    for path in ("00", "01", "10", "11"):
+        peer = grid.add_peer()
+        peer.set_path(path)
+    # Level 1 crosses the top bit, level 2 the second bit.
+    grid.peer(0).routing.set_refs(1, [2])  # 00 -> 10
+    grid.peer(0).routing.set_refs(2, [1])  # 00 -> 01
+    grid.peer(1).routing.set_refs(1, [3])
+    grid.peer(1).routing.set_refs(2, [0])
+    grid.peer(2).routing.set_refs(1, [0])
+    grid.peer(2).routing.set_refs(2, [3])
+    grid.peer(3).routing.set_refs(1, [1])
+    grid.peer(3).routing.set_refs(2, [2])
+    return grid
+
+
+class TestAuditRouting:
+    def test_consistent_grid_is_clean(self, hand_grid):
+        assert hand_grid.audit_routing() == []
+
+    def test_constructed_grid_is_clean(self):
+        assert build_grid(64, maxl=4, seed=7).audit_routing() == []
+
+    def test_flags_refs_beyond_path_depth(self, hand_grid):
+        # Peer 0 has depth 2; a level-3 reference cannot be matched against
+        # any path bit and must be reported.
+        hand_grid.peer(0).routing.set_refs(3, [1])
+        violations = hand_grid.audit_routing()
+        assert len(violations) == 1
+        assert "beyond" in violations[0]
+        assert "level 3" in violations[0]
+
+    def test_flags_dangling_reference(self, hand_grid):
+        # Address 99 was never registered (e.g. the peer crashed).
+        hand_grid.peer(1).routing.set_refs(1, [99])
+        violations = hand_grid.audit_routing()
+        assert len(violations) == 1
+        assert "dangling ref 99" in violations[0]
+
+    def test_flags_wrong_prefix(self, hand_grid):
+        # Peer 2 (path "10") must reference the "0..." side at level 1;
+        # peer 3 (path "11") is on the same side — invariant broken.
+        hand_grid.peer(2).routing.set_refs(1, [3])
+        violations = hand_grid.audit_routing()
+        assert len(violations) == 1
+        assert "expected prefix '0'" in violations[0]
+
+    def test_reports_every_violation(self, hand_grid):
+        hand_grid.peer(0).routing.set_refs(3, [1])     # beyond depth
+        hand_grid.peer(1).routing.set_refs(1, [99])    # dangling
+        hand_grid.peer(2).routing.set_refs(1, [3])     # wrong prefix
+        assert len(hand_grid.audit_routing()) == 3

@@ -208,7 +208,7 @@ class TestCase4Recursion:
     def test_mutual_refs_in_case4_option(self):
         grid = self._diverged_grid(recmax=1)
         config = grid.config.with_overrides(mutual_refs_in_case4=True)
-        engine = ExchangeEngine(grid, config)
+        engine = ExchangeEngine(grid, config=config)
         engine.meet(0, 1)
         assert 1 in grid.peer(0).routing.refs(2)
         assert 0 in grid.peer(1).routing.refs(2)

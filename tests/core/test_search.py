@@ -7,13 +7,13 @@ import random
 import pytest
 
 from repro.core import keys as keyspace
-from repro.core.config import PGridConfig, SearchConfig
+from repro.core.config import SearchConfig
 from repro.core.grid import PGrid
 from repro.core.search import SearchEngine
 from repro.core.storage import DataItem, DataRef
 from repro.errors import InvalidKeyError
 from repro.sim.churn import FixedOnlineSet
-from tests.conftest import build_grid, make_fig1_grid
+from tests.conftest import build_grid
 
 
 class TestFig1Examples:
@@ -110,7 +110,7 @@ class TestFailureHandling:
         assert result.found
 
     def test_message_budget_exhaustion_returns_not_found(self, fig1_grid):
-        engine = SearchEngine(fig1_grid, SearchConfig(max_messages=1))
+        engine = SearchEngine(fig1_grid, config=SearchConfig(max_messages=1))
         # Query needing 2 hops from peer 5 can exhaust a 1-message budget
         # only if the first hop does not already resolve; run both ways.
         result = engine.query_from(5, "10")
@@ -209,12 +209,12 @@ class TestBreadthSearch:
 
 class TestBreadthBudget:
     def test_breadth_respects_message_budget(self, medium_grid):
-        engine = SearchEngine(medium_grid, SearchConfig(max_messages=2))
+        engine = SearchEngine(medium_grid, config=SearchConfig(max_messages=2))
         result = engine.query_breadth(0, "10101", recbreadth=3)
         assert result.messages <= 2
 
     def test_range_query_respects_budget_per_cover(self, medium_grid):
-        engine = SearchEngine(medium_grid, SearchConfig(max_messages=3))
+        engine = SearchEngine(medium_grid, config=SearchConfig(max_messages=3))
         result = engine.query_range(0, "00000", "11111")
         # one budget per cover prefix search; cover of the full range is [""]
         assert result.messages <= 3 * len(result.cover)

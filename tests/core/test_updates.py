@@ -203,8 +203,8 @@ class TestReadStrategies:
 
     def test_shared_search_engine(self, grid):
         search = SearchEngine(grid)
-        updates = UpdateEngine(grid, search)
-        reads = ReadEngine(grid, search)
+        updates = UpdateEngine(grid, search=search)
+        reads = ReadEngine(grid, search=search)
         assert updates.search is search
         assert reads.search is search
 

@@ -262,7 +262,9 @@ class TestNewExperiments:
             cache_capacity=32, seed=7,
         )
         rows = {(row[0], row[1]): row for row in result.rows}
-        zipf_label = next(l for l, _ in rows if l.startswith("zipf"))
+        zipf_label = next(
+            label for label, _ in rows if label.startswith("zipf")
+        )
         cached = rows[(zipf_label, "shortcut cache")]
         plain = rows[(zipf_label, "plain")]
         assert cached[4] > 0.05          # the cache does hit on zipf

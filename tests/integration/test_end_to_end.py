@@ -51,7 +51,7 @@ class TestFullLifecycle:
             recbreadth=3,
         )
         assert len(update.reached) >= 2
-        reads = ReadEngine(grid, search)
+        reads = ReadEngine(grid, search=search)
         read = reads.read_repeated(120, "10110", holder=17, version=1)
         assert read.success
 

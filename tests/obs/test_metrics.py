@@ -1,0 +1,186 @@
+"""Unit tests for the metrics registry and the MetricsProbe vocabulary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.search import SearchEngine
+from repro.core.updates import ReadEngine, UpdateEngine
+from repro.core.storage import DataItem
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsProbe,
+    MetricsRegistry,
+)
+from tests.conftest import build_grid
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            Counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_bucketing(self):
+        hist = Histogram("h", bounds=(1, 5, 10))
+        for value in (0, 1, 2, 5, 7, 11, 100):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # <=1: {0, 1}; <=5: {2, 5}; <=10: {7}; +inf: {11, 100}
+        assert [count for _, count in snap["buckets"]] == [2, 2, 1, 2]
+        assert snap["count"] == 7
+        assert snap["min"] == 0
+        assert snap["max"] == 100
+
+    def test_histogram_mean_and_empty(self):
+        hist = Histogram("h")
+        assert hist.mean == 0.0
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == 3.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(5, 1))
+
+    def test_histogram_merge_requires_same_bounds(self):
+        a = Histogram("h", bounds=(1, 2))
+        b = Histogram("h", bounds=(1, 3))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+    def test_histogram_merge_adds(self):
+        a = Histogram("h", bounds=(1, 2))
+        b = Histogram("h", bounds=(1, 2))
+        a.observe(1)
+        b.observe(2)
+        b.observe(9)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 12
+        assert a.maximum == 9
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_name_collision_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert "a" in registry and "b" in registry and "c" not in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(3)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_semantics(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.histogram("h").observe(1)
+        b.histogram("h").observe(2)
+        a.merge(b)
+        assert a.counter("c").value == 3  # counters add
+        assert a.gauge("g").value == 9    # gauges last-write-wins
+        assert a.histogram("h").count == 2
+
+    def test_to_rows_is_flat_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(2)
+        rows = list(registry.to_rows())
+        assert ("c", "counter", "value", 1) in rows
+        fields = {field for name, _, field, _ in rows if name == "h"}
+        assert fields == {"count", "sum", "min", "max", "mean"}
+
+    def test_write_json_and_csv(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        json_path = registry.write_json(tmp_path / "m.json")
+        csv_path = registry.write_csv(tmp_path / "m.csv")
+        payload = json.loads(json_path.read_text())
+        assert payload["counters"] == {"c": 3}
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == "metric,type,field,value"
+        assert lines[1].startswith("c,counter,value,3")
+
+
+class TestMetricsProbeTotals:
+    """Registry aggregates must equal the result-object fields exactly."""
+
+    def test_search_totals_match_results(self):
+        grid = build_grid(64, maxl=4, refmax=2, seed=7)
+        probe = MetricsProbe()
+        engine = SearchEngine(grid, probe=probe)
+        totals = {"messages": 0, "failed": 0, "count": 0, "found": 0}
+        for start in (0, 5, 11, 23):
+            for query in ("0000", "0110", "1011", "1111"):
+                result = engine.query_from(start, query)
+                totals["messages"] += result.messages
+                totals["failed"] += result.failed_attempts
+                totals["count"] += 1
+                totals["found"] += int(result.found)
+        registry = probe.registry
+        assert registry.counter("search.dfs.count").value == totals["count"]
+        assert registry.counter("search.dfs.found").value == totals["found"]
+        assert registry.counter("search.dfs.messages").value == totals["messages"]
+        assert (
+            registry.counter("search.dfs.failed_contacts").value
+            == totals["failed"]
+        )
+        assert registry.histogram("search.dfs.hops").count == totals["count"]
+        assert registry.histogram("search.dfs.hops").total == totals["messages"]
+
+    def test_update_and_read_totals_match_results(self):
+        grid = build_grid(64, maxl=4, refmax=2, seed=9)
+        probe = MetricsProbe()
+        updates = UpdateEngine(grid, probe=probe)
+        reads = ReadEngine(grid, search=updates.search, probe=probe)
+        update = updates.publish(
+            0, DataItem(key="0101", value="v"), holder=1, version=1
+        )
+        read = reads.read_single(3, "0101", holder=1, version=1)
+        registry = probe.registry
+        assert registry.counter("update.count").value == 1
+        assert registry.counter("update.messages").value == update.messages
+        assert registry.histogram("update.reached").total == len(update.reached)
+        assert registry.counter("read.count").value == 1
+        assert registry.counter("read.messages").value == read.messages
+        assert registry.counter("read.success").value == int(read.success)

@@ -1,0 +1,126 @@
+"""TraceRecorder tests: hop chains must reconstruct the cost model exactly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.exchange import ExchangeEngine
+from repro.core.search import SearchEngine
+from repro.obs import CompositeProbe, MetricsProbe, TraceRecorder
+from repro.sim.churn import BernoulliChurn
+from tests.conftest import build_grid
+
+
+class TestReconstruction:
+    def test_trace_reconstructs_search_tallies(self):
+        """messages == forward events, failed_attempts == offline misses —
+        over many searches, including under churn."""
+        grid = build_grid(128, maxl=5, refmax=3, seed=21)
+        grid.online_oracle = BernoulliChurn(0.6, random.Random(5))
+        trace = TraceRecorder()
+        engine = SearchEngine(grid, probe=trace)
+        for start in (0, 17, 42, 99):
+            for query in ("00000", "01101", "10010", "11111"):
+                trace.clear()
+                result = engine.query_from(start, query)
+                assert trace.message_count == result.messages
+                assert trace.failed_count == result.failed_attempts
+                assert len(trace.hop_chain()) == result.messages
+
+    def test_hop_chain_is_connected(self):
+        """Modulo backtracking, each forward hop starts where a previous
+        one landed (or at the initiator)."""
+        grid = build_grid(128, maxl=5, refmax=3, seed=21)
+        trace = TraceRecorder()
+        engine = SearchEngine(grid, probe=trace)
+        start = 7
+        engine.query_from(start, "10110")
+        visited = {start}
+        for source, target, level in trace.hop_chain():
+            assert source in visited
+            assert level >= 1
+            visited.add(target)
+
+    def test_search_end_summary_matches_result(self):
+        grid = build_grid(64, maxl=4, seed=3)
+        trace = TraceRecorder()
+        engine = SearchEngine(grid, probe=trace)
+        result = engine.query_from(2, "0101")
+        (start_event,) = trace.events_of(TraceRecorder.SEARCH_START)
+        (end_event,) = trace.events_of(TraceRecorder.SEARCH_END)
+        assert start_event.seq == 0
+        assert end_event.seq == len(trace) - 1
+        assert end_event.detail["found"] is result.found
+        assert end_event.detail["messages"] == result.messages
+        assert end_event.detail["failed_attempts"] == result.failed_attempts
+
+    def test_exchange_case_events_recorded(self):
+        grid = build_grid(32, maxl=3, seed=13)
+        trace = TraceRecorder()
+        engine = ExchangeEngine(grid, probe=trace)
+        engine.meet(0, 1)
+        assert len(trace.events_of(TraceRecorder.MEETING)) == 1
+        cases = trace.events_of(TraceRecorder.EXCHANGE_CASE)
+        assert cases, "a meeting of constructed peers fires at least one case"
+        assert all(
+            event.detail["case"]
+            in {"case1", "case2", "case3", "case4", "replicas"}
+            for event in cases
+        )
+
+
+class TestRecorderMechanics:
+    def test_limit_bounds_memory_and_counts_drops(self):
+        trace = TraceRecorder(limit=3)
+        for index in range(10):
+            trace.on_forward(index, index + 1, 1)
+        assert len(trace) == 3
+        assert trace.dropped == 7
+        lines = list(trace.replay())
+        assert lines[-1] == "... 7 further events dropped (limit=3)"
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError, match="limit"):
+            TraceRecorder(limit=0)
+
+    def test_clear_resets(self):
+        trace = TraceRecorder(limit=1)
+        trace.on_forward(0, 1, 1)
+        trace.on_forward(1, 2, 1)
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_as_dicts_round_trips_fields(self):
+        trace = TraceRecorder()
+        trace.on_offline_miss(3, 9, 2)
+        (payload,) = trace.as_dicts()
+        assert payload == {
+            "seq": 0,
+            "kind": "offline_miss",
+            "source": 3,
+            "target": 9,
+            "level": 2,
+        }
+
+    def test_describe_is_stable(self):
+        trace = TraceRecorder()
+        trace.on_forward(1, 2, 3)
+        (event,) = trace.events
+        assert event.describe() == "#0    forward from=1 to=2 level=3"
+
+
+class TestCompositeProbe:
+    def test_fans_out_to_all_children(self):
+        grid = build_grid(64, maxl=4, seed=7)
+        trace = TraceRecorder()
+        metrics = MetricsProbe()
+        engine = SearchEngine(grid, probe=CompositeProbe([trace, metrics]))
+        result = engine.query_from(0, "1010")
+        assert trace.message_count == result.messages
+        assert (
+            metrics.registry.counter("search.dfs.messages").value
+            == result.messages
+        )

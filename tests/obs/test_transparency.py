@@ -1,0 +1,104 @@
+"""Observation must not perturb the simulation.
+
+An instrumented engine run must be *bit-identical* to an uninstrumented
+one: same results, same final grid state, and — the strong form — the
+same RNG stream afterwards, so attaching a probe mid-experiment can never
+change what the experiment measures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PGridConfig
+from repro.core.exchange import ExchangeEngine
+from repro.core.grid import PGrid
+from repro.core.membership import MembershipEngine
+from repro.core.search import SearchEngine
+from repro.obs import CompositeProbe, MetricsProbe, TraceRecorder
+from repro.sim.churn import BernoulliChurn
+from tests.conftest import build_grid
+
+
+def _instrumented_pair(seed: int):
+    """Two identically-seeded grids: one to observe, one as control."""
+    plain_grid = build_grid(48, maxl=4, refmax=2, seed=seed)
+    probed_grid = build_grid(48, maxl=4, refmax=2, seed=seed)
+    probe = CompositeProbe([MetricsProbe(), TraceRecorder()])
+    return plain_grid, probed_grid, probe
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10**6), churn_seed=st.integers(0, 10**6))
+def test_search_is_probe_transparent(seed: int, churn_seed: int):
+    plain_grid, probed_grid, probe = _instrumented_pair(seed)
+    plain_grid.online_oracle = BernoulliChurn(0.7, random.Random(churn_seed))
+    probed_grid.online_oracle = BernoulliChurn(0.7, random.Random(churn_seed))
+    plain = SearchEngine(plain_grid)
+    probed = SearchEngine(probed_grid, probe=probe)
+    for start in (0, 13, 31):
+        for query in ("0000", "0101", "1101"):
+            assert plain.query_from(start, query) == probed.query_from(
+                start, query
+            )
+    assert plain_grid.rng.getstate() == probed_grid.rng.getstate()
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10**6))
+def test_construction_is_probe_transparent(seed: int):
+    """Exchange cascades with a probe produce the identical grid."""
+    config = PGridConfig(maxl=3, refmax=2, recmax=2, recursion_fanout=2)
+    plain_grid = PGrid(config, rng=random.Random(seed))
+    probed_grid = PGrid(config, rng=random.Random(seed))
+    plain_grid.add_peers(20)
+    probed_grid.add_peers(20)
+    plain = ExchangeEngine(plain_grid)
+    probed = ExchangeEngine(
+        probed_grid, probe=CompositeProbe([MetricsProbe(), TraceRecorder()])
+    )
+    meet_rng = random.Random(seed + 1)
+    pairs = [
+        tuple(meet_rng.sample(plain_grid.addresses(), 2)) for _ in range(120)
+    ]
+    for a, b in pairs:
+        plain.meet(a, b)
+        probed.meet(a, b)
+    assert plain.stats.calls == probed.stats.calls
+    for address in plain_grid.addresses():
+        p1, p2 = plain_grid.peer(address), probed_grid.peer(address)
+        assert p1.path == p2.path
+        assert p1.buddies == p2.buddies
+        for level in range(1, p1.depth + 1):
+            assert p1.routing.refs(level) == p2.routing.refs(level)
+    assert plain_grid.rng.getstate() == probed_grid.rng.getstate()
+
+
+def test_membership_is_probe_transparent():
+    plain_grid = build_grid(48, maxl=4, refmax=2, seed=33)
+    probed_grid = build_grid(48, maxl=4, refmax=2, seed=33)
+    plain = MembershipEngine(plain_grid)
+    probed = MembershipEngine(
+        probed_grid, probe=CompositeProbe([MetricsProbe(), TraceRecorder()])
+    )
+    report_a = plain.join(0)
+    report_b = probed.join(0)
+    assert report_a == report_b
+    leave_a = plain.leave(5)
+    leave_b = probed.leave(5)
+    assert leave_a == leave_b
+    repair_a = plain.repair_all()
+    repair_b = probed.repair_all()
+    assert repair_a == repair_b
+    assert plain_grid.rng.getstate() == probed_grid.rng.getstate()

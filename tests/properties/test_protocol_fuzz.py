@@ -25,7 +25,7 @@ from repro.core.exchange import ExchangeEngine
 from repro.core.grid import PGrid
 from repro.core.membership import MembershipEngine
 from repro.core.search import SearchEngine
-from repro.core.storage import DataItem, DataRef
+from repro.core.storage import DataItem
 from repro.core.updates import ReadEngine, UpdateEngine, UpdateStrategy
 
 MAXL = 4
@@ -48,8 +48,8 @@ class _Fuzzer:
         self.grid.add_peers(12)
         self.exchange = ExchangeEngine(self.grid)
         self.search = SearchEngine(self.grid)
-        self.updates = UpdateEngine(self.grid, self.search)
-        self.reads = ReadEngine(self.grid, self.search)
+        self.updates = UpdateEngine(self.grid, search=self.search)
+        self.reads = ReadEngine(self.grid, search=self.search)
         self.membership = MembershipEngine(
             self.grid, exchange=self.exchange, search=self.search
         )
