@@ -1,8 +1,10 @@
 # Convenience targets for the P-Grid reproduction.
 
 PYTHON ?= python
+# Scale of `make bench`: fig4 (default) or smoke (CI-fast).
+SCALE ?= fig4
 
-.PHONY: install test lint check bench bench-paper bench-quick examples clean results
+.PHONY: install test lint check bench bench-experiments bench-paper bench-quick examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,7 +28,13 @@ lint:
 
 check: test lint
 
+# Perf baselines: writes BENCH_micro.json / BENCH_construction.json /
+# BENCH_search.json to the repo root (see benchmarks/harness.py).
 bench:
+	$(PYTHON) benchmarks/harness.py --scale $(SCALE)
+
+# The paper-table regeneration suite (pytest-benchmark based).
+bench-experiments:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-paper:

@@ -1,0 +1,405 @@
+"""BENCH harness: repo-root perf baselines with before/after comparisons.
+
+Writes three JSON files (default: the repository root) so every future PR
+has a perf trajectory to compare against:
+
+``BENCH_micro.json``
+    Hot-path micro-operations (``key_value`` / ``interval_contains`` /
+    ``common_prefix``), each timed against a *baseline* reference
+    implementation preserving the pre-optimization code (per-call
+    validation, ``Fraction`` arithmetic, Python character loops).
+
+``BENCH_construction.json``
+    Wall-clock of ``GridBuilder`` over a fixed meeting schedule with the
+    incremental average-depth tracking versus a naive variant that rescans
+    every peer per meeting (the O(N)-per-meeting "before" behavior), plus
+    one full construction to convergence at the active scale.
+
+``BENCH_search.json``
+    End-to-end search throughput on the constructed grid, and a
+    serial-vs-parallel experiment-trial run (``jobs=1`` vs ``jobs=2``)
+    with a bit-identity check of the results.
+
+Scales: ``--scale fig4`` (default — the §5.2 Fig. 4 sizing ratios) or
+``--scale smoke`` (seconds, for CI).  Usage::
+
+    python benchmarks/harness.py [--scale fig4|smoke] [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from fractions import Fraction
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core import keys as keyspace  # noqa: E402
+from repro.core.config import PGridConfig  # noqa: E402
+from repro.core.grid import PGrid  # noqa: E402
+from repro.core.search import SearchEngine  # noqa: E402
+from repro.experiments.common import run_experiment_points  # noqa: E402
+from repro.experiments.table1_construction_scaling import (  # noqa: E402
+    construction_cost,
+)
+from repro.sim import rng as rngmod  # noqa: E402
+from repro.sim.builder import GridBuilder  # noqa: E402
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Sizing of one harness run."""
+
+    name: str
+    n_peers: int
+    maxl: int
+    refmax: int
+    recmax: int
+    recursion_fanout: int
+    depth_meetings: int      # fixed meeting budget for the depth comparison
+    n_searches: int
+    micro_repeats: int
+    trial_points: int        # parallel-vs-serial experiment points
+    trial_peers: int
+    seed: int = 20020101
+
+    @property
+    def config(self) -> PGridConfig:
+        return PGridConfig(
+            maxl=self.maxl,
+            refmax=self.refmax,
+            recmax=self.recmax,
+            recursion_fanout=self.recursion_fanout,
+        )
+
+
+SCALES = {
+    # The §5.2 / Fig. 4 sizing ratios at the "scaled" profile's N.
+    "fig4": BenchScale(
+        name="fig4",
+        n_peers=4_000,
+        maxl=8,
+        refmax=20,
+        recmax=2,
+        recursion_fanout=2,
+        depth_meetings=8_000,
+        n_searches=5_000,
+        micro_repeats=200_000,
+        trial_points=4,
+        trial_peers=300,
+    ),
+    # CI smoke: every phase in seconds.
+    "smoke": BenchScale(
+        name="smoke",
+        n_peers=400,
+        maxl=6,
+        refmax=5,
+        recmax=2,
+        recursion_fanout=2,
+        depth_meetings=1_500,
+        n_searches=500,
+        micro_repeats=20_000,
+        trial_points=2,
+        trial_peers=150,
+    ),
+}
+
+
+# -- baseline (pre-optimization) reference implementations -----------------------
+#
+# Frozen copies of the seed's hot-path code, kept here so the micro bench
+# always reports the before/after delta of the integer-bit fast paths.
+
+
+def _is_valid_key_baseline(key: str) -> bool:
+    return all(bit in ("0", "1") for bit in key)
+
+
+def _key_value_baseline(key: str) -> Fraction:
+    if not _is_valid_key_baseline(key):
+        raise ValueError(key)
+    if not key:
+        return Fraction(0)
+    return Fraction(int(key, 2), 2 ** len(key))
+
+
+def _interval_contains_baseline(key: str, query: str) -> bool:
+    low = _key_value_baseline(key)
+    high = low + Fraction(1, 2 ** len(key))
+    value = _key_value_baseline(query)
+    return low <= value < high
+
+
+def _common_prefix_baseline(a: str, b: str) -> str:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return a[:i]
+
+
+class NaiveDepthBuilder(GridBuilder):
+    """The "before" builder: full O(N) peer rescan per meeting.
+
+    Only the depth bookkeeping differs from :class:`GridBuilder`; RNG
+    consumption is untouched, so both variants replay the identical meeting
+    schedule for the same seed and their speedup isolates the
+    incremental-depth fix alone.
+    """
+
+    def _average_depth(self) -> float:
+        return self.grid.average_path_length()
+
+
+# -- phases ---------------------------------------------------------------------
+
+
+def _time(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def bench_micro(scale: BenchScale) -> dict:
+    rng = rngmod.derive(scale.seed, "micro")
+    pairs = [
+        (
+            keyspace.random_key(rng.randint(1, scale.maxl), rng),
+            keyspace.random_key(rng.randint(1, scale.maxl), rng),
+        )
+        for _ in range(512)
+    ]
+
+    def loop(fn):
+        def body() -> None:
+            ops = scale.micro_repeats // len(pairs)
+            for _ in range(ops):
+                for a, b in pairs:
+                    fn(a, b)
+        return body
+
+    cases = {
+        "key_value": (
+            lambda a, b: _key_value_baseline(a),
+            lambda a, b: keyspace.key_value(a),
+        ),
+        "key_value_unchecked": (
+            lambda a, b: _key_value_baseline(a),
+            lambda a, b: keyspace._key_value_unchecked(a),
+        ),
+        "interval_contains": (
+            _interval_contains_baseline,
+            keyspace.interval_contains,
+        ),
+        "interval_contains_unchecked": (
+            _interval_contains_baseline,
+            keyspace._interval_contains_unchecked,
+        ),
+        "common_prefix": (
+            _common_prefix_baseline,
+            keyspace.common_prefix,
+        ),
+    }
+    results = {}
+    ops = (scale.micro_repeats // len(pairs)) * len(pairs)
+    for name, (baseline, current) in cases.items():
+        for a, b in pairs:  # sanity: both paths agree before timing
+            assert baseline(a, b) == current(a, b)
+        baseline_s = _time(loop(baseline))
+        current_s = _time(loop(current))
+        results[name] = {
+            "ops": ops,
+            "baseline_seconds": baseline_s,
+            "current_seconds": current_s,
+            "baseline_ns_per_op": baseline_s / ops * 1e9,
+            "current_ns_per_op": current_s / ops * 1e9,
+            "speedup": baseline_s / current_s if current_s else None,
+        }
+    return results
+
+
+def _run_depth_variant(scale: BenchScale, builder_cls) -> tuple[float, float]:
+    """Run *depth_meetings* meetings; return (seconds, final avg depth)."""
+    grid = PGrid(scale.config, rng=rngmod.derive(scale.seed, "depth-bench"))
+    grid.add_peers(scale.n_peers)
+    builder = builder_cls(grid)
+    start = time.perf_counter()
+    builder.build(max_meetings=scale.depth_meetings, threshold_fraction=1.0)
+    elapsed = time.perf_counter() - start
+    return elapsed, grid.average_path_length()
+
+
+def bench_construction(scale: BenchScale) -> tuple[dict, PGrid]:
+    naive_s, naive_depth = _run_depth_variant(scale, NaiveDepthBuilder)
+    incremental_s, incremental_depth = _run_depth_variant(scale, GridBuilder)
+    assert naive_depth == incremental_depth, (
+        "depth-tracking variants diverged — the comparison is void"
+    )
+
+    # Full construction to convergence with the production builder.
+    grid = PGrid(scale.config, rng=rngmod.derive(scale.seed, "construction"))
+    grid.add_peers(scale.n_peers)
+    start = time.perf_counter()
+    report = GridBuilder(grid).build(
+        threshold_fraction=0.985, max_exchanges=10_000_000
+    )
+    full_s = time.perf_counter() - start
+    results = {
+        "depth_tracking": {
+            "meetings": scale.depth_meetings,
+            "naive_rescan_seconds": naive_s,
+            "incremental_seconds": incremental_s,
+            "speedup": naive_s / incremental_s if incremental_s else None,
+            "final_average_depth": incremental_depth,
+        },
+        "full_construction": {
+            "n_peers": scale.n_peers,
+            "maxl": scale.maxl,
+            "converged": report.converged,
+            "exchanges": report.exchanges,
+            "meetings": report.meetings,
+            "average_depth": report.average_depth,
+            "seconds": full_s,
+            "exchanges_per_second": report.exchanges / full_s if full_s else None,
+        },
+    }
+    return results, grid
+
+
+def bench_search(scale: BenchScale, grid: PGrid) -> dict:
+    grid.rng = rngmod.derive(scale.seed, "search-bench")
+    engine = SearchEngine(grid)
+    query_rng = rngmod.derive(scale.seed, "search-queries")
+    addresses = grid.addresses()
+    queries = [
+        (
+            addresses[query_rng.randrange(len(addresses))],
+            keyspace.random_key(scale.maxl - 1, query_rng),
+        )
+        for _ in range(scale.n_searches)
+    ]
+    found = 0
+    messages = 0
+    start = time.perf_counter()
+    for address, query in queries:
+        result = engine.query_from(address, query)
+        found += result.found
+        messages += result.messages
+    search_s = time.perf_counter() - start
+
+    # Serial vs parallel trial execution of an experiment sweep, with the
+    # determinism contract checked end-to-end.
+    points = [
+        {"n_peers": scale.trial_peers, "maxl": 5, "refmax": 2,
+         "recmax": 2, "recursion_fanout": 2, "seed": scale.seed + index}
+        for index in range(scale.trial_points)
+    ]
+    start = time.perf_counter()
+    serial = run_experiment_points(construction_cost, points, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_experiment_points(construction_cost, points, jobs=2)
+    parallel_s = time.perf_counter() - start
+    return {
+        "search": {
+            "n_searches": scale.n_searches,
+            "found": found,
+            "messages": messages,
+            "seconds": search_s,
+            "searches_per_second": (
+                scale.n_searches / search_s if search_s else None
+            ),
+        },
+        "parallel_trials": {
+            "points": len(points),
+            "serial_seconds": serial_s,
+            "parallel_jobs2_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else None,
+            "bit_identical": serial == parallel,
+        },
+    }
+
+
+def _write(out_dir: Path, name: str, scale: BenchScale, results: dict) -> Path:
+    payload = {
+        "benchmark": name,
+        "scale": scale.name,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "params": {
+            "n_peers": scale.n_peers,
+            "maxl": scale.maxl,
+            "refmax": scale.refmax,
+            "recmax": scale.recmax,
+            "seed": scale.seed,
+        },
+        "results": results,
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="fig4")
+    parser.add_argument(
+        "--out-dir", type=Path, default=_ROOT,
+        help="directory for the BENCH_*.json files (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    print(f"[bench] scale={scale.name} (N={scale.n_peers}, maxl={scale.maxl})")
+    micro = bench_micro(scale)
+    path = _write(args.out_dir, "micro", scale, micro)
+    for name, row in micro.items():
+        print(
+            f"[bench] micro {name}: {row['baseline_ns_per_op']:.0f} -> "
+            f"{row['current_ns_per_op']:.0f} ns/op "
+            f"({row['speedup']:.2f}x)"
+        )
+    print(f"[bench] wrote {path}")
+
+    construction, grid = bench_construction(scale)
+    depth = construction["depth_tracking"]
+    full = construction["full_construction"]
+    print(
+        f"[bench] construction depth-tracking over {depth['meetings']} "
+        f"meetings: naive {depth['naive_rescan_seconds']:.2f}s vs "
+        f"incremental {depth['incremental_seconds']:.2f}s "
+        f"({depth['speedup']:.1f}x)"
+    )
+    print(
+        f"[bench] full construction: {full['exchanges']} exchanges in "
+        f"{full['seconds']:.2f}s (converged={full['converged']})"
+    )
+    path = _write(args.out_dir, "construction", scale, construction)
+    print(f"[bench] wrote {path}")
+
+    search = bench_search(scale, grid)
+    print(
+        f"[bench] search: {search['search']['searches_per_second']:.0f} "
+        f"searches/s; parallel trials jobs=2 "
+        f"{search['parallel_trials']['speedup']:.2f}x, "
+        f"bit_identical={search['parallel_trials']['bit_identical']}"
+    )
+    path = _write(args.out_dir, "search", scale, search)
+    print(f"[bench] wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,9 +27,10 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import inspect
 import random
 import sys
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.analysis import plan_grid
 from repro.core.config import PGridConfig
@@ -49,12 +50,14 @@ from repro.experiments import (
     table4_refmax,
     table6_tradeoff,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_scenario_trials
+from repro.perf.parallel import parallel_starmap
+from repro.sim import rng as rngmod
 from repro.sim.builder import GridBuilder
 from repro.sim.churn import BernoulliChurn
 from repro.sim.persistence import load_grid, save_grid
 
-EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1_construction_scaling.run,
     "table2": table2_maxl.run,
     "table3": table3_recmax.run,
@@ -103,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the constructed grid to this JSON file")
     build.add_argument("--trace", action="store_true",
                        help="record exchange events (bounded) and print a summary")
+    build.add_argument("--trials", type=int, default=1,
+                       help="number of independent builds with derived per-trial "
+                            "seeds (aggregate statistics are printed)")
+    build.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --trials > 1 (0 = one per CPU); "
+                            "results are bit-identical to --jobs 1")
 
     search = sub.add_parser("search", help="search a snapshot grid")
     search.add_argument("snapshot", type=str)
@@ -156,6 +165,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the metrics snapshot to this JSON file")
     stats.add_argument("--csv", type=str, default=None,
                        help="write the flat metric rows to this CSV file")
+    stats.add_argument("--trials", type=int, default=1,
+                       help="independent scenario replays with derived per-trial "
+                            "seeds; registries are merged via MetricsRegistry.merge")
+    stats.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --trials > 1 (0 = one per CPU); "
+                            "results are bit-identical to --jobs 1")
 
     experiment = sub.add_parser(
         "experiment", help="run a paper-reproduction experiment"
@@ -163,6 +178,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument(
         "--save", type=str, default=None, help="directory for CSV/JSON output"
+    )
+    experiment.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiments that sweep independent trial "
+             "points (0 = one per CPU); ignored by single-run experiments",
     )
 
     report = sub.add_parser(
@@ -176,10 +196,88 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment ids to include (default: the cheap core set)",
     )
     report.add_argument("--out", type=str, default="REPORT.md")
+    report.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiments that support parallel trials",
+    )
     return parser
 
 
+def _build_trial(
+    *,
+    peers: int,
+    maxl: int,
+    refmax: int,
+    recmax: int,
+    fanout: int,
+    threshold: float,
+    max_exchanges: int,
+    seed: int,
+) -> dict[str, Any]:
+    """One full construction (module-level so --jobs can pickle it)."""
+    config = PGridConfig(
+        maxl=maxl,
+        refmax=refmax,
+        recmax=recmax,
+        recursion_fanout=fanout if fanout > 0 else None,
+    )
+    grid = PGrid(config, rng=random.Random(seed))
+    grid.add_peers(peers)
+    report = GridBuilder(grid).build(
+        threshold_fraction=threshold, max_exchanges=max_exchanges
+    )
+    return {
+        "seed": seed,
+        "converged": report.converged,
+        "exchanges": report.exchanges,
+        "meetings": report.meetings,
+        "average_depth": report.average_depth,
+        "exchanges_per_peer": report.exchanges_per_peer,
+        "routing_violations": len(grid.audit_routing()),
+    }
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.trials < 1:
+        print("--trials must be >= 1", file=sys.stderr)
+        return 2
+    if args.trials > 1:
+        if args.snapshot or args.trace:
+            print(
+                "--snapshot/--trace need a single build (--trials 1)",
+                file=sys.stderr,
+            )
+            return 2
+        trial_kwargs = [
+            {
+                "peers": args.peers,
+                "maxl": args.maxl,
+                "refmax": args.refmax,
+                "recmax": args.recmax,
+                "fanout": args.fanout,
+                "threshold": args.threshold,
+                "max_exchanges": args.max_exchanges,
+                "seed": rngmod.derive_seed(args.seed, f"build-trial-{index}"),
+            }
+            for index in range(args.trials)
+        ]
+        reports = parallel_starmap(_build_trial, trial_kwargs, jobs=args.jobs)
+        for index, report in enumerate(reports):
+            print(
+                f"trial {index}: converged={report['converged']} "
+                f"exchanges={report['exchanges']} "
+                f"avg_depth={report['average_depth']:.3f} "
+                f"e/N={report['exchanges_per_peer']:.2f} "
+                f"violations={report['routing_violations']}"
+            )
+        exchange_counts = [report["exchanges"] for report in reports]
+        print(
+            f"aggregate over {args.trials} trials: "
+            f"mean_e={sum(exchange_counts) / len(exchange_counts):.1f} "
+            f"min_e={min(exchange_counts)} max_e={max(exchange_counts)} "
+            f"converged={sum(r['converged'] for r in reports)}/{args.trials}"
+        )
+        return 0
     config = PGridConfig(
         maxl=args.maxl,
         refmax=args.refmax,
@@ -271,23 +369,41 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         update_fraction=args.update_fraction,
         seed=args.seed,
     )
-    probe = MetricsProbe()
-    metrics = run_scenario(spec, probe=probe)
-    registry = probe.registry
+    if args.trials < 1:
+        print("--trials must be >= 1", file=sys.stderr)
+        return 2
+    if args.trials > 1:
+        all_metrics, registry = run_scenario_trials(
+            spec, args.trials, jobs=args.jobs
+        )
+        title = (
+            f"merged metrics for {args.trials} trials x {args.operations} "
+            f"operations over {args.peers} peers (p_online={args.p_online})"
+        )
+    else:
+        probe = MetricsProbe()
+        all_metrics = [run_scenario(spec, probe=probe)]
+        registry = probe.registry
+        title = (
+            f"metrics for {args.operations} operations over "
+            f"{args.peers} peers (p_online={args.p_online})"
+        )
     print(
         render_table(
             ["metric", "type", "field", "value"],
             list(registry.to_rows()),
-            title=f"metrics for {args.operations} operations over "
-            f"{args.peers} peers (p_online={args.p_online})",
+            title=title,
             float_digits=3,
         )
     )
-    print(
-        f"\nscenario: search_success={metrics.search_success_rate:.4f} "
-        f"read_success={metrics.read_success_rate:.4f} "
-        f"update_coverage={metrics.update_coverage_mean:.4f}"
-    )
+    print()
+    for index, metrics in enumerate(all_metrics):
+        prefix = f"trial {index}: " if args.trials > 1 else "scenario: "
+        print(
+            f"{prefix}search_success={metrics.search_success_rate:.4f} "
+            f"read_success={metrics.read_success_rate:.4f} "
+            f"update_coverage={metrics.update_coverage_mean:.4f}"
+        )
     if args.json:
         path = registry.write_json(args.json)
         print(f"metrics snapshot written to {path}")
@@ -369,8 +485,16 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_experiment(name: str, *, jobs: int = 1) -> ExperimentResult:
+    """Invoke a registered experiment, passing ``jobs`` where supported."""
+    runner = EXPERIMENTS[name]
+    if jobs != 1 and "jobs" in inspect.signature(runner).parameters:
+        return runner(jobs=jobs)
+    return runner()
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = EXPERIMENTS[args.name]()
+    result = _run_experiment(args.name, jobs=args.jobs)
     print(result.to_text(float_digits=3))
     if args.save:
         result.save(args.save)
@@ -384,7 +508,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     sections = ["# P-Grid reproduction report", ""]
     for name in args.experiments:
         print(f"running {name} ...")
-        result = EXPERIMENTS[name]()
+        result = _run_experiment(name, jobs=args.jobs)
         sections.append(f"## {name}")
         sections.append("")
         sections.append("```")

@@ -59,8 +59,20 @@ class PGrid:
         self.online_oracle: OnlineOracle = online_oracle or AlwaysOnline()
         self._peers: dict[Address, Peer] = {}
         self._next_address = 0
+        self._membership_version = 0
 
     # -- membership -----------------------------------------------------------
+
+    @property
+    def membership_version(self) -> int:
+        """Monotonic counter bumped on every join/leave.
+
+        Lets consumers that derive state from the peer population (meeting
+        schedulers' address lists, the builder's incremental depth) cache
+        against the population and revalidate in O(1) instead of re-reading
+        all peers on every call.
+        """
+        return self._membership_version
 
     def add_peer(self, address: Address | None = None) -> Peer:
         """Create and register a fresh peer; returns it.
@@ -74,6 +86,7 @@ class PGrid:
         peer = Peer(address, self.config.refmax)
         self._peers[address] = peer
         self._next_address = max(self._next_address, address + 1)
+        self._membership_version += 1
         return peer
 
     def add_peers(self, count: int) -> list[Peer]:
@@ -90,9 +103,11 @@ class PGrid:
         as a deployed system discovers dead peers only on contact.
         """
         try:
-            return self._peers.pop(address)
+            peer = self._peers.pop(address)
         except KeyError:
             raise UnknownPeerError(address) from None
+        self._membership_version += 1
+        return peer
 
     def peer(self, address: Address) -> Peer:
         """Resolve an address (the paper's ``peer(r)``)."""

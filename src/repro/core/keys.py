@@ -32,7 +32,10 @@ def is_valid_key(key: str) -> bool:
 
     The empty string is a valid key (the root path).
     """
-    return all(bit in ("0", "1") for bit in key)
+    # str.strip removes every leading/trailing character from the set, so
+    # the result is empty iff the key is pure 0/1 — a single C call instead
+    # of a Python-level loop over characters.
+    return not key.strip("01")
 
 
 def validate_key(key: str) -> str:
@@ -54,9 +57,18 @@ def key_value(key: str) -> Fraction:
     Fraction(1, 4)
     """
     validate_key(key)
+    return _key_value_unchecked(key)
+
+
+def _key_value_unchecked(key: str) -> Fraction:
+    """:func:`key_value` without the validation pass.
+
+    Internal fast path for callers that already validated *key* at their
+    own API boundary (routing/search hot loops).
+    """
     if not key:
         return Fraction(0)
-    return Fraction(int(key, 2), 2 ** len(key))
+    return Fraction(int(key, 2), 1 << len(key))
 
 
 def key_interval(key: str) -> tuple[Fraction, Fraction]:
@@ -64,8 +76,9 @@ def key_interval(key: str) -> tuple[Fraction, Fraction]:
 
     The empty key maps to the whole unit interval ``[0, 1)``.
     """
-    low = key_value(key)
-    return low, low + Fraction(1, 2 ** len(key))
+    validate_key(key)
+    low = _key_value_unchecked(key)
+    return low, low + Fraction(1, 1 << len(key))
 
 
 def interval_contains(key: str, query: str) -> bool:
@@ -76,9 +89,24 @@ def interval_contains(key: str, query: str) -> bool:
     equivalent to *key being a prefix of query* **or** *query being a prefix
     of key* — property tests assert the equivalence.
     """
-    low, high = key_interval(key)
-    value = key_value(query)
-    return low <= value < high
+    validate_key(key)
+    validate_key(query)
+    return _interval_contains_unchecked(key, query)
+
+
+def _interval_contains_unchecked(key: str, query: str) -> bool:
+    """:func:`interval_contains` on pre-validated keys, without Fractions.
+
+    Brings both values to the common denominator ``2^max(n, m)`` and
+    compares plain shifted integers — exact for arbitrarily long keys, no
+    rational arithmetic on the hot path.
+    """
+    n = len(key)
+    m = len(query)
+    width = max(n, m)
+    low = int(key, 2) << (width - n) if n else 0
+    value = int(query, 2) << (width - m) if m else 0
+    return low <= value < low + (1 << (width - n))
 
 
 def is_prefix(prefix: str, key: str) -> bool:
@@ -97,9 +125,16 @@ def common_prefix(a: str, b: str) -> str:
     >>> common_prefix("0110", "0101")
     '01'
     """
-    limit = min(len(a), len(b))
+    # The routing loops terminate on full prefix agreement, so answer that
+    # case with one C-level startswith instead of a Python character loop.
+    if a.startswith(b):
+        return b
+    if b.startswith(a):
+        return a
+    # Neither is a prefix of the other, so a divergence is guaranteed
+    # before either string ends — no bounds check needed in the loop.
     i = 0
-    while i < limit and a[i] == b[i]:
+    while a[i] == b[i]:
         i += 1
     return a[:i]
 

@@ -19,17 +19,20 @@ Constructed §5.2 grids are cached as JSON snapshots under
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.config import PGridConfig
 from repro.core.grid import PGrid
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.parallel import merge_registries, parallel_starmap
 from repro.report.csvout import write_csv, write_json
 from repro.report.tables import render_table
 from repro.sim import rng as rngmod
 from repro.sim.builder import GridBuilder
 from repro.sim.persistence import load_grid, save_grid
+from repro.sim.scenario import ScenarioMetrics, ScenarioSpec, run_scenario
 
 SCALE_ENV_VAR = "REPRO_SCALE"
 
@@ -41,6 +44,8 @@ __all__ = [
     "section52_profile",
     "build_section52_grid",
     "default_cache_dir",
+    "run_experiment_points",
+    "run_scenario_trials",
 ]
 
 
@@ -192,6 +197,68 @@ def build_section52_grid(
         save_grid(grid, cache_path)
     grid.rng = rngmod.derive(profile.seed, "post-build")
     return grid
+
+
+# -- parallel trial execution -------------------------------------------------
+#
+# Every §5 sweep evaluates independent (parameter point, derived seed)
+# trials; these helpers fan them out over repro.perf.parallel while keeping
+# results bit-identical to a serial run (each point derives all randomness
+# from its own arguments — see the determinism contract in that module).
+
+
+def run_experiment_points(
+    fn: Callable[..., Any],
+    kwargs_list: Sequence[dict[str, Any]],
+    *,
+    jobs: int | None = 1,
+) -> list[Any]:
+    """Evaluate one experiment point per kwargs dict, in order.
+
+    ``fn`` must be a module-level trial function (picklable) that derives
+    its randomness from its arguments only.  ``jobs`` > 1 distributes the
+    points over a process pool; the returned list order always matches
+    *kwargs_list*.
+    """
+    return parallel_starmap(fn, kwargs_list, jobs=jobs)
+
+
+def _scenario_trial(spec: ScenarioSpec) -> tuple[ScenarioMetrics, MetricsRegistry]:
+    """One instrumented scenario run (module-level for pickling)."""
+    from repro.obs.metrics import MetricsProbe
+
+    probe = MetricsProbe()
+    metrics = run_scenario(spec, probe=probe)
+    return metrics, probe.registry
+
+
+def run_scenario_trials(
+    spec: ScenarioSpec,
+    trials: int,
+    *,
+    jobs: int | None = 1,
+    master_seed: int | None = None,
+) -> tuple[list[ScenarioMetrics], MetricsRegistry]:
+    """Run *trials* independent replays of *spec*, merging their metrics.
+
+    Trial ``i`` runs with the seed ``derive_seed(master, "trial-i")``
+    (*master* defaults to ``spec.seed``), so the trial set is a pure
+    function of the master seed and the per-trial registries merge to the
+    same snapshot whatever ``jobs`` is.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    master = spec.seed if master_seed is None else master_seed
+    specs = [
+        replace(spec, seed=rngmod.derive_seed(master, f"trial-{index}"))
+        for index in range(trials)
+    ]
+    outcomes = parallel_starmap(
+        _scenario_trial, [{"spec": trial_spec} for trial_spec in specs], jobs=jobs
+    )
+    metrics = [metrics for metrics, _registry in outcomes]
+    merged = merge_registries(registry for _metrics, registry in outcomes)
+    return metrics, merged
 
 
 @dataclass

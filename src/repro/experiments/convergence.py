@@ -11,12 +11,39 @@ from __future__ import annotations
 
 from repro.core.config import PGridConfig
 from repro.core.grid import PGrid
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_experiment_points
 from repro.report.hist import render_plot, render_series
 from repro.sim import rng as rngmod
 from repro.sim.builder import GridBuilder
 
 EXPERIMENT_ID = "convergence"
+
+
+def trajectory_curve(
+    *,
+    n_peers: int,
+    maxl: int,
+    refmax: int,
+    recmax: int,
+    sample_every: int,
+    seed: int,
+) -> tuple[int, list[tuple[float, float]]]:
+    """One construction run: final exchange count + (exchanges, depth) curve."""
+    config = PGridConfig(
+        maxl=maxl, refmax=refmax, recmax=recmax,
+        recursion_fanout=2 if recmax else None,
+    )
+    grid = PGrid(config, rng=rngmod.derive(seed, f"conv-{recmax}"))
+    grid.add_peers(n_peers)
+    report = GridBuilder(grid).build(
+        sample_every=sample_every, max_exchanges=5_000_000
+    )
+    points = [
+        (float(sample.exchanges), sample.average_depth)
+        for sample in report.trajectory
+    ]
+    points.append((float(report.exchanges), report.average_depth))
+    return report.exchanges, points
 
 
 def run(
@@ -27,28 +54,24 @@ def run(
     recmax_values: tuple[int, ...] = (0, 2),
     sample_every: int | None = None,
     seed: int = 17,
+    jobs: int | None = 1,
 ) -> ExperimentResult:
     """Record (exchanges, average depth) curves per recursion bound."""
     sample_every = sample_every or max(1, n_peers // 4)
     rows: list[list[object]] = []
     series: dict[str, list[tuple[float, float]]] = {}
     finals: dict[int, int] = {}
-    for recmax in recmax_values:
-        config = PGridConfig(
-            maxl=maxl, refmax=refmax, recmax=recmax,
-            recursion_fanout=2 if recmax else None,
-        )
-        grid = PGrid(config, rng=rngmod.derive(seed, f"conv-{recmax}"))
-        grid.add_peers(n_peers)
-        report = GridBuilder(grid).build(
-            sample_every=sample_every, max_exchanges=5_000_000
-        )
-        finals[recmax] = report.exchanges
-        points = [
-            (float(sample.exchanges), sample.average_depth)
-            for sample in report.trajectory
-        ]
-        points.append((float(report.exchanges), report.average_depth))
+    outcomes = run_experiment_points(
+        trajectory_curve,
+        [
+            {"n_peers": n_peers, "maxl": maxl, "refmax": refmax,
+             "recmax": recmax, "sample_every": sample_every, "seed": seed}
+            for recmax in recmax_values
+        ],
+        jobs=jobs,
+    )
+    for recmax, (final_exchanges, points) in zip(recmax_values, outcomes):
+        finals[recmax] = final_exchanges
         series[f"recmax={recmax}"] = points
         for exchanges, depth in points:
             rows.append([recmax, exchanges, depth])

@@ -12,7 +12,7 @@ from typing import Sequence
 
 from repro.core.config import PGridConfig
 from repro.core.grid import PGrid
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_experiment_points
 from repro.sim import rng as rngmod
 from repro.sim.builder import GridBuilder
 
@@ -66,8 +66,14 @@ def run(
     maxl: int = 6,
     refmax: int = 1,
     seed: int = 1,
+    jobs: int | None = 1,
 ) -> ExperimentResult:
-    """Reproduce T1: rows ``N | e, e/N`` per recursion bound."""
+    """Reproduce T1: rows ``N | e, e/N`` per recursion bound.
+
+    Each (N, recmax) point is an independent trial with its own derived
+    RNG stream; ``jobs`` > 1 evaluates the points on a process pool with
+    bit-identical results.
+    """
     headers = ["N"]
     for recmax in recmax_values:
         headers += [
@@ -75,13 +81,22 @@ def run(
             f"e/N (recmax={recmax})",
             f"paper e (recmax={recmax})",
         ]
+    points = [
+        {"n_peers": n_peers, "maxl": maxl, "refmax": refmax,
+         "recmax": recmax, "seed": seed}
+        for n_peers in peer_counts
+        for recmax in recmax_values
+    ]
+    outcomes = run_experiment_points(construction_cost, points, jobs=jobs)
+    exchanges_at = {
+        (point["n_peers"], point["recmax"]): exchanges
+        for point, (exchanges, _converged) in zip(points, outcomes)
+    }
     rows: list[list[object]] = []
     for n_peers in peer_counts:
         row: list[object] = [n_peers]
         for recmax in recmax_values:
-            exchanges, _converged = construction_cost(
-                n_peers, maxl=maxl, refmax=refmax, recmax=recmax, seed=seed
-            )
+            exchanges = exchanges_at[(n_peers, recmax)]
             row += [
                 exchanges,
                 exchanges / n_peers,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_experiment_points
 from repro.experiments.table1_construction_scaling import construction_cost
 
 EXPERIMENT_ID = "table2"
@@ -32,6 +32,7 @@ def run(
     recmax_values: Sequence[int] = (0, 2),
     refmax: int = 1,
     seed: int = 2,
+    jobs: int | None = 1,
 ) -> ExperimentResult:
     """Reproduce T2: ``e``, ``e/N`` and the level-to-level growth ratio."""
     headers = ["maxl"]
@@ -42,14 +43,23 @@ def run(
             f"ratio (recmax={recmax})",
             f"paper e (recmax={recmax})",
         ]
+    points = [
+        {"n_peers": n_peers, "maxl": maxl, "refmax": refmax,
+         "recmax": recmax, "seed": seed}
+        for maxl in maxl_values
+        for recmax in recmax_values
+    ]
+    outcomes = run_experiment_points(construction_cost, points, jobs=jobs)
+    exchanges_at = {
+        (point["maxl"], point["recmax"]): exchanges
+        for point, (exchanges, _converged) in zip(points, outcomes)
+    }
     rows: list[list[object]] = []
     previous: dict[int, int] = {}
     for maxl in maxl_values:
         row: list[object] = [maxl]
         for recmax in recmax_values:
-            exchanges, _converged = construction_cost(
-                n_peers, maxl=maxl, refmax=refmax, recmax=recmax, seed=seed
-            )
+            exchanges = exchanges_at[(maxl, recmax)]
             ratio = (
                 exchanges / previous[recmax] if recmax in previous and previous[recmax]
                 else None

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_experiment_points
 from repro.experiments.table1_construction_scaling import construction_cost
 
 EXPERIMENT_ID = "table3"
@@ -27,14 +27,18 @@ def run(
     refmax: int = 1,
     recmax_values: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
     seed: int = 3,
+    jobs: int | None = 1,
 ) -> ExperimentResult:
     """Reproduce T3: ``e`` and ``e/N`` per recursion bound."""
+    points = [
+        {"n_peers": n_peers, "maxl": maxl, "refmax": refmax,
+         "recmax": recmax, "seed": seed}
+        for recmax in recmax_values
+    ]
+    outcomes = run_experiment_points(construction_cost, points, jobs=jobs)
     rows: list[list[object]] = []
     best: tuple[int, int] | None = None
-    for recmax in recmax_values:
-        exchanges, _converged = construction_cost(
-            n_peers, maxl=maxl, refmax=refmax, recmax=recmax, seed=seed
-        )
+    for recmax, (exchanges, _converged) in zip(recmax_values, outcomes):
         rows.append(
             [recmax, exchanges, exchanges / n_peers, PAPER_ROWS.get(recmax)]
         )

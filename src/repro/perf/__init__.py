@@ -1,0 +1,22 @@
+"""Performance layer: parallel trial execution and benchmark plumbing.
+
+:mod:`repro.perf.parallel` runs independent experiment trials across a
+process pool with deterministic per-trial RNG derivation, so parallel
+results are bit-identical to serial ones for the same master seed.
+"""
+
+from repro.perf.parallel import (
+    TrialSpec,
+    merge_registries,
+    parallel_starmap,
+    resolve_jobs,
+    run_trials,
+)
+
+__all__ = [
+    "TrialSpec",
+    "merge_registries",
+    "parallel_starmap",
+    "resolve_jobs",
+    "run_trials",
+]

@@ -10,7 +10,10 @@ budget is hit.
 The average depth is tracked incrementally: every case-1 split deepens two
 peers by one bit and every case-2/3 specialization deepens one, so the total
 depth is a linear function of the engine's case counters — no O(N) rescan
-per meeting.
+per meeting.  Membership changes (churn joining/removing peers mid-build)
+invalidate the tracked total; the builder detects them through
+:attr:`~repro.core.grid.PGrid.membership_version` and rebases its offset
+with one O(N) rescan per membership event instead of per meeting.
 """
 
 from __future__ import annotations
@@ -72,9 +75,17 @@ class GridBuilder:
         self.grid = grid
         self.scheduler = scheduler or UniformMeetings(grid)
         self.engine = engine or ExchangeEngine(grid)
-        # Depth already present that the engine's counters do not account
-        # for (snapshot-loaded grids, reused engines).
-        self._depth_offset = sum(peer.depth for peer in grid.peers()) - (
+        self._rebase_depth_offset()
+
+    def _rebase_depth_offset(self) -> None:
+        """One O(N) rescan anchoring the counters to the current population.
+
+        Accounts for depth the engine's counters do not know about:
+        snapshot-loaded grids, reused engines, and peers added or removed by
+        churn since the last rebase.
+        """
+        self._membership_version = self.grid.membership_version
+        self._depth_offset = sum(peer.depth for peer in self.grid.peers()) - (
             self._counter_depth()
         )
 
@@ -91,8 +102,11 @@ class GridBuilder:
 
         Valid because construction only ever *extends* paths: case 1 adds
         one bit to each of two peers, cases 2/3 add one bit to one peer.
-        Verified against a full rescan by the test suite.
+        Membership changes are caught via the grid's version counter and
+        trigger a rebase.  Verified against a full rescan by the test suite.
         """
+        if self.grid.membership_version != self._membership_version:
+            self._rebase_depth_offset()
         return (self._depth_offset + self._counter_depth()) / len(self.grid)
 
     def build(
@@ -137,15 +151,16 @@ class GridBuilder:
             first, second = self.scheduler.next_pair()
             self.engine.meet(first, second)
             meetings_run += 1
+            current_depth = self._average_depth()
             if sample_every is not None and meetings_run % sample_every == 0:
                 trajectory.append(
                     ConstructionSample(
                         meetings=meetings_run,
                         exchanges=self.engine.stats.calls,
-                        average_depth=self._average_depth(),
+                        average_depth=current_depth,
                     )
                 )
-            converged = self._average_depth() >= threshold
+            converged = current_depth >= threshold
 
         average_depth = self.grid.average_path_length()
         if not converged and raise_on_budget:

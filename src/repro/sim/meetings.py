@@ -28,6 +28,27 @@ from repro.core.peer import Address
 __all__ = ["UniformMeetings", "BiasedMeetings", "RoundRobinMeetings"]
 
 
+class _AddressCache:
+    """Sorted address list memoized against the grid's membership version.
+
+    Rebuilding (and re-sorting) the population on every meeting is an
+    O(N log N) cost per pair; the version check amortizes it to one rebuild
+    per actual join/leave.
+    """
+
+    def __init__(self, grid: PGrid) -> None:
+        self._grid = grid
+        self._version = grid.membership_version
+        self._addresses = grid.addresses()
+
+    def get(self) -> list[Address]:
+        version = self._grid.membership_version
+        if version != self._version:
+            self._version = version
+            self._addresses = self._grid.addresses()
+        return self._addresses
+
+
 class UniformMeetings:
     """Uniformly random pairwise meetings (the paper's scheduler)."""
 
@@ -36,15 +57,19 @@ class UniformMeetings:
             raise ValueError("meetings need at least two peers")
         self.grid = grid
         self._rng = rng or grid.rng
-        self._addresses = grid.addresses()
+        self._cache = _AddressCache(grid)
 
     def refresh(self) -> None:
-        """Re-read the peer population (after joins)."""
-        self._addresses = self.grid.addresses()
+        """Re-read the peer population.
+
+        Kept for backwards compatibility — the membership-version cache
+        makes joins/leaves visible automatically.
+        """
+        self._cache = _AddressCache(self.grid)
 
     def next_pair(self) -> tuple[Address, Address]:
         """Draw one unordered uniform pair of distinct peers."""
-        first, second = self._rng.sample(self._addresses, 2)
+        first, second = self._rng.sample(self._cache.get(), 2)
         return first, second
 
     def pairs(self) -> Iterator[tuple[Address, Address]]:
@@ -75,10 +100,11 @@ class BiasedMeetings:
         self.grid = grid
         self.bias = bias
         self._rng = rng or grid.rng
+        self._cache = _AddressCache(grid)
 
     def next_pair(self) -> tuple[Address, Address]:
         """Draw one pair, prefix-biased."""
-        addresses = self.grid.addresses()
+        addresses = self._cache.get()
         first = self._rng.choice(addresses)
         first_path = self.grid.peer(first).path
         if first_path and self._rng.random() < self.bias:
@@ -112,15 +138,16 @@ class RoundRobinMeetings:
             raise ValueError("meetings need at least two peers")
         self.grid = grid
         self._rng = rng or grid.rng
+        self._cache = _AddressCache(grid)
         self._queue: list[Address] = []
 
     def next_pair(self) -> tuple[Address, Address]:
         """Next pair of the sweep, reshuffling when a round completes."""
         if not self._queue:
-            self._queue = self.grid.addresses()
+            self._queue = list(self._cache.get())
             self._rng.shuffle(self._queue)
         first = self._queue.pop()
-        addresses = self.grid.addresses()
+        addresses = self._cache.get()
         second = self._rng.choice(addresses)
         while second == first:
             second = self._rng.choice(addresses)

@@ -13,18 +13,26 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["derive", "spawn"]
+__all__ = ["derive", "derive_seed", "spawn"]
+
+
+def derive_seed(master_seed: int, stream: str) -> int:
+    """Derive the integer seed of the named *stream*.
+
+    Hashing ``(master_seed, stream)`` with SHA-256 makes streams
+    statistically independent and stable across Python versions (unlike
+    ``hash()``, which is salted).  Use this to hand whole sub-experiments
+    or parallel trials their own master seed: the derivation depends only
+    on the pair of arguments, never on execution order, so serial and
+    parallel runs see identical seeds.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{stream}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def derive(master_seed: int, stream: str) -> random.Random:
-    """Return an independent RNG for the named *stream*.
-
-    The stream seed is derived by hashing ``(master_seed, stream)`` with
-    SHA-256, so streams are statistically independent and stable across
-    Python versions (unlike ``hash()``, which is salted).
-    """
-    digest = hashlib.sha256(f"{master_seed}:{stream}".encode("utf-8")).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+    """Return an independent RNG for the named *stream*."""
+    return random.Random(derive_seed(master_seed, stream))
 
 
 def spawn(rng: random.Random) -> random.Random:

@@ -100,6 +100,22 @@ class TestInterval:
         assert keys.interval_contains(key, key)
 
 
+class TestUncheckedFastPaths:
+    """The integer fast paths must be extensionally equal to the exact
+    Fraction-based definitions on every valid input."""
+
+    @given(binary_keys)
+    def test_key_value_unchecked_matches_checked(self, key):
+        assert keys._key_value_unchecked(key) == keys.key_value(key)
+
+    @given(binary_keys, binary_keys)
+    def test_interval_contains_unchecked_matches_definition(self, key, query):
+        low, high = keys.key_interval(key)
+        by_fractions = low <= keys.key_value(query) < high
+        assert keys._interval_contains_unchecked(key, query) == by_fractions
+        assert keys.interval_contains(key, query) == by_fractions
+
+
 class TestPrefixAlgebra:
     def test_common_prefix_basic(self):
         assert keys.common_prefix("0110", "0101") == "01"

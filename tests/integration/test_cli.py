@@ -30,6 +30,33 @@ class TestBuild:
         assert main(["build", "--peers", "32", "--maxl", "2", "--fanout", "0"]) == 0
         assert "converged=True" in capsys.readouterr().out
 
+    def test_build_multi_trial_aggregate(self, capsys):
+        code = main(
+            ["build", "--peers", "32", "--maxl", "2", "--seed", "4",
+             "--trials", "3", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trial 0:" in out and "trial 2:" in out
+        assert "aggregate over 3 trials:" in out
+        assert "converged=3/3" in out
+
+    def test_build_multi_trial_deterministic_across_jobs(self, capsys):
+        argv = ["build", "--peers", "32", "--maxl", "2", "--seed", "4",
+                "--trials", "2"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_build_multi_trial_rejects_snapshot(self, tmp_path, capsys):
+        code = main(
+            ["build", "--peers", "32", "--maxl", "2", "--trials", "2",
+             "--snapshot", str(tmp_path / "grid.json")]
+        )
+        assert code == 2
+        assert "single build" in capsys.readouterr().err
+
 
 class TestSearch:
     @pytest.fixture
@@ -122,6 +149,23 @@ class TestScenario:
         )
         assert code == 0
         assert "update_coverage_mean" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_multi_trial_merged_registry(self, capsys):
+        code = main(
+            ["stats", "--peers", "64", "--maxl", "3", "--refmax", "2",
+             "--operations", "60", "--seed", "9",
+             "--trials", "2", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merged metrics for 2 trials" in out
+        assert "trial 0:" in out and "trial 1:" in out
+
+    def test_stats_trials_validated(self, capsys):
+        assert main(["stats", "--trials", "0"]) == 2
+        assert "--trials" in capsys.readouterr().err
 
 
 class TestReport:

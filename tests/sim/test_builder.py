@@ -54,6 +54,31 @@ class TestBuild:
         builder = GridBuilder(grid)
         assert builder._average_depth() == pytest.approx(1.0)
 
+    def test_incremental_average_survives_membership_churn(self):
+        grid = fresh_grid(48, maxl=4)
+        builder = GridBuilder(grid)
+        builder.build(max_meetings=150, threshold_fraction=1.0)
+
+        # Leave: drop a third of the population, including deep peers.
+        for address in list(grid.addresses())[::3]:
+            grid.remove_peer(address)
+        assert builder._average_depth() == pytest.approx(
+            grid.average_path_length()
+        )
+
+        # Join: fresh root-path peers drag the average back down.
+        grid.add_peers(16)
+        assert builder._average_depth() == pytest.approx(
+            grid.average_path_length()
+        )
+
+        # Continue building after churn: the incremental count must keep
+        # matching the from-scratch rescan at the end.
+        builder.build(max_meetings=150, threshold_fraction=1.0)
+        assert builder._average_depth() == pytest.approx(
+            grid.average_path_length()
+        )
+
     def test_budget_stops_without_convergence(self):
         grid = fresh_grid(64, maxl=6)
         report = GridBuilder(grid).build(max_exchanges=10)

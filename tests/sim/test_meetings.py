@@ -62,6 +62,22 @@ class TestUniformMeetings:
         stream = list(itertools.islice(scheduler.pairs(), 10))
         assert len(stream) == 10
 
+    def test_membership_changes_seen_without_refresh(self):
+        # The cached address list revalidates against the grid's
+        # membership version, so explicit refresh() is optional.
+        grid = grid_of(2)
+        scheduler = UniformMeetings(grid, rng=random.Random(3))
+        scheduler.next_pair()  # prime the cache
+        grid.add_peer()
+        seen = set()
+        for _ in range(100):
+            seen.update(scheduler.next_pair())
+        assert 2 in seen
+
+        grid.remove_peer(0)
+        for _ in range(100):
+            assert 0 not in scheduler.next_pair()
+
 
 class TestBiasedMeetings:
     def test_bias_validated(self):
