@@ -4,7 +4,7 @@ PYTHON ?= python
 # Scale of `make bench`: fig4 (default) or smoke (CI-fast).
 SCALE ?= fig4
 
-.PHONY: install test lint check bench bench-experiments bench-paper bench-quick examples clean results
+.PHONY: install test lint check bench bench-experiments bench-paper bench-quick resilience-smoke examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,12 @@ bench-paper:
 
 bench-quick:
 	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Resilience gate: measured success under injected faults must match the
+# §4 analytic curve within the smoke tolerance (see docs/RESILIENCE.md).
+resilience-smoke:
+	PYTHONPATH=src $(PYTHON) -c "import sys; from repro.experiments import resilience; \
+	sys.exit(resilience.main(['--scale', 'smoke', '--jobs', '2', '--check']))"
 
 examples:
 	@for script in examples/*.py; do \

@@ -26,6 +26,9 @@ Package layout
     Simulated message transport with traffic accounting.
 ``repro.baselines``
     Gnutella-style flooding and central/replicated index servers (§1, §6).
+``repro.faults``
+    Fault injection (seeded fault plans over the transport), retry
+    policies, and routing self-repair (see docs/RESILIENCE.md).
 ``repro.text``
     Prefix text search over P-Grid (§6 trie extension).
 ``repro.experiments``
@@ -84,6 +87,13 @@ from repro.errors import (
     TransportError,
     UnknownPeerError,
 )
+from repro.faults import (
+    NO_RETRY,
+    FaultInjector,
+    FaultPlan,
+    RefHealer,
+    RetryPolicy,
+)
 from repro.sim import (
     BernoulliChurn,
     ConstructionReport,
@@ -106,6 +116,8 @@ __all__ = [
     "DuplicatePeerError",
     "ExchangeEngine",
     "ExchangeStats",
+    "FaultInjector",
+    "FaultPlan",
     "GridBuilder",
     "GridPlan",
     "InvalidConfigError",
@@ -113,6 +125,7 @@ __all__ = [
     "JoinReport",
     "LeaveReport",
     "MembershipEngine",
+    "NO_RETRY",
     "NotConvergedError",
     "PAPER_SECTION51_CONFIG",
     "PAPER_SECTION52_CONFIG",
@@ -124,7 +137,9 @@ __all__ = [
     "RangeSearchResult",
     "ReadEngine",
     "ReadResult",
+    "RefHealer",
     "RepairReport",
+    "RetryPolicy",
     "RoutingInvariantError",
     "RoutingTable",
     "SearchConfig",

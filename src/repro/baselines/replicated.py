@@ -17,6 +17,15 @@ from repro.core import keys as keyspace
 from repro.core.peer import Address
 from repro.core.storage import DataItem
 from repro.baselines.interface import SystemSearchResult
+from repro.faults.retry import RetryPolicy
+
+#: The historical client behavior: primary attempt + one fail-over, no
+#: backoff.  Expressed through the shared policy type so baseline and
+#: P-Grid comparisons use identical failure semantics (and can be swept
+#: over the same policies).
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    attempts=2, base_delay=0.0, backoff_factor=1.0, max_delay=0.0
+)
 
 
 @dataclass
@@ -45,6 +54,7 @@ class ReplicatedIndexServers:
         *,
         p_online: float = 1.0,
         rng: random.Random | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -52,6 +62,7 @@ class ReplicatedIndexServers:
             raise ValueError(f"p_online must be in (0, 1], got {p_online}")
         self.replicas = replicas
         self.p_online = p_online
+        self.retry = retry or DEFAULT_CLIENT_RETRY
         self._rng = rng or random.Random()
         self._indexes: list[dict[str, set[Address]]] = [
             {} for _ in range(replicas)
@@ -69,11 +80,11 @@ class ReplicatedIndexServers:
         return self.replicas
 
     def search(self, start: Address, key: str) -> SystemSearchResult:  # noqa: ARG002
-        """One round trip to a uniformly chosen replica, with one retry on
-        an offline replica (clients fail over)."""
+        """Round trips to uniformly chosen replicas per the retry policy
+        (default: primary attempt + one fail-over)."""
         keyspace.validate_key(key)
         messages = 0
-        for _ in range(2):  # primary attempt + one fail-over
+        for _ in range(self.retry.attempts):
             replica = self._rng.randrange(self.replicas)
             messages += 1
             if self.p_online < 1.0 and self._rng.random() >= self.p_online:

@@ -42,6 +42,7 @@ from repro.experiments import (
     convergence,
     fig4_replicas,
     fig5_update_strategies,
+    resilience,
     scaling_comparison,
     search_reliability,
     table1_construction_scaling,
@@ -66,6 +67,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig4": fig4_replicas.run,
     "fig5": fig5_update_strategies.run,
     "search_reliability": search_reliability.run,
+    "resilience": resilience.run,
     "table6": table6_tradeoff.run,
     "discussion_scaling": scaling_comparison.run,
     "analysis_example": analysis_example.run,
@@ -121,6 +123,27 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--trace", action="store_true",
                         help="dump the hop-level trace of the search")
+    faults = search.add_argument_group(
+        "fault injection & resilience (see docs/RESILIENCE.md)"
+    )
+    faults.add_argument("--retry-attempts", type=int, default=1,
+                        help="contact attempts per reference (1 = no retry)")
+    faults.add_argument("--retry-base-delay", type=float, default=1.0,
+                        help="simulated backoff before the 2nd attempt")
+    faults.add_argument("--retry-backoff", type=float, default=2.0,
+                        help="exponential backoff factor between attempts")
+    faults.add_argument("--retry-deadline", type=float, default=None,
+                        help="cap on accumulated backoff per search")
+    faults.add_argument("--self-repair", action="store_true",
+                        help="evict+refill references that keep failing")
+    faults.add_argument("--evict-after", type=int, default=3,
+                        help="consecutive failures before eviction")
+    faults.add_argument("--crash-fraction", type=float, default=0.0,
+                        help="crash this fraction of peers before searching")
+    faults.add_argument("--stale-fraction", type=float, default=0.0,
+                        help="corrupt one routing ref on this fraction of peers")
+    faults.add_argument("--fault-seed", type=int, default=None,
+                        help="seed for fault decisions (default: --seed)")
 
     analyze = sub.add_parser("analyze", help="run the §4 sizing planner")
     analyze.add_argument("--d-global", type=int, default=10**7)
@@ -317,17 +340,56 @@ def _cmd_search(args: argparse.Namespace) -> int:
     grid = load_grid(args.snapshot, rng=rng)
     if args.p_online < 1.0:
         grid.online_oracle = BernoulliChurn(args.p_online, random.Random(args.seed + 1))
+    injector = None
+    if args.crash_fraction > 0.0 or args.stale_fraction > 0.0:
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.net.transport import LocalTransport
+
+        fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+        injector = FaultInjector(LocalTransport(grid), FaultPlan(seed=fault_seed))
+        if args.crash_fraction > 0.0:
+            victims = injector.crash_random(args.crash_fraction)
+            print(f"crashed {len(victims)} peers: {victims[:10]}"
+                  f"{' ...' if len(victims) > 10 else ''}")
+        if args.stale_fraction > 0.0:
+            corrupted = injector.inject_stale_refs(args.stale_fraction)
+            print(f"corrupted {corrupted} routing references")
+        injector.install_oracle()
+    retry = None
+    if args.retry_attempts > 1:
+        from repro.faults import RetryPolicy
+
+        retry = RetryPolicy(
+            attempts=args.retry_attempts,
+            base_delay=args.retry_base_delay,
+            backoff_factor=args.retry_backoff,
+            max_delay=max(args.retry_base_delay, 60.0),
+            deadline=args.retry_deadline,
+        )
+    healer = None
+    if args.self_repair:
+        from repro.faults import RefHealer
+
+        healer = RefHealer(grid, evict_after=args.evict_after)
     trace = None
     if args.trace:
         from repro.obs import TraceRecorder
 
         trace = TraceRecorder()
-    engine = SearchEngine(grid, probe=trace)
+    engine = SearchEngine(grid, probe=trace, retry=retry, healer=healer)
     result = engine.query_from(args.start, args.key)
     print(
         f"found={result.found} responder={result.responder} "
         f"messages={result.messages} failed_attempts={result.failed_attempts}"
     )
+    if retry is not None:
+        print(f"retry backoff accrued: {result.retry_delay:.2f} time units")
+    if healer is not None:
+        stats = healer.stats
+        print(
+            f"repair: evictions={stats.evictions} refills={stats.refills} "
+            f"probes={stats.probes_sent}"
+        )
     for ref in result.data_refs:
         print(f"  data: key={ref.key} holder={ref.holder} version={ref.version}")
     if trace is not None:

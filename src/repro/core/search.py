@@ -30,6 +30,15 @@ Observability: the engine accepts a keyword-only ``probe``
 backtrack and termination.  With the default ``probe=None`` the hooks cost
 one identity check each; probes must not draw from the grid's RNG
 (observation is asserted to be bit-identical to an uninstrumented run).
+
+Resilience: keyword-only ``retry`` (a :class:`repro.faults.RetryPolicy`,
+duck-typed so this module stays import-free of ``repro.faults``) re-contacts
+an offline reference up to ``attempts`` times before backtracking,
+accounting the simulated backoff in ``retry_delay``; ``healer`` (a
+:class:`repro.faults.RefHealer`) receives every per-reference contact
+outcome and evicts/refills references that keep failing.  Both default to
+``None`` — the bare Fig. 2 protocol — and are asserted transparent in that
+configuration (``tests/faults/test_transparency.py``).
 """
 
 from __future__ import annotations
@@ -63,6 +72,7 @@ class SearchResult(ContactAccounting):
     failed_attempts: int
     data_refs: list[DataRef] = field(default_factory=list)
     latency: float = 0.0
+    retry_delay: float = 0.0
 
 
 @dataclass
@@ -76,6 +86,7 @@ class RangeSearchResult(ContactAccounting):
     data_refs: list[DataRef]
     messages: int
     failed_attempts: int
+    retry_delay: float = 0.0
 
     @property
     def found(self) -> bool:
@@ -92,6 +103,7 @@ class BreadthSearchResult(ContactAccounting):
     responders: list[Address]
     messages: int
     failed_attempts: int
+    retry_delay: float = 0.0
 
     @property
     def found(self) -> bool:
@@ -126,6 +138,10 @@ class SearchEngine:
 
     ``probe`` receives the hop-level observability hooks; ``None`` (the
     default) disables observation entirely.
+
+    ``retry`` / ``healer`` are the resilience collaborators (duck-typed
+    :class:`repro.faults.RetryPolicy` / :class:`repro.faults.RefHealer`);
+    ``None`` disables them with zero overhead on the hot path.
     """
 
     def __init__(
@@ -135,16 +151,22 @@ class SearchEngine:
         config: SearchConfig | None = None,
         probe: Probe | None = None,
         topology=None,
+        retry=None,
+        healer=None,
     ) -> None:
         self.grid = grid
         self.config = config or SearchConfig()
         self.probe = probe
         self.topology = topology
+        self.retry = retry
+        self.healer = healer
         # True when this instance uses the base attempt order, letting
         # _query skip the generator machinery on the uninstrumented path.
         self._inline_order = (
             type(self)._attempt_order is SearchEngine._attempt_order
         )
+        # Retry/healer handling lives on the slow path only.
+        self._resilient = retry is not None or healer is not None
 
     # -- depth-first search (Fig. 2) -------------------------------------------
 
@@ -160,7 +182,12 @@ class SearchEngine:
         if probe is not None:
             probe.on_search_start("dfs", start, query)
         budget = _Budget(self.config.max_messages)
-        stats: dict[str, float] = {"messages": 0, "failed": 0, "latency": 0.0}
+        stats: dict[str, float] = {
+            "messages": 0,
+            "failed": 0,
+            "latency": 0.0,
+            "retry_delay": 0.0,
+        }
         found, responder = self._query(peer, query, 0, budget, stats)
         data_refs: list[DataRef] = []
         if found and responder is not None:
@@ -184,6 +211,7 @@ class SearchEngine:
             failed_attempts=int(stats["failed"]),
             data_refs=data_refs,
             latency=stats["latency"],
+            retry_delay=stats["retry_delay"],
         )
 
     def _attempt_order(
@@ -223,7 +251,7 @@ class SearchEngine:
         querypath = p[lc:]
         ref_level = level + lc + 1
         refs = list(peer.routing.refs(ref_level))
-        if probe is None and self._inline_order:
+        if probe is None and self._inline_order and not self._resilient:
             # Uninstrumented fast path: the same lazy draws as
             # _attempt_order without a generator frame per hop.  The
             # probe-transparency property test pins both paths to
@@ -249,12 +277,7 @@ class SearchEngine:
                     return True, responder
             return False, None
         for address in self._attempt_order(peer, refs):
-            # A dangling reference (departed peer) behaves like an offline
-            # one: the contact attempt fails.
-            if not self.grid.has_peer(address) or not self.grid.is_online(address):
-                stats["failed"] += 1
-                if probe is not None:
-                    probe.on_offline_miss(peer.address, address, ref_level)
+            if not self._contact(peer.address, address, ref_level, stats):
                 continue
             if not budget.consume():
                 return False, None
@@ -271,6 +294,61 @@ class SearchEngine:
             if probe is not None:
                 probe.on_backtrack(peer.address, ref_level)
         return False, None
+
+    def _contact(
+        self,
+        owner: Address,
+        address: Address,
+        ref_level: int,
+        stats: dict[str, float],
+    ) -> bool:
+        """One per-reference contact attempt, with retry and healing.
+
+        Returns whether *address* answered.  A dangling reference (departed
+        peer) fails once without retry — re-contacting a peer that no
+        longer exists cannot help; an offline reference is re-contacted up
+        to ``retry.attempts`` times (each an independent availability coin
+        under the §2 model), accruing the backoff schedule in
+        ``stats["retry_delay"]`` and respecting the policy's deadline.
+        Every outcome is reported to the healer, which may evict the
+        reference mid-retry (the loop then stops — the slot no longer
+        exists).
+        """
+        grid = self.grid
+        probe = self.probe
+        healer = self.healer
+        if not grid.has_peer(address):
+            # A dangling reference (departed peer) behaves like an offline
+            # one: the contact attempt fails.
+            stats["failed"] += 1
+            if probe is not None:
+                probe.on_offline_miss(owner, address, ref_level)
+            if healer is not None:
+                healer.record_failure(owner, ref_level, address)
+            return False
+        retry = self.retry
+        attempts = retry.attempts if retry is not None else 1
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                delay = retry.delay_before(attempt)
+                if (
+                    retry.deadline is not None
+                    and stats["retry_delay"] + delay > retry.deadline
+                ):
+                    break
+                stats["retry_delay"] += delay
+            if grid.is_online(address):
+                if healer is not None:
+                    healer.record_success(owner, ref_level, address)
+                return True
+            stats["failed"] += 1
+            if probe is not None:
+                probe.on_offline_miss(owner, address, ref_level)
+            if healer is not None and healer.record_failure(
+                owner, ref_level, address
+            ):
+                break
+        return False
 
     # -- repeated depth-first search (§5.2 update strategy 1) ---------------------
 
@@ -330,7 +408,7 @@ class SearchEngine:
         if probe is not None:
             probe.on_search_start("bfs", start, query)
         budget = _Budget(self.config.max_messages)
-        stats = {"messages": 0, "failed": 0}
+        stats: dict[str, float] = {"messages": 0, "failed": 0, "retry_delay": 0.0}
         responders: list[Address] = []
         seen: set[Address] = set()
         self._breadth(
@@ -350,15 +428,16 @@ class SearchEngine:
                 start,
                 query,
                 found=bool(responders),
-                messages=stats["messages"],
-                failed_attempts=stats["failed"],
+                messages=int(stats["messages"]),
+                failed_attempts=int(stats["failed"]),
             )
         return BreadthSearchResult(
             query=query,
             start=start,
             responders=responders,
-            messages=stats["messages"],
-            failed_attempts=stats["failed"],
+            messages=int(stats["messages"]),
+            failed_attempts=int(stats["failed"]),
+            retry_delay=stats["retry_delay"],
         )
 
     # -- range queries over the order-preserving key space ------------------------
@@ -387,12 +466,14 @@ class SearchEngine:
         refs: dict[tuple[str, Address], DataRef] = {}
         messages = 0
         failed = 0
+        retry_delay = 0.0
         for prefix in cover:
             result = self.query_breadth(
                 start, prefix, recbreadth, enumerate_subtree=True
             )
             messages += result.messages
             failed += result.failed_attempts
+            retry_delay += result.retry_delay
             for responder in result.responders:
                 if responder not in seen_responders:
                     seen_responders.add(responder)
@@ -421,6 +502,7 @@ class SearchEngine:
             data_refs=data_refs,
             messages=messages,
             failed_attempts=failed,
+            retry_delay=retry_delay,
         )
 
     @staticmethod
@@ -447,7 +529,7 @@ class SearchEngine:
         level: int,
         recbreadth: int,
         budget: _Budget,
-        stats: dict[str, int],
+        stats: dict[str, float],
         responders: list[Address],
         seen: set[Address],
         enumerate_subtree: bool = False,
@@ -486,7 +568,7 @@ class SearchEngine:
         ref_level: int,
         recbreadth: int,
         budget: _Budget,
-        stats: dict[str, int],
+        stats: dict[str, float],
         responders: list[Address],
         seen: set[Address],
         enumerate_subtree: bool,
@@ -494,7 +576,8 @@ class SearchEngine:
         """Forward to up to *recbreadth* online references at *ref_level*.
 
         Offline contacts are skipped and replaced by further candidates
-        (the depth-first search retries the same way, one at a time).
+        (the depth-first search retries the same way, one at a time),
+        after any configured retry attempts.
         """
         probe = self.probe
         refs = list(peer.routing.refs(ref_level))
@@ -506,10 +589,7 @@ class SearchEngine:
                 break
             if address in seen:
                 continue
-            if not self.grid.has_peer(address) or not self.grid.is_online(address):
-                stats["failed"] += 1
-                if probe is not None:
-                    probe.on_offline_miss(peer.address, address, ref_level)
+            if not self._contact(peer.address, address, ref_level, stats):
                 continue
             if not budget.consume():
                 return

@@ -87,6 +87,13 @@ class UpdateEngine:
     ``config`` supplies the default ``recbreadth``/``repetition`` for calls
     that do not override them explicitly (experiments sweep them per call;
     applications typically fix them once here).
+
+    ``retry`` / ``healer`` (duck-typed :class:`repro.faults.RetryPolicy` /
+    :class:`repro.faults.RefHealer`) are forwarded to the default-built
+    search engine and also govern the buddy-forwarding hop: an offline
+    buddy is re-contacted per the policy before being counted as missed.
+    When an explicit ``search`` engine is supplied it keeps its own
+    retry/healer configuration; only the buddy hop uses ``retry`` here.
     """
 
     def __init__(
@@ -96,11 +103,16 @@ class UpdateEngine:
         search: SearchEngine | None = None,
         config: UpdateConfig | None = None,
         probe: Probe | None = None,
+        retry=None,
+        healer=None,
     ) -> None:
         self.grid = grid
-        self.search = search or SearchEngine(grid, probe=probe)
+        self.search = search or SearchEngine(
+            grid, probe=probe, retry=retry, healer=healer
+        )
         self.config = config or UpdateConfig()
         self.probe = probe
+        self.retry = retry
 
     # -- insertion / update ------------------------------------------------------
 
@@ -260,21 +272,30 @@ class UpdateEngine:
         self, reached: set[Address], messages: int, failed: int
     ) -> tuple[set[Address], int, int]:
         """Strategy 2's second hop: replicas forward to their buddy lists."""
+        attempts = self.retry.attempts if self.retry is not None else 1
         extended = set(reached)
         for address in reached:
             for buddy in sorted(self.grid.peer(address).buddies):
                 if buddy in extended:
                     continue
-                if not self.grid.has_peer(buddy) or not self.grid.is_online(buddy):
+                if not self.grid.has_peer(buddy):
                     failed += 1
                     continue
-                messages += 1
-                extended.add(buddy)
+                for _ in range(attempts):
+                    if self.grid.is_online(buddy):
+                        messages += 1
+                        extended.add(buddy)
+                        break
+                    failed += 1
         return extended, messages, failed
 
 
 class ReadEngine:
-    """Query strategies for reading possibly partially-updated entries."""
+    """Query strategies for reading possibly partially-updated entries.
+
+    ``retry`` / ``healer`` are forwarded to the default-built search
+    engine (ignored when an explicit ``search`` is supplied).
+    """
 
     def __init__(
         self,
@@ -282,9 +303,13 @@ class ReadEngine:
         *,
         search: SearchEngine | None = None,
         probe: Probe | None = None,
+        retry=None,
+        healer=None,
     ) -> None:
         self.grid = grid
-        self.search = search or SearchEngine(grid, probe=probe)
+        self.search = search or SearchEngine(
+            grid, probe=probe, retry=retry, healer=healer
+        )
         self.probe = probe
 
     def _finish(self, result: ReadResult) -> ReadResult:

@@ -10,6 +10,7 @@ from repro.experiments import (
     convergence,
     fig4_replicas,
     fig5_update_strategies,
+    resilience,
     scaling_comparison,
     search_reliability,
     table1_construction_scaling,
@@ -38,6 +39,7 @@ __all__ = [
     "default_cache_dir",
     "fig4_replicas",
     "fig5_update_strategies",
+    "resilience",
     "scaling_comparison",
     "search_reliability",
     "section52_profile",

@@ -1,0 +1,27 @@
+"""Fault injection, retry policies, and routing self-repair.
+
+The resilience layer for the §4 robustness claims: declarative seeded
+:class:`FaultPlan`\\ s executed by a :class:`FaultInjector` over the
+simulated transport, :class:`RetryPolicy` redundancy-in-time threaded
+through the engines, and contact-driven :class:`RefHealer` repair of dead
+routing references.  ``experiments/resilience.py`` ties the three together
+against the analytic curve ``(1 - (1 - p)^refmax)^k``.
+"""
+
+from repro.faults.inject import FaultInjector, FaultOracle, FaultStats
+from repro.faults.plan import FaultPlan
+from repro.faults.repair import HealStats, RefHealer
+from repro.faults.retry import NO_RETRY, RetryOutcome, RetryPolicy, send_with_retry
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultOracle",
+    "FaultStats",
+    "RetryPolicy",
+    "RetryOutcome",
+    "NO_RETRY",
+    "send_with_retry",
+    "RefHealer",
+    "HealStats",
+]

@@ -40,13 +40,38 @@ class NodeSearchOutcome:
 
 
 class PGridNode:
-    """One networked peer: handles protocol messages for its local state."""
+    """One networked peer: handles protocol messages for its local state.
 
-    def __init__(self, peer: Peer, grid: PGrid, transport: LocalTransport) -> None:
+    ``transport`` is anything with the :class:`LocalTransport` interface —
+    in particular a :class:`repro.faults.FaultInjector` wrapping one.
+    ``retry`` (a duck-typed :class:`repro.faults.RetryPolicy`) governs how
+    many times a failed outbound contact is re-attempted before the node
+    moves on to the next reference (backoff is a simulated-time concern of
+    the transport layer; the node only consumes the attempt count).
+    """
+
+    def __init__(
+        self,
+        peer: Peer,
+        grid: PGrid,
+        transport: LocalTransport,
+        *,
+        retry=None,
+    ) -> None:
         self.peer = peer
         self.grid = grid
         self.transport = transport
+        self.retry = retry
         transport.register(peer.address, self.handle)
+
+    def _try_send(self, message: Message) -> Message | None:
+        """``transport.try_send`` with the node's retry policy applied."""
+        attempts = self.retry.attempts if self.retry is not None else 1
+        for _ in range(attempts):
+            reply = self.transport.try_send(message)
+            if reply is not None:
+                return reply
+        return None
 
     # -- message dispatch ---------------------------------------------------------
 
@@ -92,7 +117,7 @@ class PGridNode:
         rng = self.grid.rng
         while refs:
             address = refs.pop(rng.randrange(len(refs)))
-            reply = self.transport.try_send(
+            reply = self._try_send(
                 query_message(self.peer.address, address, querypath, level + lc)
             )
             if reply is None:
@@ -115,7 +140,7 @@ class PGridNode:
 
     def push_update(self, destination: Address, ref: DataRef) -> bool:
         """Send one index update to *destination*; True on delivery."""
-        reply = self.transport.try_send(
+        reply = self._try_send(
             update_message(
                 self.peer.address, destination, ref.key, ref.holder, ref.version
             )
@@ -162,7 +187,7 @@ class PGridNode:
         for address in refs:
             if forwarded >= recbreadth:
                 break
-            reply = self.transport.try_send(
+            reply = self._try_send(
                 propagate_message(
                     self.peer.address,
                     address,
@@ -212,8 +237,15 @@ class PGridNode:
         )
 
 
-def attach_nodes(grid: PGrid, transport: LocalTransport) -> dict[Address, PGridNode]:
-    """Create one node per peer of *grid*, registered on *transport*."""
+def attach_nodes(
+    grid: PGrid, transport: LocalTransport, *, retry=None
+) -> dict[Address, PGridNode]:
+    """Create one node per peer of *grid*, registered on *transport*.
+
+    *transport* may be a :class:`repro.faults.FaultInjector`; *retry* is
+    forwarded to every node.
+    """
     return {
-        peer.address: PGridNode(peer, grid, transport) for peer in grid.peers()
+        peer.address: PGridNode(peer, grid, transport, retry=retry)
+        for peer in grid.peers()
     }

@@ -1,0 +1,60 @@
+"""Resilience sweep: shape, determinism under --jobs, and tolerance gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import resilience
+from repro.experiments.resilience import HEADERS, check_deviations, resilience_profile
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return resilience.run(scale="tiny", jobs=1)
+
+
+class TestProfiles:
+    def test_known_scales(self):
+        for scale in ("tiny", "smoke", "full"):
+            profile = resilience_profile(scale)
+            assert profile.name == scale
+            assert profile.key_length == profile.maxl - 1
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            resilience_profile("galactic")
+
+    def test_population_holds_refmax(self):
+        profile = resilience_profile("tiny")
+        assert profile.n_peers(8) >= 2**profile.maxl * 8
+
+
+class TestSweep:
+    def test_result_shape(self, tiny_result):
+        profile = resilience_profile("tiny")
+        assert tiny_result.experiment_id == "resilience"
+        assert tiny_result.headers == HEADERS
+        expected_points = len(profile.p_values) * len(profile.refmax_values)
+        assert len(tiny_result.rows) == expected_points
+        for row in tiny_result.rows:
+            assert len(row) == len(HEADERS)
+            # Every column after (p, refmax) is a success rate.
+            assert all(0.0 <= value <= 1.0 for value in row[2:])
+
+    def test_tiny_scale_meets_its_tolerance(self, tiny_result):
+        assert check_deviations(tiny_result) == []
+
+    def test_parallel_rows_bit_identical_to_serial(self, tiny_result):
+        parallel = resilience.run(scale="tiny", jobs=2)
+        assert parallel.rows == tiny_result.rows
+
+    def test_check_deviations_flags_a_bad_row(self, tiny_result):
+        broken = list(tiny_result.rows[0])
+        tol = tiny_result.config["tolerance"]
+        broken[3] = broken[2] + 2 * tol  # push "model" outside tolerance
+        import dataclasses
+
+        bad = dataclasses.replace(tiny_result, rows=[broken])
+        violations = check_deviations(bad)
+        assert len(violations) == 1
+        assert "model=" in violations[0]

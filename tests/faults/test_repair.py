@@ -1,0 +1,135 @@
+"""RefHealer: consecutive-failure eviction and replica-directory refill."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import RefHealer
+from repro.obs.probe import Probe
+from repro.sim.churn import FixedOnlineSet
+from tests.conftest import assert_routing_consistent, build_grid
+
+
+def first_routed_ref(grid, level: int = 1):
+    """Some (owner, level, ref) triple present in the built grid."""
+    for address in grid.addresses():
+        refs = grid.peer(address).routing.refs(level)
+        if refs:
+            return address, level, refs[0]
+    raise AssertionError("built grid has no routed refs")
+
+
+class _RepairProbe(Probe):
+    def __init__(self):
+        self.calls = []
+
+    def on_repair(self, address, *, dead_refs_dropped, refs_added, messages):
+        self.calls.append((address, dead_refs_dropped, refs_added, messages))
+
+
+class TestFailureAccounting:
+    def test_below_threshold_keeps_the_ref(self):
+        grid = build_grid(32, maxl=4, refmax=2, seed=9)
+        healer = RefHealer(grid, evict_after=3)
+        owner, level, ref = first_routed_ref(grid)
+        assert not healer.record_failure(owner, level, ref)
+        assert not healer.record_failure(owner, level, ref)
+        assert healer.pending_failures(owner, level, ref) == 2
+        assert ref in grid.peer(owner).routing.refs(level)
+        assert healer.stats.evictions == 0
+
+    def test_success_resets_the_counter(self):
+        grid = build_grid(32, maxl=4, refmax=2, seed=9)
+        healer = RefHealer(grid, evict_after=2)
+        owner, level, ref = first_routed_ref(grid)
+        healer.record_failure(owner, level, ref)
+        healer.record_success(owner, level, ref)
+        assert healer.pending_failures(owner, level, ref) == 0
+        # The next failure starts from scratch — still no eviction.
+        assert not healer.record_failure(owner, level, ref)
+        assert healer.stats.successes_recorded == 1
+
+    def test_counters_are_per_reference(self):
+        grid = build_grid(32, maxl=4, refmax=2, seed=9)
+        healer = RefHealer(grid, evict_after=2)
+        owner, level, ref = first_routed_ref(grid)
+        healer.record_failure(owner, level, ref)
+        assert healer.pending_failures(owner + 1, level, ref) == 0
+        assert healer.pending_failures(owner, level, ref + 1) == 0
+
+    def test_evict_after_must_be_positive(self):
+        grid = build_grid(16, maxl=3, refmax=2, seed=9)
+        with pytest.raises(ValueError):
+            RefHealer(grid, evict_after=0)
+
+
+class TestEvictionAndRefill:
+    def test_threshold_evicts_and_refills_validly(self):
+        grid = build_grid(48, maxl=4, refmax=2, seed=9)
+        healer = RefHealer(grid, evict_after=3)
+        owner, level, ref = first_routed_ref(grid)
+        for _ in range(2):
+            healer.record_failure(owner, level, ref)
+        assert healer.record_failure(owner, level, ref)  # crossed threshold
+        refs = grid.peer(owner).routing.refs(level)
+        assert ref not in refs
+        assert healer.stats.evictions == 1
+        assert healer.stats.refills == 1
+        # The replacement respects the §2 invariant for the whole table.
+        assert_routing_consistent(grid)
+        peer = grid.peer(owner)
+        target = peer.prefix(level - 1) + ("1" if peer.path[level - 1] == "0" else "0")
+        for replacement in refs:
+            assert grid.peer(replacement).path.startswith(target)
+
+    def test_refill_false_is_pure_eviction(self):
+        grid = build_grid(48, maxl=4, refmax=2, seed=9)
+        healer = RefHealer(grid, evict_after=1, refill=False)
+        owner, level, ref = first_routed_ref(grid)
+        before = list(grid.peer(owner).routing.refs(level))
+        assert healer.record_failure(owner, level, ref)
+        after = grid.peer(owner).routing.refs(level)
+        assert ref not in after
+        assert len(after) == len(before) - 1
+        assert healer.stats.refills == 0
+
+    def test_all_offline_falls_back_rather_than_shrinking(self):
+        grid = build_grid(48, maxl=4, refmax=2, seed=9)
+        grid.online_oracle = FixedOnlineSet()  # everyone reports offline
+        healer = RefHealer(grid, evict_after=1)
+        owner, level, ref = first_routed_ref(grid)
+        size_before = len(grid.peer(owner).routing.refs(level))
+        assert healer.record_failure(owner, level, ref)
+        # §2 availability is transient: install an offline candidate anyway.
+        assert len(grid.peer(owner).routing.refs(level)) == size_before
+        assert healer.stats.offline_refills == 1
+        assert healer.stats.refills == 1
+        assert_routing_consistent(grid)
+
+    def test_probe_sees_each_repair(self):
+        grid = build_grid(48, maxl=4, refmax=2, seed=9)
+        probe = _RepairProbe()
+        healer = RefHealer(grid, evict_after=1, probe=probe)
+        owner, level, ref = first_routed_ref(grid)
+        healer.record_failure(owner, level, ref)
+        assert len(probe.calls) == 1
+        address, dropped, added, messages = probe.calls[0]
+        assert address == owner
+        assert dropped == 1
+        assert added == 1
+        assert messages == healer.stats.probes_sent
+
+    def test_evicting_unknown_owner_is_noop(self):
+        grid = build_grid(16, maxl=3, refmax=2, seed=9)
+        healer = RefHealer(grid, evict_after=1)
+        assert healer.record_failure(10_000, 1, 0)
+        assert healer.stats.evictions == 0
+
+    def test_already_removed_ref_not_double_counted(self):
+        grid = build_grid(48, maxl=4, refmax=2, seed=9)
+        healer = RefHealer(grid, evict_after=1)
+        owner, level, ref = first_routed_ref(grid)
+        grid.peer(owner).routing.remove_ref(level, ref)
+        assert healer.record_failure(owner, level, ref)
+        assert healer.stats.evictions == 0
+        assert healer.stats.refills == 0
