@@ -4,7 +4,7 @@ PYTHON ?= python
 # Scale of `make bench`: fig4 (default) or smoke (CI-fast).
 SCALE ?= fig4
 
-.PHONY: install test lint check bench bench-experiments bench-paper bench-quick resilience-smoke examples clean results
+.PHONY: install test lint check bench bench-experiments bench-paper bench-quick bench-regression protocol-equivalence resilience-smoke examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,21 @@ bench-paper:
 
 bench-quick:
 	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Perf gate: a fresh micro-bench run's hot-path speedup ratios must stay
+# within 10% of the committed smoke-scale baseline (ratios, not raw
+# timings, so the gate is machine-independent).
+bench-regression:
+	$(PYTHON) benchmarks/harness.py --scale smoke --out-dir benchmarks/results/fresh
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline benchmarks/baselines/BENCH_micro_smoke.json \
+		--fresh benchmarks/results/fresh/BENCH_micro.json
+
+# Tentpole gate: the in-process engines and the message-driven node run
+# the same repro.protocol machines — identical results, costs and RNG
+# streams (tests/protocol/).
+protocol-equivalence:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/protocol -q
 
 # Resilience gate: measured success under injected faults must match the
 # §4 analytic curve within the smoke tolerance (see docs/RESILIENCE.md).

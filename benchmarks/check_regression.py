@@ -1,0 +1,119 @@
+"""Hot-path perf regression gate over ``BENCH_micro.json``.
+
+The micro benchmark (``benchmarks/harness.py``) times each keyspace
+hot-path twice — a straightforward reference implementation ("baseline")
+and the shipped fast path ("current") — and records their ratio as
+``speedup``.  That ratio is a property of the *code*, not the machine:
+both sides run in the same process on the same hardware, so comparing
+the committed baseline's ratios against a fresh run's is meaningful on
+any CI runner, unlike raw ns/op numbers.
+
+This script fails (exit 1) if any hot-path's fresh speedup has dropped
+more than ``--tolerance`` (default 10%) below the committed baseline's,
+i.e. someone slowed the fast path back down relative to the reference.
+
+The committed gate baseline lives at
+``benchmarks/baselines/BENCH_micro_smoke.json`` (smoke scale, so CI can
+regenerate the comparison in seconds; scales must match — key lengths,
+and thus the fast paths' advantage, depend on the grid sizing).
+
+Usage (what ``make bench-regression`` runs)::
+
+    python benchmarks/harness.py --scale smoke --out-dir benchmarks/results/fresh
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_micro_smoke.json \
+        --fresh benchmarks/results/fresh/BENCH_micro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: Ratios below this are timing noise, not a meaningful fast path; a
+#: hot-path whose committed speedup is ~1x cannot "regress by 10%".
+MIN_MEANINGFUL_SPEEDUP = 1.2
+
+
+def load_speedups(path: Path) -> tuple[str, dict[str, float]]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("benchmark") != "micro":
+        raise SystemExit(f"{path}: not a micro benchmark file")
+    return payload["scale"], {
+        name: row["speedup"] for name, row in payload["results"].items()
+    }
+
+
+def check(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float,
+) -> list[str]:
+    """Return one failure line per regressed hot-path (empty = pass)."""
+    failures = []
+    for name, committed in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        if committed < MIN_MEANINGFUL_SPEEDUP:
+            continue
+        measured = fresh[name]
+        floor = committed * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{name}: speedup {measured:.2f}x < floor {floor:.2f}x "
+                f"(committed baseline {committed:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=_ROOT / "benchmarks" / "baselines" / "BENCH_micro_smoke.json",
+        help="committed micro benchmark gate baseline",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="BENCH_micro.json from a fresh `harness.py` run",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional speedup drop per hot-path (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_scale, baseline = load_speedups(args.baseline)
+    fresh_scale, fresh = load_speedups(args.fresh)
+    if baseline_scale != fresh_scale:
+        # Key lengths (and thus the fast paths' advantage) scale with the
+        # grid sizing, so cross-scale ratios are not comparable.
+        raise SystemExit(
+            f"scale mismatch: baseline is {baseline_scale!r}, "
+            f"fresh run is {fresh_scale!r}"
+        )
+    failures = check(baseline, fresh, args.tolerance)
+
+    for name in sorted(baseline):
+        committed = baseline[name]
+        measured = fresh.get(name)
+        gate = "gated" if committed >= MIN_MEANINGFUL_SPEEDUP else "noise-floor"
+        shown = f"{measured:.2f}x" if measured is not None else "missing"
+        print(f"[bench-regression] {name}: {committed:.2f}x -> {shown} ({gate})")
+
+    if failures:
+        for line in failures:
+            print(f"[bench-regression] FAIL {line}", file=sys.stderr)
+        return 1
+    print("[bench-regression] OK: no hot-path regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,8 @@ class ReplicatedServerStats:
     queries_per_replica: list[int] = field(default_factory=list)
     publishes: int = 0
     failures: int = 0
+    retry_backoff: float = 0.0
+    deadline_giveups: int = 0
 
     def total_queries(self) -> int:
         """Queries served across all replicas."""
@@ -81,10 +83,27 @@ class ReplicatedIndexServers:
 
     def search(self, start: Address, key: str) -> SystemSearchResult:  # noqa: ARG002
         """Round trips to uniformly chosen replicas per the retry policy
-        (default: primary attempt + one fail-over)."""
+        (default: primary attempt + one fail-over).
+
+        Backoff is simulated time, accounted identically to the P-Grid
+        engines: retry *n* costs ``retry.delay_before(n)``, accumulated
+        on ``stats.retry_backoff``, and a ``deadline`` forfeits the
+        remaining attempts once the per-operation budget is spent.
+        """
         keyspace.validate_key(key)
         messages = 0
-        for _ in range(self.retry.attempts):
+        spent = 0.0
+        for attempt in range(1, self.retry.attempts + 1):
+            if attempt > 1:
+                delay = self.retry.delay_before(attempt)
+                if (
+                    self.retry.deadline is not None
+                    and spent + delay > self.retry.deadline
+                ):
+                    self.stats.deadline_giveups += 1
+                    break
+                spent += delay
+                self.stats.retry_backoff += delay
             replica = self._rng.randrange(self.replicas)
             messages += 1
             if self.p_online < 1.0 and self._rng.random() >= self.p_online:

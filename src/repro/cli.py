@@ -121,8 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--start", type=int, default=0)
     search.add_argument("--p-online", type=float, default=1.0)
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--driver", choices=("engine", "node"), default="engine",
+                        help="execution path: in-process engine or the "
+                             "message-driven node over the simulated "
+                             "transport (same protocol machines)")
     search.add_argument("--trace", action="store_true",
-                        help="dump the hop-level trace of the search")
+                        help="dump the hop-level trace of the search "
+                             "(engine driver only)")
     faults = search.add_argument_group(
         "fault injection & resilience (see docs/RESILIENCE.md)"
     )
@@ -371,6 +376,29 @@ def _cmd_search(args: argparse.Namespace) -> int:
         from repro.faults import RefHealer
 
         healer = RefHealer(grid, evict_after=args.evict_after)
+    if args.driver == "node":
+        from repro.net.node import attach_nodes
+        from repro.net.transport import LocalTransport
+
+        transport = LocalTransport(grid)
+        nodes = attach_nodes(grid, transport, retry=retry, healer=healer)
+        outcome = nodes[args.start].search(args.key)
+        print(
+            f"found={outcome.found} responder={outcome.responder} "
+            f"messages={outcome.messages_sent} "
+            f"failed_attempts={outcome.failed_attempts}"
+        )
+        if retry is not None:
+            print(f"retry backoff accrued: {outcome.retry_delay:.2f} time units")
+        for ref in outcome.data_refs:
+            print(f"  data: key={ref.key} holder={ref.holder} version={ref.version}")
+        stats = transport.stats
+        print(
+            f"transport: delivered={stats.total_delivered()} "
+            f"offline_failures={stats.offline_failures} "
+            f"simulated_time={stats.simulated_time:.2f}"
+        )
+        return 0 if outcome.found else 1
     trace = None
     if args.trace:
         from repro.obs import TraceRecorder

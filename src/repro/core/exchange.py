@@ -4,8 +4,10 @@ Whenever two peers meet they execute ``exchange``: depending on the relation
 between their paths they either split the search space (case 1), specialize
 the shorter path against the longer one (cases 2/3), or — having already
 diverged — forward each other to their own references for recursive
-exchanges (case 4).  Meetings are driven by :mod:`repro.sim.meetings`; this
-module implements the pairwise protocol itself.
+exchanges (case 4).  Meetings are driven by :mod:`repro.sim.meetings`; the
+pairwise protocol itself lives in the sans-I/O machine
+:func:`repro.protocol.exchange.exchange_step` — this module is its direct
+driver facade and keeps the statistics.
 
 Pseudo-code fidelity notes (see DESIGN.md §4):
 
@@ -29,11 +31,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core import keys as keyspace
 from repro.core.config import PGridConfig
 from repro.core.grid import PGrid
 from repro.core.peer import Address, Peer
 from repro.obs.probe import Probe
+from repro.protocol.direct import run_exchange
+from repro.protocol.exchange import (
+    ExchangeContext,
+    exchange_refs_default,
+    may_specialize,
+)
+
+__all__ = ["ExchangeStats", "ExchangeEngine"]
 
 
 @dataclass
@@ -85,6 +94,14 @@ class ExchangeEngine:
         self.config = config or grid.config
         self.probe = probe
         self.stats = ExchangeStats()
+        self._ctx = ExchangeContext(
+            self.config,
+            grid.rng,
+            self.stats,
+            exchange_refs=self._exchange_refs,
+            split_gate=self._may_specialize,
+            observed=probe is not None,
+        )
 
     # -- public entry point ------------------------------------------------------
 
@@ -100,182 +117,29 @@ class ExchangeEngine:
         self.stats.meetings += 1
         if self.probe is not None:
             self.probe.on_meeting(address1, address2)
-        self._exchange(self.grid.peer(address1), self.grid.peer(address2), 0)
+        ctx = self._ctx
+        ctx.observed = self.probe is not None
+        run_exchange(
+            self.grid,
+            ctx,
+            self.probe,
+            self.grid.peer(address1),
+            self.grid.peer(address2),
+            0,
+        )
         return self.stats.calls - before
 
-    # -- Fig. 3 body ---------------------------------------------------------------
-
-    def _exchange(self, a1: Peer, a2: Peer, depth: int) -> None:
-        self.stats.calls += 1
-        config = self.config
-        commonpath = keyspace.common_prefix(a1.path, a2.path)
-        lc = len(commonpath)
-
-        if lc > 0:
-            self._exchange_refs(a1, a2, lc)
-
-        l1 = a1.depth - lc
-        l2 = a2.depth - lc
-
-        probe = self.probe
-        if l1 == 0 and l2 == 0:
-            if (
-                lc < config.maxl
-                and self._may_specialize(a1)
-                and self._may_specialize(a2)
-            ):
-                self._case1_split(a1, a2, lc)
-                if probe is not None:
-                    probe.on_exchange_case("case1", a1.address, a2.address, lc, depth)
-            else:
-                # Identical paths that will not split further (depth or
-                # data threshold reached): the peers are replicas.
-                self._record_replicas(a1, a2)
-                if probe is not None:
-                    probe.on_exchange_case(
-                        "replicas", a1.address, a2.address, lc, depth
-                    )
-        elif l1 == 0 and l2 > 0:
-            if lc < config.maxl and self._may_specialize(a1):
-                self._case23_specialize(shorter=a1, longer=a2, lc=lc)
-                self.stats.case2_specializations += 1
-                if probe is not None:
-                    probe.on_exchange_case("case2", a1.address, a2.address, lc, depth)
-        elif l1 > 0 and l2 == 0:
-            if lc < config.maxl and self._may_specialize(a2):
-                self._case23_specialize(shorter=a2, longer=a1, lc=lc)
-                self.stats.case3_specializations += 1
-                if probe is not None:
-                    probe.on_exchange_case("case3", a1.address, a2.address, lc, depth)
-        else:  # l1 > 0 and l2 > 0: paths diverge at bit lc + 1
-            if depth < config.recmax:
-                if probe is not None:
-                    probe.on_exchange_case("case4", a1.address, a2.address, lc, depth)
-                self._case4_recurse(a1, a2, lc, depth)
+    # -- subclass hooks -----------------------------------------------------------
 
     def _may_specialize(self, peer: Peer) -> bool:
-        """Data-driven split gate (§3's threshold hint).
-
-        With ``split_min_items`` unset every split is allowed (the paper's
-        default).  Otherwise a peer only deepens its path while it is
-        responsible for at least that many index entries — splitting a
-        near-empty region buys nothing and costs references.
-        """
-        threshold = self.config.split_min_items
-        if threshold is None:
-            return True
-        return peer.store.ref_count >= threshold
-
-    # -- reference exchange at shared levels ---------------------------------------
+        """Data-driven split gate (§3's threshold hint); see
+        :func:`repro.protocol.exchange.may_specialize`."""
+        return may_specialize(peer, self.config)
 
     def _exchange_refs(self, a1: Peer, a2: Peer, lc: int) -> None:
         """Union + re-sample the reference sets at the shared level(s).
 
-        The paper exchanges only at the deepest shared level ``lc``;
-        ``exchange_refs_all_levels`` extends this to every level ``1..lc``
-        (ablation AB4).
+        :class:`repro.sim.topology.ProximityExchangeEngine` overrides this
+        to retain nearest references instead of a uniform re-sample.
         """
-        levels = range(1, lc + 1) if self.config.exchange_refs_all_levels else (lc,)
-        rng = self.grid.rng
-        for level in levels:
-            combined = [
-                address
-                for address in (*a1.routing.refs(level), *a2.routing.refs(level))
-                if address not in (a1.address, a2.address)
-            ]
-            if not combined:
-                continue
-            a1.routing.merge_refs(level, combined, rng)
-            a2.routing.merge_refs(level, combined, rng)
-
-    # -- case 1: both remaining paths empty — introduce a new level ------------------
-
-    def _case1_split(self, a1: Peer, a2: Peer, lc: int) -> None:
-        a1.extend_path("0")
-        a2.extend_path("1")
-        a1.routing.set_refs(lc + 1, [a2.address])
-        a2.routing.set_refs(lc + 1, [a1.address])
-        self._handover_refs(a1, a2)
-        self._handover_refs(a2, a1)
-        self.stats.case1_splits += 1
-
-    # -- cases 2/3: one path is a prefix of the other — specialize the shorter -------
-
-    def _case23_specialize(self, shorter: Peer, longer: Peer, lc: int) -> None:
-        """The shorter peer takes the branch *opposite* the longer peer's.
-
-        This opposite choice is the paper's balancing mechanism: imbalances
-        in bit popularity are compensated because newcomers fill the less
-        covered side.
-        """
-        opposite = keyspace.complement_bit(longer.path[lc])
-        shorter.extend_path(opposite)
-        shorter.routing.set_refs(lc + 1, [longer.address])
-        longer.routing.merge_refs(lc + 1, [shorter.address], self.grid.rng)
-        self._handover_refs(shorter, longer)
-
-    # -- case 4: already diverged — forward to referenced peers ----------------------
-
-    def _case4_recurse(self, a1: Peer, a2: Peer, lc: int, depth: int) -> None:
-        config = self.config
-        if config.mutual_refs_in_case4:
-            a1.routing.add_ref(lc + 1, a2.address)
-            a2.routing.add_ref(lc + 1, a1.address)
-        refs1 = [r for r in a1.routing.refs(lc + 1) if r != a2.address]
-        refs2 = [r for r in a2.routing.refs(lc + 1) if r != a1.address]
-        fanout = config.recursion_fanout
-        rng = self.grid.rng
-        if fanout is not None:
-            if len(refs1) > fanout:
-                refs1 = rng.sample(refs1, fanout)
-            if len(refs2) > fanout:
-                refs2 = rng.sample(refs2, fanout)
-        self.stats.case4_recursions += 1
-        for address in refs1:
-            if (
-                address != a2.address
-                and self.grid.has_peer(address)
-                and self.grid.is_online(address)
-            ):
-                self._exchange(a2, self.grid.peer(address), depth + 1)
-        for address in refs2:
-            if (
-                address != a1.address
-                and self.grid.has_peer(address)
-                and self.grid.is_online(address)
-            ):
-                self._exchange(a1, self.grid.peer(address), depth + 1)
-
-    # -- replicas: identical complete paths ------------------------------------------
-
-    def _record_replicas(self, a1: Peer, a2: Peer) -> None:
-        """Identical paths at ``maxl``: buddy links + index anti-entropy."""
-        a1.add_buddy(a2.address)
-        a2.add_buddy(a1.address)
-        a1.merge_buddies(a2.buddies)
-        a2.merge_buddies(a1.buddies)
-        a1.buddies.discard(a1.address)
-        a2.buddies.discard(a2.address)
-        self.stats.buddy_links += 1
-        for ref in list(a1.store.iter_refs()):
-            a2.store.add_ref(ref)
-        for ref in list(a2.store.iter_refs()):
-            a1.store.add_ref(ref)
-
-    # -- index hand-over on specialization ---------------------------------------------
-
-    def _handover_refs(self, specialized: Peer, partner: Peer) -> None:
-        """Move index entries that left *specialized*'s responsibility.
-
-        Entries covered by the partner's (possibly deeper) path move there;
-        entries the partner does not cover either are counted as lost —
-        in a deployed system they would be re-inserted via a search, which
-        the update engine models explicitly.
-        """
-        dropped = specialized.store.drop_refs_outside(specialized.path)
-        for ref in dropped:
-            if keyspace.in_prefix_relation(ref.key, partner.path):
-                partner.store.add_ref(ref)
-                self.stats.ref_handover_entries += 1
-            else:
-                self.stats.ref_handover_lost += 1
+        exchange_refs_default(a1, a2, lc, self.config, self.grid.rng)

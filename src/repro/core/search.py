@@ -1,11 +1,13 @@
 """Randomized P-Grid search (paper Fig. 2) and its breadth-first variant.
 
-The depth-first algorithm follows the paper's pseudo-code: at peer ``a`` with
-query suffix ``p`` after ``l`` consumed bits, compare ``p`` against the
-remaining path; on full prefix agreement the local peer is responsible,
-otherwise forward the unmatched suffix to a randomly chosen reference at the
-divergence level, trying alternative references (backtracking) while
-forwards fail.
+The routing decisions live in the sans-I/O machines of
+:mod:`repro.protocol.search`; this module is their *direct driver*
+facade: it validates inputs, wires the grid/probe/retry/healer
+collaborators into a :class:`repro.protocol.Context`, executes the
+machines in-process via :mod:`repro.protocol.direct` and packages the
+tallies into the result dataclasses.  The networked
+:class:`repro.net.node.PGridNode` drives the very same machines over
+messages, so both execution paths share one implementation of Fig. 2.
 
 Two deviations from the literal pseudo-code, both documented in DESIGN.md:
 
@@ -27,8 +29,8 @@ it reaches.
 
 Observability: the engine accepts a keyword-only ``probe``
 (:class:`repro.obs.Probe`) and reports every forward, offline miss,
-backtrack and termination.  With the default ``probe=None`` the hooks cost
-one identity check each; probes must not draw from the grid's RNG
+backtrack and termination.  With the default ``probe=None`` the machines
+skip event emission entirely; probes must not draw from the grid's RNG
 (observation is asserted to be bit-identical to an uninstrumented run).
 
 Resilience: keyword-only ``retry`` (a :class:`repro.faults.RetryPolicy`,
@@ -53,6 +55,21 @@ from repro.core.peer import Address, Peer
 from repro.core.results import ContactAccounting
 from repro.core.storage import DataRef
 from repro.obs.probe import Probe
+from repro.protocol.contact import Budget, Context, StepStats
+from repro.protocol.direct import run_breadth, run_dfs
+from repro.protocol.search import (
+    Traversal,
+    key_in_range,
+    repeated_queries,
+    run_range,
+)
+
+__all__ = [
+    "SearchResult",
+    "RangeSearchResult",
+    "BreadthSearchResult",
+    "SearchEngine",
+]
 
 
 @dataclass
@@ -111,22 +128,6 @@ class BreadthSearchResult(ContactAccounting):
         return bool(self.responders)
 
 
-class _Budget:
-    """Mutable message budget shared across a recursive search."""
-
-    __slots__ = ("remaining",)
-
-    def __init__(self, limit: int) -> None:
-        self.remaining = limit
-
-    def consume(self) -> bool:
-        """Take one message from the budget; False when exhausted."""
-        if self.remaining <= 0:
-            return False
-        self.remaining -= 1
-        return True
-
-
 class SearchEngine:
     """Executes searches against a :class:`PGrid`.
 
@@ -160,13 +161,28 @@ class SearchEngine:
         self.topology = topology
         self.retry = retry
         self.healer = healer
-        # True when this instance uses the base attempt order, letting
-        # _query skip the generator machinery on the uninstrumented path.
-        self._inline_order = (
-            type(self)._attempt_order is SearchEngine._attempt_order
+        # Subclasses that override _attempt_order (proximity routing)
+        # plug it in as the machine's attempt-order hook; the base engine
+        # leaves it None to select the machine's inline uniform draws.
+        order = (
+            None
+            if type(self)._attempt_order is SearchEngine._attempt_order
+            else self._attempt_order
         )
-        # Retry/healer handling lives on the slow path only.
-        self._resilient = retry is not None or healer is not None
+        self._ctx = Context(
+            grid.rng,
+            retry=retry,
+            healer=healer,
+            topology=topology,
+            order=order,
+            observed=probe is not None,
+        )
+
+    def _context(self) -> Context:
+        """The machine context, with observation state refreshed."""
+        ctx = self._ctx
+        ctx.observed = self.probe is not None
+        return ctx
 
     # -- depth-first search (Fig. 2) -------------------------------------------
 
@@ -181,14 +197,11 @@ class SearchEngine:
         probe = self.probe
         if probe is not None:
             probe.on_search_start("dfs", start, query)
-        budget = _Budget(self.config.max_messages)
-        stats: dict[str, float] = {
-            "messages": 0,
-            "failed": 0,
-            "latency": 0.0,
-            "retry_delay": 0.0,
-        }
-        found, responder = self._query(peer, query, 0, budget, stats)
+        budget = Budget(self.config.max_messages)
+        stats = StepStats()
+        found, responder = run_dfs(
+            self.grid, self._context(), probe, peer, query, 0, budget, stats
+        )
         data_refs: list[DataRef] = []
         if found and responder is not None:
             data_refs = self.grid.peer(responder).store.lookup(query)
@@ -198,20 +211,20 @@ class SearchEngine:
                 start,
                 query,
                 found=found,
-                messages=int(stats["messages"]),
-                failed_attempts=int(stats["failed"]),
-                latency=stats["latency"],
+                messages=stats.messages,
+                failed_attempts=stats.failed,
+                latency=stats.latency,
             )
         return SearchResult(
             query=query,
             start=start,
             found=found,
             responder=responder,
-            messages=int(stats["messages"]),
-            failed_attempts=int(stats["failed"]),
+            messages=stats.messages,
+            failed_attempts=stats.failed,
             data_refs=data_refs,
-            latency=stats["latency"],
-            retry_delay=stats["retry_delay"],
+            latency=stats.latency,
+            retry_delay=stats.retry_delay,
         )
 
     def _attempt_order(
@@ -224,131 +237,12 @@ class SearchEngine:
         preserves the paper's random-reference semantics and keeps the
         RNG stream identical whether or not later candidates are
         needed).  :class:`repro.sim.topology.ProximitySearchEngine`
-        overrides this with a nearest-first ordering.
+        overrides this with a nearest-first ordering, which the machine
+        context picks up as its attempt-order hook.
         """
         rng = self.grid.rng
         while refs:
             yield refs.pop(rng.randrange(len(refs)))
-
-    def _query(
-        self,
-        peer: Peer,
-        p: str,
-        level: int,
-        budget: _Budget,
-        stats: dict[str, float],
-    ) -> tuple[bool, Address | None]:
-        """Recursive body of Fig. 2; *level* = bits of ``path(peer)`` consumed."""
-        probe = self.probe
-        rempath = peer.path[level:]
-        compath = keyspace.common_prefix(p, rempath)
-        lc = len(compath)
-        if lc == len(p) or lc == len(rempath):
-            if probe is not None:
-                probe.on_responsible(peer.address, level + lc)
-            return True, peer.address
-        # Divergence: forward the unmatched suffix sideways.
-        querypath = p[lc:]
-        ref_level = level + lc + 1
-        refs = list(peer.routing.refs(ref_level))
-        if probe is None and self._inline_order and not self._resilient:
-            # Uninstrumented fast path: the same lazy draws as
-            # _attempt_order without a generator frame per hop.  The
-            # probe-transparency property test pins both paths to
-            # identical results and RNG streams.
-            grid = self.grid
-            rng = grid.rng
-            while refs:
-                address = refs.pop(rng.randrange(len(refs)))
-                if not grid.has_peer(address) or not grid.is_online(address):
-                    stats["failed"] += 1
-                    continue
-                if not budget.consume():
-                    return False, None
-                stats["messages"] += 1
-                if self.topology is not None:
-                    stats["latency"] += self.topology.latency(
-                        peer.address, address
-                    )
-                found, responder = self._query(
-                    grid.peer(address), querypath, level + lc, budget, stats
-                )
-                if found:
-                    return True, responder
-            return False, None
-        for address in self._attempt_order(peer, refs):
-            if not self._contact(peer.address, address, ref_level, stats):
-                continue
-            if not budget.consume():
-                return False, None
-            stats["messages"] += 1
-            if probe is not None:
-                probe.on_forward(peer.address, address, ref_level)
-            if self.topology is not None:
-                stats["latency"] += self.topology.latency(peer.address, address)
-            found, responder = self._query(
-                self.grid.peer(address), querypath, level + lc, budget, stats
-            )
-            if found:
-                return True, responder
-            if probe is not None:
-                probe.on_backtrack(peer.address, ref_level)
-        return False, None
-
-    def _contact(
-        self,
-        owner: Address,
-        address: Address,
-        ref_level: int,
-        stats: dict[str, float],
-    ) -> bool:
-        """One per-reference contact attempt, with retry and healing.
-
-        Returns whether *address* answered.  A dangling reference (departed
-        peer) fails once without retry — re-contacting a peer that no
-        longer exists cannot help; an offline reference is re-contacted up
-        to ``retry.attempts`` times (each an independent availability coin
-        under the §2 model), accruing the backoff schedule in
-        ``stats["retry_delay"]`` and respecting the policy's deadline.
-        Every outcome is reported to the healer, which may evict the
-        reference mid-retry (the loop then stops — the slot no longer
-        exists).
-        """
-        grid = self.grid
-        probe = self.probe
-        healer = self.healer
-        if not grid.has_peer(address):
-            # A dangling reference (departed peer) behaves like an offline
-            # one: the contact attempt fails.
-            stats["failed"] += 1
-            if probe is not None:
-                probe.on_offline_miss(owner, address, ref_level)
-            if healer is not None:
-                healer.record_failure(owner, ref_level, address)
-            return False
-        retry = self.retry
-        attempts = retry.attempts if retry is not None else 1
-        for attempt in range(1, attempts + 1):
-            if attempt > 1:
-                delay = retry.delay_before(attempt)
-                if (
-                    retry.deadline is not None
-                    and stats["retry_delay"] + delay > retry.deadline
-                ):
-                    break
-                stats["retry_delay"] += delay
-            if grid.is_online(address):
-                if healer is not None:
-                    healer.record_success(owner, ref_level, address)
-                return True
-            stats["failed"] += 1
-            if probe is not None:
-                probe.on_offline_miss(owner, address, ref_level)
-            if healer is not None and healer.record_failure(
-                owner, ref_level, address
-            ):
-                break
-        return False
 
     # -- repeated depth-first search (§5.2 update strategy 1) ---------------------
 
@@ -361,18 +255,7 @@ class SearchEngine:
         Random reference choice makes repetitions land on different
         replicas, which is what update strategy (1) of §3 exploits.
         """
-        if times < 1:
-            raise ValueError(f"times must be >= 1, got {times}")
-        responders: set[Address] = set()
-        messages = 0
-        failed = 0
-        for _ in range(times):
-            result = self.query_from(start, query)
-            messages += result.messages
-            failed += result.failed_attempts
-            if result.found and result.responder is not None:
-                responders.add(result.responder)
-        return responders, messages, failed
+        return repeated_queries(lambda: self.query_from(start, query), times)
 
     # -- breadth-first search (§3 update strategy 3) -------------------------------
 
@@ -407,37 +290,32 @@ class SearchEngine:
         probe = self.probe
         if probe is not None:
             probe.on_search_start("bfs", start, query)
-        budget = _Budget(self.config.max_messages)
-        stats: dict[str, float] = {"messages": 0, "failed": 0, "retry_delay": 0.0}
-        responders: list[Address] = []
-        seen: set[Address] = set()
-        self._breadth(
-            self.grid.peer(start),
-            query,
-            0,
+        trav = Traversal(
+            Budget(self.config.max_messages),
+            StepStats(),
             recbreadth,
-            budget,
-            stats,
-            responders,
-            seen,
-            enumerate_subtree,
+            enumerate_subtree=enumerate_subtree,
         )
+        run_breadth(
+            self.grid, self._context(), probe, self.grid.peer(start), query, 0, trav
+        )
+        stats = trav.stats
         if probe is not None:
             probe.on_search_end(
                 "bfs",
                 start,
                 query,
-                found=bool(responders),
-                messages=int(stats["messages"]),
-                failed_attempts=int(stats["failed"]),
+                found=bool(trav.responders),
+                messages=stats.messages,
+                failed_attempts=stats.failed,
             )
         return BreadthSearchResult(
             query=query,
             start=start,
-            responders=responders,
-            messages=int(stats["messages"]),
-            failed_attempts=int(stats["failed"]),
-            retry_delay=stats["retry_delay"],
+            responders=trav.responders,
+            messages=stats.messages,
+            failed_attempts=stats.failed,
+            retry_delay=stats.retry_delay,
         )
 
     # -- range queries over the order-preserving key space ------------------------
@@ -461,30 +339,17 @@ class SearchEngine:
         probe = self.probe
         if probe is not None:
             probe.on_search_start("range", start, f"{low}..{high}")
-        responders: list[Address] = []
-        seen_responders: set[Address] = set()
-        refs: dict[tuple[str, Address], DataRef] = {}
-        messages = 0
-        failed = 0
-        retry_delay = 0.0
-        for prefix in cover:
-            result = self.query_breadth(
+        responders, data_refs, messages, failed, retry_delay = run_range(
+            low,
+            high,
+            cover=cover,
+            search=lambda prefix: self.query_breadth(
                 start, prefix, recbreadth, enumerate_subtree=True
-            )
-            messages += result.messages
-            failed += result.failed_attempts
-            retry_delay += result.retry_delay
-            for responder in result.responders:
-                if responder not in seen_responders:
-                    seen_responders.add(responder)
-                    responders.append(responder)
-                for ref in self.grid.peer(responder).store.lookup(prefix):
-                    if self._key_in_range(ref.key, low, high):
-                        key = (ref.key, ref.holder)
-                        existing = refs.get(key)
-                        if existing is None or ref.version > existing.version:
-                            refs[key] = ref
-        data_refs = sorted(refs.values(), key=lambda r: (r.key, r.holder))
+            ),
+            fetch=lambda responder, prefix: self.grid.peer(
+                responder
+            ).store.lookup(prefix),
+        )
         if probe is not None:
             probe.on_search_end(
                 "range",
@@ -507,104 +372,6 @@ class SearchEngine:
 
     @staticmethod
     def _key_in_range(key: str, low: str, high: str) -> bool:
-        """Whether *key*'s interval intersects the ``[low, high]`` range.
-
-        Entries may be indexed under keys longer or shorter than the range
-        bounds; compare by padding to the bound length (a shorter key
-        covers the whole subtree, so it matches if any leaf under it
-        does).
-        """
-        width = len(low)
-        if len(key) >= width:
-            truncated = key[:width]
-            return low <= truncated <= high
-        first = key + "0" * (width - len(key))
-        last = key + "1" * (width - len(key))
-        return not (last < low or first > high)
-
-    def _breadth(
-        self,
-        peer: Peer,
-        p: str,
-        level: int,
-        recbreadth: int,
-        budget: _Budget,
-        stats: dict[str, float],
-        responders: list[Address],
-        seen: set[Address],
-        enumerate_subtree: bool = False,
-    ) -> None:
-        if peer.address in seen:
-            return
-        seen.add(peer.address)
-        rempath = peer.path[level:]
-        compath = keyspace.common_prefix(p, rempath)
-        lc = len(compath)
-        if lc == len(p) or lc == len(rempath):
-            responders.append(peer.address)
-            if self.probe is not None:
-                self.probe.on_responsible(peer.address, level + lc)
-            if enumerate_subtree and lc == len(p):
-                # The peer's path extends past the query: its references at
-                # every level below the match point into the *other* halves
-                # of the query's subtree.  Forwarding the empty remaining
-                # query there enumerates all leaf regions of the interval.
-                for sublevel in range(level + lc + 1, peer.depth + 1):
-                    self._fan_out(
-                        peer, "", sublevel, sublevel, recbreadth,
-                        budget, stats, responders, seen, enumerate_subtree,
-                    )
-            return
-        self._fan_out(
-            peer, p[lc:], level + lc, level + lc + 1, recbreadth,
-            budget, stats, responders, seen, enumerate_subtree,
-        )
-
-    def _fan_out(
-        self,
-        peer: Peer,
-        querypath: str,
-        next_level: int,
-        ref_level: int,
-        recbreadth: int,
-        budget: _Budget,
-        stats: dict[str, float],
-        responders: list[Address],
-        seen: set[Address],
-        enumerate_subtree: bool,
-    ) -> None:
-        """Forward to up to *recbreadth* online references at *ref_level*.
-
-        Offline contacts are skipped and replaced by further candidates
-        (the depth-first search retries the same way, one at a time),
-        after any configured retry attempts.
-        """
-        probe = self.probe
-        refs = list(peer.routing.refs(ref_level))
-        rng = self.grid.rng
-        rng.shuffle(refs)
-        forwarded = 0
-        for address in refs:
-            if forwarded >= recbreadth:
-                break
-            if address in seen:
-                continue
-            if not self._contact(peer.address, address, ref_level, stats):
-                continue
-            if not budget.consume():
-                return
-            stats["messages"] += 1
-            if probe is not None:
-                probe.on_forward(peer.address, address, ref_level)
-            forwarded += 1
-            self._breadth(
-                self.grid.peer(address),
-                querypath,
-                next_level,
-                recbreadth,
-                budget,
-                stats,
-                responders,
-                seen,
-                enumerate_subtree,
-            )
+        """Whether *key*'s interval intersects the ``[low, high]`` range
+        (delegates to :func:`repro.protocol.search.key_in_range`)."""
+        return key_in_range(key, low, high)

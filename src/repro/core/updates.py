@@ -20,7 +20,6 @@ majority reads.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from repro.core import keys as keyspace
@@ -31,14 +30,11 @@ from repro.core.results import ContactAccounting
 from repro.core.search import SearchEngine
 from repro.core.storage import DataItem, DataRef
 from repro.obs.probe import Probe
+from repro.protocol import read as protocol_read
+from repro.protocol.direct import run_buddies
+from repro.protocol.update import UpdateStrategy, discover_replicas
 
-
-class UpdateStrategy(enum.Enum):
-    """The three propagation strategies of §3/§5.2."""
-
-    REPEATED_DFS = "repeated_dfs"
-    DFS_BUDDIES = "dfs_buddies"
-    BFS = "bfs"
+__all__ = ["UpdateStrategy", "UpdateResult", "ReadResult", "UpdateEngine", "ReadEngine"]
 
 
 @dataclass
@@ -221,24 +217,15 @@ class UpdateEngine:
         repetition: int,
         recbreadth: int,
     ) -> tuple[set[Address], int, int]:
-        if strategy is UpdateStrategy.REPEATED_DFS:
-            return self.search.repeated_query(start, key, repetition)
-        if strategy is UpdateStrategy.DFS_BUDDIES:
-            reached, messages, failed = self.search.repeated_query(
-                start, key, repetition
-            )
-            return self._forward_to_buddies(reached, messages, failed)
-        if strategy is UpdateStrategy.BFS:
-            reached: set[Address] = set()
-            messages = 0
-            failed = 0
-            for _ in range(repetition):
-                result = self.search.query_breadth(start, key, recbreadth)
-                reached.update(result.responders)
-                messages += result.messages
-                failed += result.failed_attempts
-            return reached, messages, failed
-        raise ValueError(f"unknown strategy: {strategy!r}")
+        return discover_replicas(
+            key,
+            strategy=strategy,
+            repetition=repetition,
+            recbreadth=recbreadth,
+            run_query=lambda: self.search.query_from(start, key),
+            run_breadth=lambda rb: self.search.query_breadth(start, key, rb),
+            forward_to_buddies=self._forward_to_buddies,
+        )
 
     def find_replicas(
         self,
@@ -271,23 +258,11 @@ class UpdateEngine:
     def _forward_to_buddies(
         self, reached: set[Address], messages: int, failed: int
     ) -> tuple[set[Address], int, int]:
-        """Strategy 2's second hop: replicas forward to their buddy lists."""
+        """Strategy 2's second hop: replicas forward to their buddy lists
+        (the :func:`repro.protocol.update.buddy_forward_step` machine,
+        driven in-process)."""
         attempts = self.retry.attempts if self.retry is not None else 1
-        extended = set(reached)
-        for address in reached:
-            for buddy in sorted(self.grid.peer(address).buddies):
-                if buddy in extended:
-                    continue
-                if not self.grid.has_peer(buddy):
-                    failed += 1
-                    continue
-                for _ in range(attempts):
-                    if self.grid.is_online(buddy):
-                        messages += 1
-                        extended.add(buddy)
-                        break
-                    failed += 1
-        return extended, messages, failed
+        return run_buddies(self.grid, reached, messages, failed, attempts)
 
 
 class ReadEngine:
@@ -329,25 +304,31 @@ class ReadEngine:
         stored = self.grid.peer(responder).store.version_of(key, holder)
         return stored is not None and stored >= version
 
+    def _strategies(self, start: Address, key: str, holder: Address, version: int):
+        """The injected callables the sans-I/O read strategies consume."""
+        query = lambda: self.search.query_from(start, key)  # noqa: E731
+        is_fresh = lambda responder: self._responder_is_fresh(  # noqa: E731
+            responder, key, holder, version
+        )
+        return query, is_fresh
+
     def read_single(
         self, start: Address, key: str, holder: Address, version: int
     ) -> ReadResult:
         """Non-repetitive search: one Fig. 2 query; success iff the replica
         that answers already holds *version* of the entry (table 6, lower
         half)."""
-        result = self.search.query_from(start, key)
-        success = (
-            result.found
-            and result.responder is not None
-            and self._responder_is_fresh(result.responder, key, holder, version)
+        query, is_fresh = self._strategies(start, key, holder, version)
+        success, messages, failed, repetitions = protocol_read.read_single(
+            query, is_fresh
         )
         return self._finish(
             ReadResult(
                 key=key,
                 success=success,
-                messages=result.messages,
-                failed_attempts=result.failed_attempts,
-                repetitions=1,
+                messages=messages,
+                failed_attempts=failed,
+                repetitions=repetitions,
             )
         )
 
@@ -367,37 +348,17 @@ class ReadEngine:
         report failure if the bound is hit (which the experiments never do
         once at least one replica was updated).
         """
-        if max_repetitions < 1:
-            raise ValueError(
-                f"max_repetitions must be >= 1, got {max_repetitions}"
-            )
-        messages = 0
-        failed = 0
-        for attempt in range(1, max_repetitions + 1):
-            result = self.search.query_from(start, key)
-            messages += result.messages
-            failed += result.failed_attempts
-            if (
-                result.found
-                and result.responder is not None
-                and self._responder_is_fresh(result.responder, key, holder, version)
-            ):
-                return self._finish(
-                    ReadResult(
-                        key=key,
-                        success=True,
-                        messages=messages,
-                        failed_attempts=failed,
-                        repetitions=attempt,
-                    )
-                )
+        query, is_fresh = self._strategies(start, key, holder, version)
+        success, messages, failed, repetitions = protocol_read.read_repeated(
+            query, is_fresh, max_repetitions=max_repetitions
+        )
         return self._finish(
             ReadResult(
                 key=key,
-                success=False,
+                success=success,
                 messages=messages,
                 failed_attempts=failed,
-                repetitions=max_repetitions,
+                repetitions=repetitions,
             )
         )
 
@@ -406,27 +367,16 @@ class ReadEngine:
     ) -> ReadResult:
         """Majority read (§5.2 discussion): query *votes* times and succeed
         if strictly more than half of the answering replicas are fresh."""
-        if votes < 1 or votes % 2 == 0:
-            raise ValueError(f"votes must be odd and >= 1, got {votes}")
-        messages = 0
-        failed = 0
-        fresh = 0
-        answered = 0
-        for _ in range(votes):
-            result = self.search.query_from(start, key)
-            messages += result.messages
-            failed += result.failed_attempts
-            if result.found and result.responder is not None:
-                answered += 1
-                if self._responder_is_fresh(result.responder, key, holder, version):
-                    fresh += 1
-        success = answered > 0 and fresh * 2 > answered
+        query, is_fresh = self._strategies(start, key, holder, version)
+        success, messages, failed, repetitions = protocol_read.read_majority(
+            query, is_fresh, votes=votes
+        )
         return self._finish(
             ReadResult(
                 key=key,
                 success=success,
                 messages=messages,
                 failed_attempts=failed,
-                repetitions=votes,
+                repetitions=repetitions,
             )
         )

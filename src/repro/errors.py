@@ -73,3 +73,16 @@ class SnapshotFormatError(PGridError, ValueError):
 
 class TransportError(PGridError, RuntimeError):
     """A simulated transport failed to deliver a message."""
+
+
+class NoHandlerError(TransportError):
+    """A message was addressed to a destination with no registered handler.
+
+    Distinguished from transient failures (offline peer, dropped message)
+    because the destination is *gone* — the protocol machines treat it like
+    a dangling routing reference and never retry it.
+    """
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"no handler registered for destination {address!r}")
+        self.address = address

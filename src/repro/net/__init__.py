@@ -3,6 +3,8 @@
 from repro.net.message import (
     Message,
     MessageKind,
+    breadth_message,
+    breadth_response,
     ping,
     pong,
     propagate_ack,
@@ -29,6 +31,8 @@ __all__ = [
     "TrafficStats",
     "UniformLatency",
     "attach_nodes",
+    "breadth_message",
+    "breadth_response",
     "ping",
     "pong",
     "propagate_ack",

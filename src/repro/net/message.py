@@ -24,6 +24,10 @@ class MessageKind(enum.Enum):
 
     QUERY = "query"
     QUERY_RESPONSE = "query_response"
+    BREADTH_QUERY = "breadth_query"
+    BREADTH_RESPONSE = "breadth_response"
+    RANGE_QUERY = "range_query"
+    RANGE_RESPONSE = "range_response"
     EXCHANGE = "exchange"
     UPDATE = "update"
     UPDATE_ACK = "update_ack"
@@ -31,6 +35,13 @@ class MessageKind(enum.Enum):
     PROPAGATE_ACK = "propagate_ack"
     PING = "ping"
     PONG = "pong"
+
+
+#: Request kind -> reply kind for the search family.
+_RESPONSE_KIND = {
+    MessageKind.BREADTH_QUERY: MessageKind.BREADTH_RESPONSE,
+    MessageKind.RANGE_QUERY: MessageKind.RANGE_RESPONSE,
+}
 
 
 @dataclass(frozen=True)
@@ -50,25 +61,142 @@ class Message:
     in_reply_to: int | None = None
 
 
-def query_message(source: Address, destination: Address, query: str, level: int) -> Message:
-    """Fig. 2 forward: ``query(peer(destination), query, level)``."""
+def query_message(
+    source: Address,
+    destination: Address,
+    query: str,
+    level: int,
+    *,
+    budget: int | None = None,
+    retry_spent: float = 0.0,
+) -> Message:
+    """Fig. 2 forward: ``query(peer(destination), query, level)``.
+
+    ``budget`` is the message budget remaining for the receiver's subtree
+    (``None`` lets the receiver apply its own configured limit);
+    ``retry_spent`` seeds the receiver's accumulated retry backoff so one
+    :class:`~repro.faults.RetryPolicy` deadline governs the whole
+    operation across hops.
+    """
+    payload: dict[str, Any] = {"query": query, "level": level}
+    if budget is not None:
+        payload["budget"] = budget
+    if retry_spent:
+        payload["retry_spent"] = retry_spent
     return Message(
         kind=MessageKind.QUERY,
         source=source,
         destination=destination,
-        payload={"query": query, "level": level},
+        payload=payload,
     )
 
 
 def query_response(
-    request: Message, *, found: bool, responder: Address | None, refs: list[dict] | None = None
+    request: Message,
+    *,
+    found: bool,
+    responder: Address | None,
+    refs: list[dict] | None = None,
+    messages: int = 0,
+    failed: int = 0,
+    retry_delay: float = 0.0,
+    budget: int | None = None,
 ) -> Message:
-    """Answer to a :data:`MessageKind.QUERY` message."""
+    """Answer to a :data:`MessageKind.QUERY` message.
+
+    ``messages`` / ``failed`` are the receiver subtree's *deltas* (the
+    sender already accounted the request's own delivery); ``retry_delay``
+    is the operation's *cumulative* backoff and ``budget`` the remaining
+    message budget after the subtree ran.
+    """
+    payload: dict[str, Any] = {
+        "found": found,
+        "responder": responder,
+        "refs": refs or [],
+        "messages": messages,
+        "failed": failed,
+        "retry_delay": retry_delay,
+    }
+    if budget is not None:
+        payload["budget"] = budget
     return Message(
         kind=MessageKind.QUERY_RESPONSE,
         source=request.destination,
         destination=request.source,
-        payload={"found": found, "responder": responder, "refs": refs or []},
+        payload=payload,
+        in_reply_to=request.message_id,
+    )
+
+
+def breadth_message(
+    source: Address,
+    destination: Address,
+    *,
+    query: str,
+    level: int,
+    recbreadth: int,
+    enumerate_subtree: bool = False,
+    seen: list[Address],
+    budget: int,
+    retry_spent: float = 0.0,
+    collect: str | None = None,
+) -> Message:
+    """Breadth-first fan-out step (§3 strategy 3 / range enumeration).
+
+    ``seen`` carries the walk's visited set (delivery is synchronous, so
+    threading it through payloads is equivalent to the in-process shared
+    set).  With ``collect`` the message is a :data:`MessageKind.RANGE_QUERY`:
+    responsible peers additionally return their index entries under the
+    *collect* prefix, exactly what the in-process range scan reads off
+    responder stores.
+    """
+    payload: dict[str, Any] = {
+        "query": query,
+        "level": level,
+        "recbreadth": recbreadth,
+        "enumerate_subtree": enumerate_subtree,
+        "seen": seen,
+        "budget": budget,
+        "retry_spent": retry_spent,
+    }
+    kind = MessageKind.BREADTH_QUERY
+    if collect is not None:
+        kind = MessageKind.RANGE_QUERY
+        payload["collect"] = collect
+    return Message(kind=kind, source=source, destination=destination, payload=payload)
+
+
+def breadth_response(
+    request: Message,
+    *,
+    responders: list[Address],
+    seen: list[Address],
+    messages: int,
+    failed: int,
+    retry_delay: float,
+    budget: int,
+    entries: dict[Address, list[dict]] | None = None,
+) -> Message:
+    """Answer to a BREADTH_QUERY / RANGE_QUERY message.
+
+    ``responders`` and ``entries`` are the receiver subtree's additions;
+    ``seen`` is the walk's full visited set after the subtree ran.
+    """
+    payload: dict[str, Any] = {
+        "responders": responders,
+        "seen": seen,
+        "messages": messages,
+        "failed": failed,
+        "retry_delay": retry_delay,
+        "budget": budget,
+    }
+    if entries is not None:
+        payload["entries"] = entries
+    return Message(
+        kind=_RESPONSE_KIND[request.kind],
+        source=request.destination,
+        destination=request.source,
+        payload=payload,
         in_reply_to=request.message_id,
     )
 
@@ -96,36 +224,67 @@ def propagate_message(
     query: str,
     level: int,
     recbreadth: int,
+    seen: list[Address] | None = None,
+    budget: int | None = None,
+    retry_spent: float = 0.0,
 ) -> Message:
     """Breadth-first update propagation step (§3 strategy 3 over messages).
 
-    ``query``/``level`` carry the routing state exactly like a QUERY;
-    the full entry rides along so every responsible peer reached installs
-    it immediately.
+    ``query``/``level`` carry the routing state exactly like a QUERY; the
+    full entry rides along so every responsible peer reached installs it
+    immediately.  ``seen``/``budget``/``retry_spent`` thread the walk
+    state exactly like :func:`breadth_message` (older senders that omit
+    them get an empty visited set and the receiver's own budget).
     """
+    payload: dict[str, Any] = {
+        "key": key,
+        "holder": holder,
+        "version": version,
+        "deleted": deleted,
+        "query": query,
+        "level": level,
+        "recbreadth": recbreadth,
+    }
+    if seen is not None:
+        payload["seen"] = seen
+    if budget is not None:
+        payload["budget"] = budget
+    if retry_spent:
+        payload["retry_spent"] = retry_spent
     return Message(
         kind=MessageKind.PROPAGATE,
         source=source,
         destination=destination,
-        payload={
-            "key": key,
-            "holder": holder,
-            "version": version,
-            "deleted": deleted,
-            "query": query,
-            "level": level,
-            "recbreadth": recbreadth,
-        },
+        payload=payload,
     )
 
 
-def propagate_ack(request: Message, reached: list[Address]) -> Message:
+def propagate_ack(
+    request: Message,
+    reached: list[Address],
+    *,
+    seen: list[Address] | None = None,
+    messages: int = 0,
+    failed: int = 0,
+    retry_delay: float = 0.0,
+    budget: int | None = None,
+) -> Message:
     """Aggregated acknowledgement: every replica this subtree installed."""
+    payload: dict[str, Any] = {
+        "reached": list(reached),
+        "messages": messages,
+        "failed": failed,
+        "retry_delay": retry_delay,
+    }
+    if seen is not None:
+        payload["seen"] = seen
+    if budget is not None:
+        payload["budget"] = budget
     return Message(
         kind=MessageKind.PROPAGATE_ACK,
         source=request.destination,
         destination=request.source,
-        payload={"reached": list(reached)},
+        payload=payload,
         in_reply_to=request.message_id,
     )
 

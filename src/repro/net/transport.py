@@ -24,9 +24,15 @@ from typing import Callable, Protocol
 
 from repro.core.grid import PGrid
 from repro.core.peer import Address
-from repro.errors import PeerOfflineError, TransportError
+from repro.errors import (
+    InvalidConfigError,
+    NoHandlerError,
+    PeerOfflineError,
+    TransportError,
+)
 from repro.net.message import Message, MessageKind
 from repro.obs.probe import Probe
+from repro.sim import rng as rngmod
 
 Handler = Callable[[Message], Message | None]
 
@@ -99,6 +105,7 @@ class LocalTransport:
         loss_probability: float = 0.0,
         latency: LatencyModel | None = None,
         rng: random.Random | None = None,
+        seed: int | None = None,
         probe: Probe | None = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
@@ -108,7 +115,24 @@ class LocalTransport:
         self.grid = grid
         self.loss_probability = loss_probability
         self.latency = latency
-        self._rng = rng or grid.rng
+        # The loss model draws from its own stream, never from the grid's
+        # protocol RNG: transport noise must not perturb the algorithms'
+        # randomness (the engine/node equivalence suite depends on this).
+        # An explicit ``rng`` wins; otherwise ``seed`` derives a dedicated
+        # "transport" stream.  A lossy transport with neither is a
+        # configuration error — silently borrowing the grid RNG (the old
+        # behavior) made message loss change routing decisions.
+        if rng is not None:
+            self._rng: random.Random | None = rng
+        elif seed is not None:
+            self._rng = rngmod.derive(seed, "transport")
+        else:
+            self._rng = None
+        if loss_probability > 0.0 and self._rng is None:
+            raise InvalidConfigError(
+                "loss_probability > 0 requires an explicit rng= or seed= "
+                "(the transport never draws from the grid's protocol RNG)"
+            )
         self._handlers: dict[Address, Handler] = {}
         self.probe = probe
         self.stats = TrafficStats()
@@ -130,16 +154,15 @@ class LocalTransport:
     def send(self, message: Message) -> Message | None:
         """Deliver *message*; return the handler's synchronous reply.
 
-        Raises :class:`PeerOfflineError` if the destination is offline and
-        :class:`TransportError` if it has no handler or the message is
-        dropped by the loss model.
+        Raises :class:`PeerOfflineError` if the destination is offline,
+        :class:`NoHandlerError` (a :class:`TransportError`) if it has no
+        handler, and :class:`TransportError` if the message is dropped by
+        the loss model.
         """
         probe = self.probe
         handler = self._handlers.get(message.destination)
         if handler is None:
-            raise TransportError(
-                f"no handler registered for destination {message.destination}"
-            )
+            raise NoHandlerError(message.destination)
         if not self.grid.is_online(message.destination):
             self.stats.offline_failures += 1
             if probe is not None:

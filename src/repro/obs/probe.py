@@ -6,16 +6,21 @@ All engines (:class:`~repro.core.search.SearchEngine`,
 :class:`~repro.core.membership.MembershipEngine`,
 :class:`~repro.core.shortcuts.ShortcutSearchEngine`) and the simulated
 transport (:class:`~repro.net.transport.LocalTransport`) accept a
-keyword-only ``probe`` and invoke it at their decision points: every
-successful contact (a *message* in the §5.2 cost model), every offline
-miss, every backtrack of the depth-first search, every CASE action of the
-exchange protocol, and the completion of each high-level operation.
+keyword-only ``probe``.  Since the sans-I/O refactor the decision points
+live in the :mod:`repro.protocol` machines, which emit
+:class:`~repro.protocol.effects.Record` effects (only when the driver's
+``Context.observed`` flag is set); the direct driver translates each
+``Record`` into the matching hook call here — every successful contact
+(a *message* in the §5.2 cost model), every offline miss, every
+backtrack of the depth-first search, every CASE action of the exchange
+protocol — while the engines themselves fire the operation-level
+start/end hooks.
 
 Design constraints:
 
-* **Zero overhead when disabled.**  Engines store ``probe=None`` by
-  default and guard each hook call with ``if probe is not None`` — an
-  uninstrumented run pays one identity check per decision point, nothing
+* **Zero overhead when disabled.**  With ``probe=None`` the machines run
+  with ``observed=False`` and never construct a ``Record``; an
+  uninstrumented run pays one flag check per decision point, nothing
   more.
 * **Observation must not perturb the simulation.**  Probes receive plain
   values (addresses, levels, counters), never mutable engine state, and

@@ -1,0 +1,178 @@
+"""Direct driver: execute protocol machines against an in-process grid.
+
+This is the thin I/O layer behind the classic engines
+(:class:`repro.core.search.SearchEngine`,
+:class:`repro.core.updates.UpdateEngine`,
+:class:`repro.core.exchange.ExchangeEngine`): a trampoline that answers
+
+* :class:`Contact` from the grid's membership + online oracle (``GONE``
+  for a departed peer — no RNG draw; one availability draw otherwise),
+* :class:`Resolve` by recursing into the machine for the target peer,
+  sharing the operation's budget/stats/traversal state (a direct call
+  *is* synchronous message delivery),
+* :class:`FetchBuddies` from the peer's buddy set (sorted),
+* :class:`Record` via the shared probe dispatch,
+* :class:`Deliver` as a no-op (the caller takes the return value).
+
+The networked twin lives in :class:`repro.net.node.PGridNode`, which
+answers the same effects over the transport.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.protocol.contact import Budget, Context, StepStats
+from repro.protocol.effects import (
+    GONE,
+    OFFLINE,
+    OK,
+    Contact,
+    Deliver,
+    FetchBuddies,
+    Record,
+    Resolve,
+    dispatch_record,
+)
+from repro.protocol.exchange import ExchangeContext, exchange_step
+from repro.protocol.search import Traversal, breadth_step, dfs_step
+from repro.protocol.update import buddy_forward_step
+
+__all__ = ["run_dfs", "run_breadth", "run_exchange", "run_buddies"]
+
+
+def _drive(gen, execute):
+    """Run one machine to completion, answering effects via *execute*."""
+    response = None
+    while True:
+        try:
+            effect = gen.send(response)
+        except StopIteration as stop:
+            return stop.value
+        response = execute(effect)
+
+
+def _contact_status(grid, target):
+    """The grid's answer to a Contact: departed / offline / reachable."""
+    if not grid.has_peer(target):
+        return GONE
+    if not grid.is_online(target):
+        return OFFLINE
+    return OK
+
+
+def run_dfs(
+    grid: Any,
+    ctx: Context,
+    probe: Any,
+    view: Any,
+    query: str,
+    level: int,
+    budget: Budget,
+    stats: StepStats,
+):
+    """Execute the Fig. 2 machine from *view*; returns (found, responder)."""
+
+    def execute(effect):
+        cls = type(effect)
+        if cls is Contact:
+            return _contact_status(grid, effect.target)
+        if cls is Resolve:
+            payload = effect.payload
+            sub = dfs_step(
+                grid.peer(effect.target), payload.query, payload.level,
+                ctx, budget, stats,
+            )
+            return _drive(sub, execute)
+        if cls is Record:
+            dispatch_record(probe, effect)
+            return None
+        if cls is Deliver:
+            return None
+        raise TypeError(f"unexpected effect: {effect!r}")
+
+    return _drive(dfs_step(view, query, level, ctx, budget, stats), execute)
+
+
+def run_breadth(
+    grid: Any,
+    ctx: Context,
+    probe: Any,
+    view: Any,
+    query: str,
+    level: int,
+    trav: Traversal,
+) -> None:
+    """Execute the breadth-first machine from *view* (mutates *trav*)."""
+
+    def execute(effect):
+        cls = type(effect)
+        if cls is Contact:
+            return _contact_status(grid, effect.target)
+        if cls is Resolve:
+            payload = effect.payload
+            sub = breadth_step(
+                grid.peer(effect.target), payload.query, payload.level, ctx, trav
+            )
+            return _drive(sub, execute)
+        if cls is Record:
+            dispatch_record(probe, effect)
+            return None
+        if cls is Deliver:
+            return None
+        raise TypeError(f"unexpected effect: {effect!r}")
+
+    _drive(breadth_step(view, query, level, ctx, trav), execute)
+
+
+def run_exchange(
+    grid: Any,
+    ctx: ExchangeContext,
+    probe: Any,
+    a1: Any,
+    a2: Any,
+    depth: int,
+) -> None:
+    """Execute one Fig. 3 exchange (including case-4 recursion)."""
+
+    def execute(effect):
+        cls = type(effect)
+        if cls is Contact:
+            return _contact_status(grid, effect.target)
+        if cls is Resolve:
+            payload = effect.payload
+            # exchange(partner, peer(r), depth): the *contacted* peer is
+            # the second argument of the recursive call.
+            sub = exchange_step(
+                grid.peer(payload.partner),
+                grid.peer(effect.target),
+                payload.depth,
+                ctx,
+            )
+            return _drive(sub, execute)
+        if cls is Record:
+            dispatch_record(probe, effect)
+            return None
+        raise TypeError(f"unexpected effect: {effect!r}")
+
+    _drive(exchange_step(a1, a2, depth, ctx), execute)
+
+
+def run_buddies(
+    grid: Any,
+    reached: set[int],
+    messages: int,
+    failed: int,
+    attempts: int,
+) -> tuple[set[int], int, int]:
+    """Execute the buddy-forwarding hop (§3 update strategy 2)."""
+
+    def execute(effect):
+        cls = type(effect)
+        if cls is FetchBuddies:
+            return sorted(grid.peer(effect.target).buddies)
+        if cls is Contact:
+            return _contact_status(grid, effect.target)
+        raise TypeError(f"unexpected effect: {effect!r}")
+
+    return _drive(buddy_forward_step(reached, messages, failed, attempts), execute)

@@ -1,0 +1,98 @@
+"""Sans-I/O read strategies over possibly partially-updated replicas (§5.2).
+
+The paper's repeated-query insight: instead of paying for near-complete
+update coverage, update a modest fraction of replicas and repeat queries
+until a fresh one answers (or take a majority vote).  These functions
+implement the three read disciplines over two injected callables —
+``query()`` (one Fig. 2 search, returning anything with ``found`` /
+``responder`` / ``messages`` / ``failed_attempts``) and
+``is_fresh(responder)`` (whether that replica already holds the target
+version) — so the in-process :class:`repro.core.updates.ReadEngine` and
+any networked caller share one decision procedure.
+
+Each returns ``(success, messages, failed, repetitions)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.protocol.effects import Address
+
+__all__ = ["read_single", "read_repeated", "read_majority"]
+
+
+def _fresh_hit(result: Any, is_fresh: Callable[[Address], bool]) -> bool:
+    return (
+        result.found
+        and result.responder is not None
+        and is_fresh(result.responder)
+    )
+
+
+def read_single(
+    query: Callable[[], Any], is_fresh: Callable[[Address], bool]
+) -> tuple[bool, int, int, int]:
+    """Non-repetitive search: one query; success iff the replica that
+    answers already holds the target version (table 6, lower half)."""
+    result = query()
+    return (
+        _fresh_hit(result, is_fresh),
+        result.messages,
+        result.failed_attempts,
+        1,
+    )
+
+
+def read_repeated(
+    query: Callable[[], Any],
+    is_fresh: Callable[[Address], bool],
+    *,
+    max_repetitions: int = 200,
+) -> tuple[bool, int, int, int]:
+    """Repetitive search (table 6, upper half): re-query until a fresh
+    replica answers, accumulating message cost.
+
+    The paper repeats until success; the loop is bounded defensively and
+    reports failure if the bound is hit (which the experiments never do
+    once at least one replica was updated).
+    """
+    if max_repetitions < 1:
+        raise ValueError(
+            f"max_repetitions must be >= 1, got {max_repetitions}"
+        )
+    messages = 0
+    failed = 0
+    for attempt in range(1, max_repetitions + 1):
+        result = query()
+        messages += result.messages
+        failed += result.failed_attempts
+        if _fresh_hit(result, is_fresh):
+            return True, messages, failed, attempt
+    return False, messages, failed, max_repetitions
+
+
+def read_majority(
+    query: Callable[[], Any],
+    is_fresh: Callable[[Address], bool],
+    *,
+    votes: int = 3,
+) -> tuple[bool, int, int, int]:
+    """Majority read (§5.2 discussion): query *votes* times and succeed
+    if strictly more than half of the answering replicas are fresh."""
+    if votes < 1 or votes % 2 == 0:
+        raise ValueError(f"votes must be odd and >= 1, got {votes}")
+    messages = 0
+    failed = 0
+    fresh = 0
+    answered = 0
+    for _ in range(votes):
+        result = query()
+        messages += result.messages
+        failed += result.failed_attempts
+        if result.found and result.responder is not None:
+            answered += 1
+            if is_fresh(result.responder):
+                fresh += 1
+    success = answered > 0 and fresh * 2 > answered
+    return success, messages, failed, votes

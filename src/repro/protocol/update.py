@@ -1,0 +1,104 @@
+"""Sans-I/O update propagation strategies (paper §3 / §5.2).
+
+:func:`discover_replicas` is the strategy dispatch the paper's Fig. 5
+compares — repeated depth-first search, depth-first + buddy forwarding,
+breadth-first fan-out — expressed over injected search primitives so the
+in-process :class:`repro.core.updates.UpdateEngine` and the networked
+node share one decision procedure.
+
+:func:`buddy_forward_step` is strategy 2's second hop as an effect
+machine: every reached replica forwards the update to its buddy list,
+re-contacting offline buddies up to the retry policy's attempt count.
+Fidelity note: this hop deliberately accounts *no* backoff delay and
+emits *no* probe events — it reproduces the engine's historical §3
+semantics exactly (the buddy hop predates PR 4's delay accounting), and
+the protocol-equivalence suite pins that behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.protocol.effects import BUDDY_PING, GONE, OK, Address, Contact, FetchBuddies
+from repro.protocol.search import repeated_queries
+
+__all__ = ["UpdateStrategy", "discover_replicas", "buddy_forward_step"]
+
+
+class UpdateStrategy(enum.Enum):
+    """The three propagation strategies of §3/§5.2."""
+
+    REPEATED_DFS = "repeated_dfs"
+    DFS_BUDDIES = "dfs_buddies"
+    BFS = "bfs"
+
+
+def discover_replicas(
+    key: str,
+    *,
+    strategy: UpdateStrategy,
+    repetition: int,
+    recbreadth: int,
+    run_query: Callable[[], Any],
+    run_breadth: Callable[[int], Any],
+    forward_to_buddies: Callable[
+        [set[Address], int, int], tuple[set[Address], int, int]
+    ],
+) -> tuple[set[Address], int, int]:
+    """Find the replicas responsible for *key* per *strategy*.
+
+    ``run_query()`` performs one depth-first search for *key*;
+    ``run_breadth(recbreadth)`` one breadth-first search;
+    ``forward_to_buddies(reached, messages, failed)`` executes strategy
+    2's buddy hop.  Returns ``(reached, messages, failed)``.
+    """
+    if strategy is UpdateStrategy.REPEATED_DFS:
+        return repeated_queries(run_query, repetition)
+    if strategy is UpdateStrategy.DFS_BUDDIES:
+        reached, messages, failed = repeated_queries(run_query, repetition)
+        return forward_to_buddies(reached, messages, failed)
+    if strategy is UpdateStrategy.BFS:
+        reached: set[Address] = set()
+        messages = 0
+        failed = 0
+        for _ in range(repetition):
+            result = run_breadth(recbreadth)
+            reached.update(result.responders)
+            messages += result.messages
+            failed += result.failed_attempts
+        return reached, messages, failed
+    raise ValueError(f"unknown strategy: {strategy!r}")
+
+
+def buddy_forward_step(reached: set[Address], messages: int, failed: int, attempts: int):
+    """Strategy 2's second hop: replicas forward to their buddy lists.
+
+    Yields one :class:`FetchBuddies` per reached replica and one
+    :class:`Contact` per liveness attempt; returns the extended
+    ``(reached, messages, failed)`` tallies.  A dangling buddy counts one
+    failure without retry; an offline buddy is re-tried up to *attempts*
+    times (each failure tallied, per the §2 availability model).
+    """
+    extended = set(reached)
+    for address in reached:
+        buddies = yield FetchBuddies(address)
+        for buddy in buddies:
+            if buddy in extended:
+                continue
+            status = yield Contact(buddy, 0, BUDDY_PING)
+            if status is GONE:
+                failed += 1
+                continue
+            remaining = attempts
+            while True:
+                if status is OK:
+                    messages += 1
+                    extended.add(buddy)
+                    break
+                failed += 1
+                remaining -= 1
+                if remaining == 0:
+                    break
+                status = yield Contact(buddy, 0, BUDDY_PING)
+    return extended, messages, failed

@@ -93,6 +93,38 @@ class TestFailureModes:
         with pytest.raises(ValueError):
             make_transport(loss_probability=1.0)
 
+    def test_lossy_transport_requires_seeded_rng(self):
+        # Falling back to the grid's protocol RNG (the old behavior) let
+        # message loss perturb routing decisions; now it is a config error.
+        from repro.errors import InvalidConfigError
+
+        with pytest.raises(InvalidConfigError):
+            make_transport(loss_probability=0.1)
+
+    def test_seed_derives_a_dedicated_stream(self):
+        grid, transport = make_transport(loss_probability=0.5, seed=9)
+        transport.register(1, pong)
+        protocol_state = grid.rng.getstate()
+        for _ in range(50):
+            transport.try_send(ping(0, 1))
+        assert transport.stats.dropped > 0
+        # the loss coins never touched the grid's protocol RNG
+        assert grid.rng.getstate() == protocol_state
+        # and the stream is a pure function of the seed
+        grid2, transport2 = make_transport(loss_probability=0.5, seed=9)
+        transport2.register(1, pong)
+        drops = sum(
+            1 for _ in range(50) if transport2.try_send(ping(0, 1)) is None
+        )
+        assert drops == transport.stats.dropped
+
+    def test_no_handler_error_is_specific(self):
+        from repro.errors import NoHandlerError
+
+        _, transport = make_transport()
+        with pytest.raises(NoHandlerError):
+            transport.send(ping(0, 1))
+
     def test_try_send_swallow_failures(self):
         grid, transport = make_transport()
         transport.register(1, pong)
