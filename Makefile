@@ -4,7 +4,7 @@ PYTHON ?= python
 # Scale of `make bench`: fig4 (default) or smoke (CI-fast).
 SCALE ?= fig4
 
-.PHONY: install test lint check bench bench-experiments bench-paper bench-quick bench-regression protocol-equivalence resilience-smoke examples clean results
+.PHONY: install test lint check bench bench-experiments bench-paper bench-quick bench-regression check-parallel protocol-equivalence resilience-smoke swarm-smoke examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -52,17 +52,31 @@ bench-regression:
 		--baseline benchmarks/baselines/BENCH_micro_smoke.json \
 		--fresh benchmarks/results/fresh/BENCH_micro.json
 
-# Tentpole gate: the in-process engines and the message-driven node run
-# the same repro.protocol machines — identical results, costs and RNG
-# streams (tests/protocol/).
+# Parallel-speedup gate over the committed BENCH_search.json: jobs=2
+# sweeps must beat serial on multi-core machines and stay bit-identical
+# everywhere (regression guard for the shared-pool amortization).
+check-parallel:
+	$(PYTHON) benchmarks/check_parallel.py --fresh BENCH_search.json
+
+# Tentpole gate: the in-process engines, the message-driven node and the
+# asyncio runtime run the same repro.protocol machines — identical
+# results, costs and RNG streams (tests/protocol/, tests/aio/).
 protocol-equivalence:
-	PYTHONPATH=src $(PYTHON) -m pytest tests/protocol -q
+	PYTHONPATH=src $(PYTHON) -m pytest tests/protocol tests/aio/test_async_equivalence.py -q
 
 # Resilience gate: measured success under injected faults must match the
 # §4 analytic curve within the smoke tolerance (see docs/RESILIENCE.md).
 resilience-smoke:
 	PYTHONPATH=src $(PYTHON) -c "import sys; from repro.experiments import resilience; \
 	sys.exit(resilience.main(['--scale', 'smoke', '--jobs', '2', '--check']))"
+
+# Swarm gate: 1000 concurrent asyncio nodes absorb a mixed
+# search/update workload with a perfect found rate inside the time
+# budget (see docs/ASYNC.md).
+swarm-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro swarm --peers 1000 --maxl 6 \
+		--operations 2000 --update-fraction 0.1 --concurrency 64 \
+		--seed 0 --min-found-rate 1.0 --time-budget 120
 
 examples:
 	@for script in examples/*.py; do \

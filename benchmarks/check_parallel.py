@@ -1,0 +1,89 @@
+"""Parallel-speedup gate over ``BENCH_search.json``.
+
+The search benchmark times one experiment sweep twice — serially and over
+the shared worker pool with ``jobs=2`` — and records
+``parallel_trials.speedup`` plus ``bit_identical`` (the determinism
+contract end-to-end).  Since the pool became process-global and is
+pre-warmed outside the timed region, a parallel sweep must actually beat
+the serial one wherever a second CPU exists; this gate enforces that the
+``jobs 2`` path never slides back to the old
+slower-than-serial behaviour (the 0.74x regression this fixes).
+
+The speedup check is conditional on the *recorded* ``cpu_count`` of the
+machine that produced the file: on a single-CPU runner two workers
+time-slice one core, so no speedup is possible and only the
+``bit_identical`` contract is enforced (the gate prints a skip notice).
+
+Usage (what ``make check-parallel`` runs, after ``make bench``)::
+
+    python benchmarks/check_parallel.py --fresh BENCH_search.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required jobs=2 advantage over serial on a multi-core machine.  Well
+#: below the ideal 2x to absorb scheduler noise, but decisively above
+#: the old regressed behaviour (0.74x).
+MIN_SPEEDUP = 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=_ROOT / "BENCH_search.json",
+        help="BENCH_search.json from a fresh `harness.py` run",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help=f"required jobs=2 speedup on multi-core (default {MIN_SPEEDUP})",
+    )
+    args = parser.parse_args(argv)
+
+    payload = json.loads(args.fresh.read_text(encoding="utf-8"))
+    if payload.get("benchmark") != "search":
+        raise SystemExit(f"{args.fresh}: not a search benchmark file")
+    trials = payload["results"]["parallel_trials"]
+    cpu_count = payload.get("cpu_count") or 1
+    speedup = trials.get("speedup")
+    bit_identical = trials.get("bit_identical")
+
+    print(
+        f"[check-parallel] points={trials.get('points')} cpu_count={cpu_count} "
+        f"serial={trials.get('serial_seconds', 0.0):.3f}s "
+        f"jobs2={trials.get('parallel_jobs2_seconds', 0.0):.3f}s "
+        f"speedup={speedup if speedup is None else f'{speedup:.2f}x'}"
+    )
+
+    failures = []
+    if bit_identical is not True:
+        failures.append("parallel run was not bit-identical to the serial run")
+    if cpu_count >= 2:
+        if speedup is None or speedup < args.min_speedup:
+            shown = "none" if speedup is None else f"{speedup:.2f}x"
+            failures.append(
+                f"jobs=2 speedup {shown} < required {args.min_speedup:.2f}x "
+                f"on a {cpu_count}-CPU machine (parallel sweeps must beat serial)"
+            )
+    else:
+        print(
+            "[check-parallel] single CPU recorded: speedup check skipped "
+            "(two workers time-slice one core), determinism still enforced"
+        )
+
+    if failures:
+        for line in failures:
+            print(f"[check-parallel] FAIL {line}", file=sys.stderr)
+        return 1
+    print("[check-parallel] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,16 +3,20 @@ Structure for P2P Information Systems* (Karl Aberer, 2002).
 
 Quickstart
 ----------
->>> import random
->>> from repro import PGrid, PGridConfig, GridBuilder, SearchEngine
->>> grid = PGrid(PGridConfig(maxl=4, refmax=2, recmax=2),
-...              rng=random.Random(7))
->>> _ = grid.add_peers(64)
->>> report = GridBuilder(grid).build()
->>> engine = SearchEngine(grid)
->>> result = engine.query_from(start=0, query="1010")
->>> result.found
+>>> from repro import Grid
+>>> grid = Grid.build(peers=64, maxl=4, refmax=2, seed=7)
+>>> grid.search("1010").found
 True
+>>> with grid.serve(driver="node") as svc:   # or "engine" / "async"
+...     svc.search("1010", start=5).found
+True
+
+:class:`Grid` (see :mod:`repro.api`) is the facade over construction,
+search, update and the three interchangeable drivers of the sans-I/O
+protocol core.  The legacy constructors (``GridBuilder``,
+``SearchEngine``, ``UpdateEngine``, ``ReadEngine``) keep working but
+importing them from the top level is deprecated — import them from
+their home modules (``repro.sim``, ``repro.core``) or use the facade.
 
 Package layout
 --------------
@@ -37,6 +41,7 @@ Package layout
     ASCII tables/histograms and CSV output.
 """
 
+from repro.api import Grid
 from repro.core import (
     Address,
     AlwaysOnline,
@@ -56,18 +61,15 @@ from repro.core import (
     PGrid,
     PGridConfig,
     RangeSearchResult,
-    ReadEngine,
     ReadResult,
     RepairReport,
     RoutingTable,
     SearchConfig,
-    SearchEngine,
     SearchResult,
     ShortcutCache,
     ShortcutSearchEngine,
     ShortcutStats,
     UpdateConfig,
-    UpdateEngine,
     UpdateResult,
     UpdateStrategy,
     min_peers_for_replication,
@@ -97,12 +99,45 @@ from repro.faults import (
 from repro.sim import (
     BernoulliChurn,
     ConstructionReport,
-    GridBuilder,
     SessionChurn,
     UniformMeetings,
 )
 
 __version__ = "1.0.0"
+
+# Legacy constructors: still fully supported at their home modules, but
+# top-level imports now go through the Grid facade.  PEP 562 module
+# __getattr__ keeps `from repro import SearchEngine` working (with a
+# DeprecationWarning) without the engines paying an eager-import cost —
+# and without the warning firing for in-package imports, which all use
+# the home modules directly.
+_DEPRECATED_TOP_LEVEL = {
+    "GridBuilder": ("repro.sim", "Grid.build(...)"),
+    "SearchEngine": ("repro.core", "Grid.search(...) / grid.serve(...)"),
+    "UpdateEngine": ("repro.core", "Grid.update(...) / grid.serve(...)"),
+    "ReadEngine": ("repro.core", "Grid.reads"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, replacement = _DEPRECATED_TOP_LEVEL[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"importing {name} from the top-level 'repro' package is deprecated; "
+        f"use {replacement} (repro.api.Grid) or import it from {module_name}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_TOP_LEVEL))
 
 __all__ = [
     "Address",
@@ -118,6 +153,7 @@ __all__ = [
     "ExchangeStats",
     "FaultInjector",
     "FaultPlan",
+    "Grid",
     "GridBuilder",
     "GridPlan",
     "InvalidConfigError",

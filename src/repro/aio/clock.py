@@ -1,0 +1,54 @@
+"""Event-loop clocks: how simulated delays map onto ``await``.
+
+The protocol accounts time on a *simulated* clock (retry backoff,
+latency models — ``TrafficStats.simulated_time``).  The async runtime
+must decide what a simulated delay means for the event loop:
+
+* :class:`VirtualClock` (the default) accrues the delay in its own
+  tally and yields control once (``asyncio.sleep(0)``) — experiments
+  run at full speed and stay deterministic, yet every ``await`` point
+  still exists, so concurrency interleavings are exercised;
+* :class:`RealtimeClock` actually sleeps ``delay * scale`` wall
+  seconds, mapping :class:`~repro.faults.RetryPolicy` backoff and
+  latency models onto the loop clock for soak/latency testing.
+
+Both keep the cumulative total in :attr:`elapsed`, so reports can state
+how much simulated waiting a run contained regardless of the mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["RealtimeClock", "VirtualClock"]
+
+
+class VirtualClock:
+    """Zero-wall-time clock: delays are accounted, never slept."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    async def sleep(self, delay: float) -> None:
+        """Account *delay* and yield to the event loop once."""
+        if delay > 0:
+            self.elapsed += delay
+        await asyncio.sleep(0)
+
+
+class RealtimeClock:
+    """Wall-clock mapping: one simulated time unit = *scale* seconds."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        self.scale = scale
+        self.elapsed = 0.0
+
+    async def sleep(self, delay: float) -> None:
+        """Sleep ``delay * scale`` wall seconds on the event loop."""
+        if delay <= 0:
+            await asyncio.sleep(0)
+            return
+        self.elapsed += delay
+        await asyncio.sleep(delay * self.scale)

@@ -1,34 +1,29 @@
-"""Message-driven P-Grid node: the protocol machines' network driver.
+"""Async message-driven P-Grid node: the protocol machines' third driver.
 
-:class:`PGridNode` wraps one :class:`~repro.core.peer.Peer` behind a message
-handler and executes the *same* sans-I/O machines as the in-process engines
-(:mod:`repro.protocol`) — but answers their effects over the transport
-instead of by direct calls:
+:class:`AsyncPGridNode` is :class:`~repro.net.node.PGridNode` with the
+transport hop awaited instead of called: the *same* sans-I/O machines
+(:mod:`repro.protocol`) run unchanged, driven by
+:func:`repro.protocol.driver.drive_async`, and each
+:class:`~repro.protocol.Contact` effect becomes one
+``await transport.request(...)`` — an enqueue into the destination's
+bounded mailbox plus an awaited reply future.  Error mapping is
+identical to the sync node (:class:`~repro.errors.NoHandlerError` →
+``GONE``; offline / dropped → ``OFFLINE``), and a retry's simulated
+backoff is both accrued on the transport clock and awaited on the event
+loop via the transport's :mod:`~repro.aio.clock`, so
+:class:`~repro.faults.RetryPolicy` deadlines mean the same thing here.
 
-* :class:`~repro.protocol.Contact` becomes one ``transport.send`` of a
-  ``QUERY`` / ``BREADTH_QUERY`` / ``RANGE_QUERY`` / ``PROPAGATE`` message
-  (a retry's simulated backoff is fed into the transport's clock first);
-  :class:`~repro.errors.NoHandlerError` answers ``GONE`` (dangling
-  reference — never retried), :class:`~repro.errors.PeerOfflineError` and
-  dropped messages answer ``OFFLINE``;
-* :class:`~repro.protocol.Resolve` reads the remote subtree's result off
-  the synchronous reply, merging its message/failure deltas, cumulative
-  retry backoff and remaining budget into the local operation state —
-  value-threading that is equivalent to the engines' shared objects
-  because delivery is synchronous.
-
-Routing decisions therefore live in exactly one place
-(:mod:`repro.protocol.search`), consume the grid RNG in exactly the same
-order as the engines, and honor the full :class:`~repro.faults.RetryPolicy`
-semantics (attempt bound, exponential backoff on the simulated clock, and
-the accumulated-delay deadline — threaded across hops via the messages'
-``retry_spent`` field).  The integration tests cross-validate this path
-against the engines message-for-message.
+Determinism: every routing/retry decision draws from the grid RNG inside
+the machines, in the same order as the engines and the sync node — so a
+*sequential* workload over this driver is bit-identical to both (the
+three-way equivalence suite).  Under *concurrent* load the draws
+interleave per-operation; each operation still routes correctly (the
+machines are reorder-tolerant by construction: they never share mutable
+state across operations), which is what the swarm smoke test checks
+against ground truth.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 from repro.core import keys as keyspace
 from repro.core.config import SearchConfig
@@ -36,6 +31,7 @@ from repro.core.grid import PGrid
 from repro.core.peer import Address, Peer
 from repro.core.search import BreadthSearchResult, RangeSearchResult
 from repro.core.storage import DataRef
+from repro.core.updates import UpdateResult
 from repro.errors import NoHandlerError, PeerOfflineError, TransportError
 from repro.net.message import (
     Message,
@@ -49,8 +45,9 @@ from repro.net.message import (
     query_response,
     update_message,
 )
-from repro.net.transport import LocalTransport
+from repro.net.node import NodeSearchOutcome
 from repro.protocol.contact import Budget, Context, StepStats
+from repro.protocol.driver import drive_async
 from repro.protocol.effects import GONE, OFFLINE, OK, Contact, Resolve
 from repro.protocol.search import (
     Traversal,
@@ -60,45 +57,24 @@ from repro.protocol.search import (
     run_range,
 )
 
-__all__ = ["NodeSearchOutcome", "PGridNode", "attach_nodes"]
+from repro.aio.transport import AsyncTransport
+
+__all__ = ["AsyncPGridNode", "attach_async_nodes"]
 
 
-@dataclass
-class NodeSearchOutcome:
-    """Result of a node-initiated (networked) search."""
+class AsyncPGridNode:
+    """One networked peer served as asyncio tasks over an async transport.
 
-    query: str
-    found: bool
-    responder: Address | None
-    messages_sent: int
-    failed_attempts: int = 0
-    retry_delay: float = 0.0
-    data_refs: list[DataRef] = field(default_factory=list)
-
-    @property
-    def messages(self) -> int:
-        """Alias of ``messages_sent`` (the shared result protocol's name)."""
-        return self.messages_sent
-
-
-class PGridNode:
-    """One networked peer: handles protocol messages for its local state.
-
-    ``transport`` is anything with the :class:`LocalTransport` interface —
-    in particular a :class:`repro.faults.FaultInjector` wrapping one.
-    ``retry`` / ``healer`` are the resilience collaborators (duck-typed
-    :class:`repro.faults.RetryPolicy` / :class:`repro.faults.RefHealer`),
-    consulted by the shared contact machine exactly as the engines do;
-    ``config`` supplies the message budget for operations this node
-    initiates (forwarded hops inherit the initiator's remaining budget
-    from the message payload).
+    Construction registers the node's async :meth:`handle` (and thereby
+    its mailbox) on *transport*; ``retry`` / ``healer`` / ``config`` have
+    exactly the :class:`~repro.net.node.PGridNode` semantics.
     """
 
     def __init__(
         self,
         peer: Peer,
         grid: PGrid,
-        transport: LocalTransport,
+        transport: AsyncTransport,
         *,
         retry=None,
         healer=None,
@@ -114,46 +90,45 @@ class PGridNode:
 
     # -- effect execution ---------------------------------------------------------
 
-    def _drive(self, gen, budget: Budget, stats: StepStats, build, resolve):
-        """Run one machine, answering effects over the transport.
+    async def _drive(self, gen, budget: Budget, stats: StepStats, build, resolve):
+        """Run one machine, answering effects over the async transport.
 
-        *build* turns a :class:`Contact` effect into the wire message;
-        *resolve* merges the pending reply into the operation state and
-        returns the machine's answer to the :class:`Resolve` effect.
+        Same contract as the sync node's driver loop, expressed through
+        :func:`repro.protocol.driver.drive_async`: *build* turns a
+        :class:`Contact` effect into the wire message, *resolve* merges
+        the pending reply into the operation state.
         """
-        response = None
         pending: Message | None = None
-        while True:
-            try:
-                effect = gen.send(response)
-            except StopIteration as stop:
-                return stop.value
+
+        async def execute(effect):
+            nonlocal pending
             cls = type(effect)
             if cls is Contact:
-                response, pending = self._contact(effect, budget, stats, build)
-            elif cls is Resolve:
-                response = resolve(pending)
-            else:
-                raise TypeError(
-                    f"unexpected effect for the message driver: {effect!r}"
-                )
+                status, pending = await self._contact(effect, budget, stats, build)
+                return status
+            if cls is Resolve:
+                return resolve(pending)
+            raise TypeError(f"unexpected effect for the async driver: {effect!r}")
 
-    def _contact(self, effect: Contact, budget: Budget, stats: StepStats, build):
+        return await drive_async(gen, execute)
+
+    async def _contact(self, effect: Contact, budget: Budget, stats: StepStats, build):
         """One contact attempt over the transport -> (status, reply)."""
         if effect.delay:
-            # Retry backoff is simulated time spent waiting before this
-            # attempt; it accrues on the transport's clock.
+            # Retry backoff: accrue simulated time (as the sync node does)
+            # AND spend it on the event-loop clock, so a RetryPolicy
+            # deadline maps onto real waiting under a realtime clock.
             self.transport.stats.simulated_time += effect.delay
+            await self.transport.clock.sleep(effect.delay)
         if budget.remaining <= 0:
-            # The budget is spent: the machine will stop right after this
-            # liveness check, so answer it without paying for a message
-            # (mirrors the direct driver, which never sent one here).
+            # Budget spent: the machine stops right after this liveness
+            # check — answer it locally without paying for a message.
             if not self.grid.has_peer(effect.target):
                 return GONE, None
             return (OK if self.grid.is_online(effect.target) else OFFLINE), None
         message = build(effect)
         try:
-            reply = self.transport.send(message)
+            reply = await self.transport.request(message)
         except NoHandlerError:
             return GONE, None
         except PeerOfflineError:
@@ -174,13 +149,8 @@ class PGridNode:
 
     # -- Fig. 2 depth-first search over messages -----------------------------------
 
-    def _run_dfs(self, query: str, level: int, budget: Budget, stats: StepStats):
-        """Drive the shared Fig. 2 machine; returns (found, responder, refs).
-
-        *refs* is the responder's reply payload (list of entry dicts) when
-        the answer came over the wire, ``None`` when this node itself is
-        the responder (the caller does the local lookup).
-        """
+    async def _run_dfs(self, query: str, level: int, budget: Budget, stats: StepStats):
+        """Drive the shared Fig. 2 machine; returns (found, responder, refs)."""
         captured: dict[str, list[dict]] = {}
 
         def build(effect: Contact) -> Message:
@@ -202,7 +172,7 @@ class PGridNode:
                 captured["refs"] = payload.get("refs", [])
             return found, payload["responder"]
 
-        found, responder = self._drive(
+        found, responder = await self._drive(
             dfs_step(self.peer, query, level, self._ctx, budget, stats),
             budget,
             stats,
@@ -211,14 +181,14 @@ class PGridNode:
         )
         return found, responder, captured.get("refs")
 
-    def _handle_query(self, message: Message) -> Message:
+    async def _handle_query(self, message: Message) -> Message:
         payload = message.payload
         query = payload["query"]
         level = payload["level"]
         budget = Budget(payload.get("budget", self.config.max_messages))
         stats = StepStats()
         stats.retry_delay = payload.get("retry_spent", 0.0)
-        found, responder, refs = self._run_dfs(query, level, budget, stats)
+        found, responder, refs = await self._run_dfs(query, level, budget, stats)
         if found and refs is None and responder == self.peer.address:
             # Routing consumed the first `level` bits of the original query;
             # they equal this peer's path prefix (search invariant), so the
@@ -241,7 +211,7 @@ class PGridNode:
 
     # -- breadth-first walks over messages (update / breadth / range) ---------------
 
-    def _run_breadth(
+    async def _run_breadth(
         self,
         query: str,
         level: int,
@@ -250,13 +220,7 @@ class PGridNode:
         collect: str | None = None,
         ref: DataRef | None = None,
     ) -> dict[Address, list[dict]]:
-        """Drive the shared breadth machine at this hop.
-
-        With *ref* the walk is an update propagation: every responsible
-        peer (including this one) installs the entry.  With *collect* it
-        is a range sweep: responsible peers return their entries under the
-        *collect* prefix.  Returns the entries gathered by this subtree.
-        """
+        """Drive the shared breadth machine at this hop (see sync node)."""
         budget, stats = trav.budget, trav.stats
         entries: dict[Address, list[dict]] = {}
 
@@ -302,7 +266,7 @@ class PGridNode:
                 entries.setdefault(responder, []).extend(found)
             return None
 
-        self._drive(
+        await self._drive(
             breadth_step(self.peer, query, level, self._ctx, trav),
             budget,
             stats,
@@ -337,12 +301,12 @@ class PGridNode:
         trav.stats.retry_delay = payload.get("retry_spent", 0.0)
         return trav
 
-    def _handle_breadth(self, message: Message) -> Message:
+    async def _handle_breadth(self, message: Message) -> Message:
         payload = message.payload
         trav = self._traversal_from(
             payload, enumerate_subtree=payload.get("enumerate_subtree", False)
         )
-        entries = self._run_breadth(
+        entries = await self._run_breadth(
             payload["query"], payload["level"], trav, collect=payload.get("collect")
         )
         return breadth_response(
@@ -356,7 +320,7 @@ class PGridNode:
             entries=entries if message.kind is MessageKind.RANGE_QUERY else None,
         )
 
-    def _handle_propagate(self, message: Message) -> Message:
+    async def _handle_propagate(self, message: Message) -> Message:
         payload = message.payload
         ref = DataRef(
             key=payload["key"],
@@ -365,7 +329,7 @@ class PGridNode:
             deleted=payload["deleted"],
         )
         trav = self._traversal_from(payload, enumerate_subtree=False)
-        self._run_breadth(payload["query"], payload["level"], trav, ref=ref)
+        await self._run_breadth(payload["query"], payload["level"], trav, ref=ref)
         return propagate_ack(
             message,
             trav.responders,
@@ -378,29 +342,29 @@ class PGridNode:
 
     # -- message dispatch ---------------------------------------------------------
 
-    def handle(self, message: Message) -> Message | None:
-        """Transport entry point."""
+    async def handle(self, message: Message) -> Message | None:
+        """Transport entry point (runs as its own task per message)."""
         kind = message.kind
         if kind is MessageKind.QUERY:
-            return self._handle_query(message)
+            return await self._handle_query(message)
         if kind is MessageKind.BREADTH_QUERY or kind is MessageKind.RANGE_QUERY:
-            return self._handle_breadth(message)
+            return await self._handle_breadth(message)
         if kind is MessageKind.PROPAGATE:
-            return self._handle_propagate(message)
+            return await self._handle_propagate(message)
         if kind is MessageKind.UPDATE:
             return self._handle_update(message)
         if kind is MessageKind.PING:
             return pong(message)
         return None
 
-    # -- local API (what the user of this node calls) -----------------------------------
+    # -- local API (what the user of this node awaits) ------------------------------
 
-    def search(self, query: str) -> NodeSearchOutcome:
+    async def search(self, query: str) -> NodeSearchOutcome:
         """Search issued by this node's user (starts locally, no message)."""
         keyspace.validate_key(query)
         budget = Budget(self.config.max_messages)
         stats = StepStats()
-        found, responder, refs = self._run_dfs(query, 0, budget, stats)
+        found, responder, refs = await self._run_dfs(query, 0, budget, stats)
         if found and refs is None and responder == self.peer.address:
             refs = [
                 {"key": ref.key, "holder": ref.holder, "version": ref.version}
@@ -420,21 +384,18 @@ class PGridNode:
             data_refs=data_refs,
         )
 
-    def search_repeated(
+    async def search_repeated(
         self, query: str, times: int
     ) -> tuple[set[Address], int, int]:
         """§5.2 update strategy 1 over messages: *times* independent
         searches; returns (responders, messages, failed attempts)."""
-        return repeated_queries(lambda: self.search(query), times)
+        results = [await self.search(query) for _ in range(times)]
+        return repeated_queries(iter(results).__next__, times)
 
-    def search_breadth(
+    async def search_breadth(
         self, query: str, recbreadth: int, *, enumerate_subtree: bool = False
     ) -> BreadthSearchResult:
-        """Breadth-first search over BREADTH_QUERY messages (§3 strategy 3).
-
-        Same semantics (and same result type) as
-        :meth:`repro.core.search.SearchEngine.query_breadth`.
-        """
+        """Breadth-first search over BREADTH_QUERY messages (§3 strategy 3)."""
         if recbreadth < 1:
             raise ValueError(f"recbreadth must be >= 1, got {recbreadth}")
         keyspace.validate_key(query)
@@ -444,7 +405,7 @@ class PGridNode:
             recbreadth,
             enumerate_subtree=enumerate_subtree,
         )
-        self._run_breadth(query, 0, trav)
+        await self._run_breadth(query, 0, trav)
         return BreadthSearchResult(
             query=query,
             start=self.peer.address,
@@ -454,27 +415,22 @@ class PGridNode:
             retry_delay=trav.stats.retry_delay,
         )
 
-    def range_search(
+    async def range_search(
         self, low: str, high: str, *, recbreadth: int = 2
     ) -> RangeSearchResult:
-        """Range query over RANGE_QUERY messages.
-
-        Same cover decomposition, deduplication and result type as
-        :meth:`repro.core.search.SearchEngine.query_range`; the
-        responders' entries travel back in the replies instead of being
-        read off their stores directly.
-        """
+        """Range query over RANGE_QUERY messages (see the sync node)."""
         cover = keyspace.range_cover(low, high)
         collected: dict[str, dict[Address, list[DataRef]]] = {}
+        sweeps: dict[str, BreadthSearchResult] = {}
 
-        def search(prefix: str) -> BreadthSearchResult:
+        for prefix in cover:
             trav = Traversal(
                 Budget(self.config.max_messages),
                 StepStats(),
                 recbreadth,
                 enumerate_subtree=True,
             )
-            entries = self._run_breadth(prefix, 0, trav, collect=prefix)
+            entries = await self._run_breadth(prefix, 0, trav, collect=prefix)
             collected[prefix] = {
                 responder: [
                     DataRef(
@@ -487,7 +443,7 @@ class PGridNode:
                 ]
                 for responder, found in entries.items()
             }
-            return BreadthSearchResult(
+            sweeps[prefix] = BreadthSearchResult(
                 query=prefix,
                 start=self.peer.address,
                 responders=list(trav.responders),
@@ -500,7 +456,7 @@ class PGridNode:
             low,
             high,
             cover=cover,
-            search=search,
+            search=lambda prefix: sweeps[prefix],
             fetch=lambda responder, prefix: collected[prefix].get(responder, []),
         )
         return RangeSearchResult(
@@ -514,13 +470,12 @@ class PGridNode:
             retry_delay=retry_delay,
         )
 
-    def push_update(self, destination: Address, ref: DataRef) -> bool:
+    async def push_update(self, destination: Address, ref: DataRef) -> bool:
         """Send one index update to *destination*; True on delivery.
 
-        Honors the full retry policy: bounded attempts, exponential
-        backoff accrued on the transport's simulated clock, and the
-        accumulated-delay deadline.  A destination with no handler is
-        gone for good and is never retried.
+        Full :class:`~repro.faults.RetryPolicy` semantics: bounded
+        attempts, exponential backoff spent on both the simulated clock
+        and the event-loop clock, and the accumulated-delay deadline.
         """
         message = update_message(
             self.peer.address, destination, ref.key, ref.holder, ref.version
@@ -531,7 +486,7 @@ class PGridNode:
         attempt = 1
         while True:
             try:
-                self.transport.send(message)
+                await self.transport.request(message)
                 return True
             except NoHandlerError:
                 return False
@@ -545,37 +500,23 @@ class PGridNode:
                 return False
             spent += delay
             self.transport.stats.simulated_time += delay
+            await self.transport.clock.sleep(delay)
 
-    def propagate_update(
+    async def propagate_update(
         self, ref: DataRef, *, recbreadth: int = 2
     ) -> set[Address]:
-        """Publish *ref* via the message-level breadth-first protocol.
+        """Publish *ref* via PROPAGATE messages; returns the replicas reached."""
+        return (await self.publish(ref, recbreadth=recbreadth)).reached
 
-        Runs the same machine as
-        :meth:`repro.core.search.SearchEngine.query_breadth` over explicit
-        PROPAGATE messages with aggregated acknowledgements; the returned
-        set contains every replica that installed the entry (including
-        this node if responsible).
-        """
-        return self.publish(ref, recbreadth=recbreadth).reached
-
-    def publish(self, ref: DataRef, *, recbreadth: int = 2) -> "UpdateResult":
-        """:meth:`propagate_update` with the engines' full accounting.
-
-        Returns the same :class:`~repro.core.updates.UpdateResult` shape
-        as :meth:`repro.core.updates.UpdateEngine.propagate` (BFS
-        strategy), so the driver facade can expose updates uniformly
-        across drivers.
-        """
+    async def publish(self, ref: DataRef, *, recbreadth: int = 2) -> UpdateResult:
+        """:meth:`propagate_update` with the engines' full accounting."""
         if recbreadth < 1:
             raise ValueError(f"recbreadth must be >= 1, got {recbreadth}")
         keyspace.validate_key(ref.key)
         trav = Traversal(
             Budget(self.config.max_messages), StepStats(), recbreadth
         )
-        self._run_breadth(ref.key, 0, trav, ref=ref)
-        from repro.core.updates import UpdateResult
-
+        await self._run_breadth(ref.key, 0, trav, ref=ref)
         return UpdateResult(
             key=ref.key,
             version=ref.version,
@@ -600,21 +541,17 @@ class PGridNode:
         )
 
 
-def attach_nodes(
+def attach_async_nodes(
     grid: PGrid,
-    transport: LocalTransport,
+    transport: AsyncTransport,
     *,
     retry=None,
     healer=None,
     config: SearchConfig | None = None,
-) -> dict[Address, PGridNode]:
-    """Create one node per peer of *grid*, registered on *transport*.
-
-    *transport* may be a :class:`repro.faults.FaultInjector`; *retry* /
-    *healer* / *config* are forwarded to every node.
-    """
+) -> dict[Address, AsyncPGridNode]:
+    """Create one async node per peer of *grid*, registered on *transport*."""
     return {
-        peer.address: PGridNode(
+        peer.address: AsyncPGridNode(
             peer, grid, transport, retry=retry, healer=healer, config=config
         )
         for peer in grid.peers()

@@ -1,0 +1,326 @@
+"""Async transport: bounded per-node mailboxes over an event loop.
+
+:class:`AsyncTransport` is the asyncio counterpart of
+:class:`~repro.net.transport.LocalTransport`.  Delivery semantics are
+identical — the same failure order (missing handler, offline oracle,
+loss coin, latency sample), the same :class:`TrafficStats` counters, the
+same dedicated transport RNG stream — but delivery is a real enqueue:
+
+* every registered address owns one bounded :class:`asyncio.Queue`
+  (its *mailbox*); a full mailbox makes ``await request(...)`` block,
+  which is the backpressure that keeps a hot node from being buried;
+* one worker task per mailbox dequeues messages and spawns a handler
+  task per message, so a node can serve many requests concurrently —
+  in particular the re-entrant chains the recursive protocol produces
+  (node A queries B, whose subtree queries A back) cannot deadlock;
+* mailbox depth and queue latency are tallied per node
+  (:class:`MailboxStats`) and streamed to the observability layer via
+  :meth:`repro.obs.probe.Probe.on_mailbox`.
+
+Fault plans plug in through :meth:`install_faults`: the same
+:class:`~repro.faults.FaultInjector` used by the sync stack runs its
+pre-delivery gate (crash, drop coin) and post-delivery faults (latency,
+crash coin, stale refs) around each request, drawing from the same
+derived streams in the same order — a plan behaves identically on
+either substrate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro.core.grid import PGrid
+from repro.core.peer import Address
+from repro.errors import (
+    InvalidConfigError,
+    NoHandlerError,
+    PeerOfflineError,
+    TransportError,
+)
+from repro.net.message import Message, MessageKind
+from repro.net.transport import LatencyModel, TrafficStats
+from repro.obs.probe import Probe
+from repro.sim import rng as rngmod
+
+from repro.aio.clock import VirtualClock
+
+__all__ = ["AsyncHandler", "AsyncTransport", "MailboxStats"]
+
+AsyncHandler = Callable[[Message], Awaitable[Message | None]]
+
+
+@dataclass
+class MailboxStats:
+    """Depth/latency tallies for one node's mailbox."""
+
+    enqueued: int = 0
+    handled: int = 0
+    max_depth: int = 0
+    total_wait: float = 0.0
+    max_wait: float = 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict copy for experiment records."""
+        return {
+            "enqueued": self.enqueued,
+            "handled": self.handled,
+            "max_depth": self.max_depth,
+            "total_wait": self.total_wait,
+            "max_wait": self.max_wait,
+        }
+
+
+class AsyncTransport:
+    """Mailbox-based asyncio transport over a :class:`PGrid` population."""
+
+    def __init__(
+        self,
+        grid: PGrid,
+        *,
+        mailbox_size: int = 64,
+        loss_probability: float = 0.0,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        seed: int | None = None,
+        probe: Probe | None = None,
+        clock=None,
+    ) -> None:
+        if mailbox_size < 1:
+            raise ValueError(f"mailbox_size must be >= 1, got {mailbox_size}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.grid = grid
+        self.mailbox_size = mailbox_size
+        self.loss_probability = loss_probability
+        self.latency = latency
+        # Same stance as LocalTransport: transport noise draws from its own
+        # stream, never the grid's protocol RNG.
+        if rng is not None:
+            self._rng: random.Random | None = rng
+        elif seed is not None:
+            self._rng = rngmod.derive(seed, "transport")
+        else:
+            self._rng = None
+        if loss_probability > 0.0 and self._rng is None:
+            raise InvalidConfigError(
+                "loss_probability > 0 requires an explicit rng= or seed= "
+                "(the transport never draws from the grid's protocol RNG)"
+            )
+        self.probe = probe
+        self.clock = clock if clock is not None else VirtualClock()
+        self.stats = TrafficStats()
+        self.mailbox_stats: dict[Address, MailboxStats] = {}
+        self._handlers: dict[Address, AsyncHandler] = {}
+        self._mailboxes: dict[
+            Address, asyncio.Queue[tuple[Message, asyncio.Future, float]]
+        ] = {}
+        self._workers: dict[Address, asyncio.Task] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._faults = None
+        self._started = False
+
+    # -- registration / lifecycle ---------------------------------------------------
+
+    def register(self, address: Address, handler: AsyncHandler) -> None:
+        """Attach the async message handler (and mailbox) for *address*."""
+        if not self.grid.has_peer(address):
+            raise InvalidConfigError(
+                f"cannot register a handler for {address!r}: "
+                "no such peer in the grid"
+            )
+        if address in self._handlers:
+            raise TransportError(f"handler already registered for {address}")
+        self._handlers[address] = handler
+        self._mailboxes[address] = asyncio.Queue(maxsize=self.mailbox_size)
+        self.mailbox_stats[address] = MailboxStats()
+        if self._started:
+            self._workers[address] = asyncio.ensure_future(self._serve(address))
+
+    def unregister(self, address: Address) -> None:
+        """Detach the handler for *address* (peer leaves the network)."""
+        self._handlers.pop(address, None)
+        self._mailboxes.pop(address, None)
+        worker = self._workers.pop(address, None)
+        if worker is not None:
+            worker.cancel()
+
+    def is_reachable(self, address: Address) -> bool:
+        """Registered and currently online."""
+        return address in self._handlers and self.grid.is_online(address)
+
+    async def start(self) -> None:
+        """Spawn one worker task per registered mailbox."""
+        if self._started:
+            return
+        self._started = True
+        for address in self._handlers:
+            self._workers[address] = asyncio.ensure_future(self._serve(address))
+
+    async def stop(self) -> None:
+        """Cancel workers and in-flight handler tasks."""
+        self._started = False
+        pending = list(self._workers.values()) + list(self._tasks)
+        self._workers.clear()
+        self._tasks.clear()
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def install_faults(self, plan, *, probe: Probe | None = None):
+        """Wire a :class:`~repro.faults.FaultPlan` into this transport.
+
+        Builds the standard :class:`~repro.faults.FaultInjector` over this
+        transport (it only needs ``grid``/``stats``), installs its
+        composed availability oracle on the grid, and runs its
+        pre/post-delivery gates around every :meth:`request`.  Returns
+        the injector so callers can crash/restart peers or read
+        ``fault_stats``.
+        """
+        from repro.faults.inject import FaultInjector
+
+        injector = FaultInjector(self, plan, probe=probe)
+        injector.install_oracle()
+        self._faults = injector
+        return injector
+
+    @property
+    def faults(self):
+        """The installed :class:`~repro.faults.FaultInjector`, if any."""
+        return self._faults
+
+    # -- delivery -------------------------------------------------------------------
+
+    async def request(self, message: Message) -> Message | None:
+        """Deliver *message* to its destination's mailbox; await the reply.
+
+        Failure order matches :meth:`LocalTransport.send` exactly
+        (missing handler, offline oracle, loss coin, latency sample), so
+        protocol machines observe the same ``ContactStatus`` either way.
+        A full destination mailbox blocks here — backpressure on the
+        caller, not silent loss.
+        """
+        faults = self._faults
+        if faults is not None:
+            faults.precheck(message)
+        probe = self.probe
+        queue = self._mailboxes.get(message.destination)
+        if queue is None:
+            raise NoHandlerError(message.destination)
+        if not self.grid.is_online(message.destination):
+            self.stats.offline_failures += 1
+            if probe is not None:
+                probe.on_transport(
+                    message.kind.value, message.source, message.destination, "offline"
+                )
+            raise PeerOfflineError(message.destination)
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            self.stats.dropped += 1
+            if probe is not None:
+                probe.on_transport(
+                    message.kind.value, message.source, message.destination, "dropped"
+                )
+            raise TransportError(
+                f"message {message.message_id} to {message.destination} lost"
+            )
+        if self.latency is not None:
+            delay = self.latency.sample(message)
+            self.stats.simulated_time += delay
+            await self.clock.sleep(delay)
+        self.stats.delivered[message.kind] += 1
+        if probe is not None:
+            probe.on_transport(
+                message.kind.value, message.source, message.destination, "delivered"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        await queue.put((message, future, loop.time()))
+        box = self.mailbox_stats[message.destination]
+        box.enqueued += 1
+        depth = queue.qsize()
+        if depth > box.max_depth:
+            box.max_depth = depth
+        if probe is not None:
+            probe.on_mailbox("enqueue", message.destination, depth=depth)
+        reply = await future
+        if faults is not None:
+            extra = faults.postcheck(message)
+            if extra:
+                await self.clock.sleep(extra)
+        return reply
+
+    async def try_request(self, message: Message) -> Message | None:
+        """Like :meth:`request` but returns ``None`` on offline/lost."""
+        try:
+            return await self.request(message)
+        except (PeerOfflineError, TransportError):
+            return None
+
+    async def _serve(self, address: Address) -> None:
+        """Mailbox worker: dequeue and spawn one handler task per message.
+
+        Spawning (rather than handling inline) is load-bearing: the
+        recursive protocol produces re-entrant chains — while node A
+        awaits B's reply, B's subtree may contact A — and a
+        one-at-a-time worker would deadlock on them.
+        """
+        queue = self._mailboxes[address]
+        box = self.mailbox_stats[address]
+        handler = self._handlers[address]
+        probe = self.probe
+        loop = asyncio.get_running_loop()
+        while True:
+            message, future, enqueued_at = await queue.get()
+            wait = loop.time() - enqueued_at
+            box.handled += 1
+            box.total_wait += wait
+            if wait > box.max_wait:
+                box.max_wait = wait
+            if probe is not None:
+                probe.on_mailbox("dequeue", address, depth=queue.qsize(), wait=wait)
+            task = asyncio.ensure_future(self._handle(handler, message, future))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    @staticmethod
+    async def _handle(handler: AsyncHandler, message: Message, future: asyncio.Future) -> None:
+        try:
+            reply = await handler(message)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.cancel()
+            raise
+        except Exception as exc:  # propagate to the awaiting requester
+            if not future.done():
+                future.set_exception(exc)
+        else:
+            if not future.done():
+                future.set_result(reply)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def count(self, kind: MessageKind) -> int:
+        """Delivered messages of one kind."""
+        return self.stats.delivered[kind]
+
+    def max_mailbox_depth(self) -> int:
+        """Largest mailbox depth observed across all nodes."""
+        return max((s.max_depth for s in self.mailbox_stats.values()), default=0)
+
+    def mailbox_snapshot(self) -> dict[str, object]:
+        """Aggregate mailbox tallies for experiment records."""
+        stats = list(self.mailbox_stats.values())
+        handled = sum(s.handled for s in stats)
+        total_wait = sum(s.total_wait for s in stats)
+        return {
+            "enqueued": sum(s.enqueued for s in stats),
+            "handled": handled,
+            "max_depth": self.max_mailbox_depth(),
+            "mean_wait": (total_wait / handled) if handled else 0.0,
+            "max_wait": max((s.max_wait for s in stats), default=0.0),
+        }

@@ -1,0 +1,420 @@
+"""``repro.api`` — the one-stop facade over construction, search, update
+and the three interchangeable drivers.
+
+Everything the rest of the package exposes stays available, but the
+common path is four calls::
+
+    from repro import Grid
+
+    grid = Grid.build(peers=64, seed=7)
+    grid.search("1010")                      # Fig. 2 depth-first search
+    grid.update("1010", holder=3)            # §5.2 breadth-first publish
+
+    with grid.serve(driver="async") as svc:  # or "engine" / "node"
+        svc.search("1010", start=5)
+        svc.update("1010", holder=3, version=1)
+
+:meth:`Grid.serve` returns a *service*: a context manager with a uniform
+synchronous ``search`` / ``update`` surface backed by one of the three
+drivers of the sans-I/O protocol core —
+
+``"engine"``
+    the in-process engines (:class:`~repro.core.search.SearchEngine`,
+    :class:`~repro.core.updates.UpdateEngine`) calling peers directly;
+``"node"``
+    one :class:`~repro.net.node.PGridNode` per peer over a synchronous
+    :class:`~repro.net.transport.LocalTransport` — every hop an explicit
+    message;
+``"async"``
+    one :class:`~repro.aio.node.AsyncPGridNode` per peer over an
+    :class:`~repro.aio.transport.AsyncTransport` on a private event loop
+    — bounded mailboxes, awaitable effects.
+
+All three run the *same* protocol machines and draw from the grid RNG in
+the same order, so on equal grids the three services return
+field-for-field identical results with identical cost counters (asserted
+by ``tests/api/test_facade.py``).  Collaborators are keyword-only
+injection throughout, matching the package convention.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Iterable
+
+from repro.core.config import PGridConfig, SearchConfig, UpdateConfig
+from repro.core.grid import PGrid
+from repro.core.peer import Address
+from repro.core.search import RangeSearchResult, SearchEngine, SearchResult
+from repro.core.storage import DataItem, DataRef
+from repro.core.updates import ReadEngine, UpdateEngine, UpdateResult, UpdateStrategy
+from repro.errors import InvalidConfigError
+from repro.net.node import NodeSearchOutcome, PGridNode, attach_nodes
+from repro.net.transport import LocalTransport
+from repro.obs.probe import Probe
+from repro.sim.builder import ConstructionReport, GridBuilder
+
+__all__ = ["Grid", "DRIVERS"]
+
+#: The interchangeable driver names :meth:`Grid.serve` accepts.
+DRIVERS = ("engine", "node", "async")
+
+
+class Grid:
+    """A built P-Grid population plus its default engines.
+
+    Construct with :meth:`build` (the common case) or wrap an existing
+    :class:`~repro.core.grid.PGrid` directly.  All collaborators are
+    keyword-only: ``probe`` observes, ``retry``/``healer`` add
+    resilience, the config objects tune the engines.
+    """
+
+    def __init__(
+        self,
+        pgrid: PGrid,
+        *,
+        report: ConstructionReport | None = None,
+        probe: Probe | None = None,
+        retry=None,
+        healer=None,
+        search_config: SearchConfig | None = None,
+        update_config: UpdateConfig | None = None,
+    ) -> None:
+        self.pgrid = pgrid
+        self.report = report
+        self.probe = probe
+        self.retry = retry
+        self.healer = healer
+        self.search_config = search_config or SearchConfig()
+        self.update_config = update_config or UpdateConfig()
+        self.engine = SearchEngine(
+            pgrid,
+            config=self.search_config,
+            probe=probe,
+            retry=retry,
+            healer=healer,
+        )
+        self.updates = UpdateEngine(
+            pgrid,
+            search=self.engine,
+            config=self.update_config,
+            probe=probe,
+            retry=retry,
+        )
+        self.reads = ReadEngine(pgrid, search=self.engine, probe=probe)
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        peers: int = 64,
+        *,
+        maxl: int = 4,
+        refmax: int = 2,
+        recmax: int = 2,
+        fanout: int | None = 2,
+        seed: int = 0,
+        threshold: float = 0.99,
+        max_exchanges: int | None = 2_000_000,
+        config: PGridConfig | None = None,
+        probe: Probe | None = None,
+        retry=None,
+        healer=None,
+        search_config: SearchConfig | None = None,
+        update_config: UpdateConfig | None = None,
+    ) -> "Grid":
+        """Create *peers* peers and run construction to convergence.
+
+        ``maxl``/``refmax``/``recmax``/``fanout`` are the paper's free
+        parameters (ignored when an explicit ``config`` is given);
+        ``seed`` makes the whole grid — construction and every later
+        protocol decision — reproducible.
+        """
+        if config is None:
+            config = PGridConfig(
+                maxl=maxl, refmax=refmax, recmax=recmax, recursion_fanout=fanout
+            )
+        pgrid = PGrid(config, rng=random.Random(seed))
+        pgrid.add_peers(peers)
+        report = GridBuilder(pgrid).build(
+            threshold_fraction=threshold, max_exchanges=max_exchanges
+        )
+        return cls(
+            pgrid,
+            report=report,
+            probe=probe,
+            retry=retry,
+            healer=healer,
+            search_config=search_config,
+            update_config=update_config,
+        )
+
+    # -- population ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pgrid)
+
+    def addresses(self) -> list[Address]:
+        """Sorted addresses of all peers."""
+        return self.pgrid.addresses()
+
+    def seed_index(self, items: Iterable[tuple[DataItem, Address]]) -> int:
+        """Bootstrap a consistent index outside the protocol (experiments)."""
+        return self.pgrid.seed_index(list(items))
+
+    def replicas_for(self, key: str) -> list[Address]:
+        """Ground-truth replica set for *key*."""
+        return self.pgrid.replicas_for_key(key)
+
+    # -- direct operations (engine driver, no service needed) --------------------------
+
+    def search(self, key: str, *, start: Address = 0) -> SearchResult:
+        """One Fig. 2 depth-first search from *start*."""
+        return self.engine.query_from(start, key)
+
+    def search_range(
+        self, low: str, high: str, *, start: Address = 0, recbreadth: int = 2
+    ) -> RangeSearchResult:
+        """Range query over ``[low, high]`` from *start*."""
+        return self.engine.query_range(start, low, high, recbreadth=recbreadth)
+
+    def update(
+        self,
+        key: str,
+        holder: Address,
+        *,
+        start: Address = 0,
+        version: int = 0,
+        value=None,
+        strategy: UpdateStrategy = UpdateStrategy.BFS,
+        recbreadth: int | None = None,
+        repetition: int | None = None,
+    ) -> UpdateResult:
+        """Publish (or re-publish) *key* stored at *holder* from *start*."""
+        return self.updates.publish(
+            start,
+            DataItem(key=key, value=value),
+            holder,
+            strategy=strategy,
+            repetition=repetition,
+            recbreadth=recbreadth,
+            version=version,
+        )
+
+    # -- drivers ----------------------------------------------------------------------
+
+    def serve(
+        self,
+        driver: str = "engine",
+        *,
+        retry=None,
+        healer=None,
+        config: SearchConfig | None = None,
+        mailbox_size: int = 64,
+    ):
+        """Serve this grid behind one of the three drivers.
+
+        Returns a context-managed service with a uniform synchronous
+        ``search(key, *, start)`` / ``update(key, holder, ...)`` surface;
+        ``retry``/``healer``/``config`` default to this grid's own.
+        On equal grids all three drivers return identical results with
+        identical cost counters.
+        """
+        retry = retry if retry is not None else self.retry
+        healer = healer if healer is not None else self.healer
+        config = config or self.search_config
+        if driver == "engine":
+            return EngineService(self)
+        if driver == "node":
+            return NodeService(
+                self, retry=retry, healer=healer, config=config
+            )
+        if driver == "async":
+            return AsyncService(
+                self,
+                retry=retry,
+                healer=healer,
+                config=config,
+                mailbox_size=mailbox_size,
+            )
+        raise InvalidConfigError(
+            f"unknown driver {driver!r}: expected one of {', '.join(DRIVERS)}"
+        )
+
+
+def _outcome_to_result(key: str, start: Address, outcome: NodeSearchOutcome) -> SearchResult:
+    """Normalize a node-driver outcome to the engines' result type."""
+    return SearchResult(
+        query=key,
+        start=start,
+        found=outcome.found,
+        responder=outcome.responder,
+        messages=outcome.messages_sent,
+        failed_attempts=outcome.failed_attempts,
+        data_refs=list(outcome.data_refs),
+        retry_delay=outcome.retry_delay,
+    )
+
+
+class EngineService:
+    """The ``"engine"`` driver: direct in-process execution."""
+
+    driver = "engine"
+
+    def __init__(self, grid: Grid) -> None:
+        self._grid = grid
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Nothing to release for the in-process driver."""
+
+    def search(self, key: str, *, start: Address = 0) -> SearchResult:
+        return self._grid.engine.query_from(start, key)
+
+    def update(
+        self,
+        key: str,
+        holder: Address,
+        *,
+        start: Address = 0,
+        version: int = 0,
+        value=None,
+        recbreadth: int | None = None,
+    ) -> UpdateResult:
+        return self._grid.update(
+            key, holder, start=start, version=version, value=value,
+            recbreadth=recbreadth,
+        )
+
+
+class NodeService:
+    """The ``"node"`` driver: one message-driven node per peer."""
+
+    driver = "node"
+
+    def __init__(
+        self,
+        grid: Grid,
+        *,
+        retry=None,
+        healer=None,
+        config: SearchConfig | None = None,
+    ) -> None:
+        self._grid = grid
+        self.transport = LocalTransport(grid.pgrid, probe=grid.probe)
+        self.nodes: dict[Address, PGridNode] = attach_nodes(
+            grid.pgrid, self.transport, retry=retry, healer=healer, config=config
+        )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Unregister every node so the grid can be served again."""
+        for address in list(self.nodes):
+            self.transport.unregister(address)
+        self.nodes.clear()
+
+    def search(self, key: str, *, start: Address = 0) -> SearchResult:
+        return _outcome_to_result(key, start, self.nodes[start].search(key))
+
+    def update(
+        self,
+        key: str,
+        holder: Address,
+        *,
+        start: Address = 0,
+        version: int = 0,
+        value=None,
+        recbreadth: int | None = None,
+    ) -> UpdateResult:
+        if recbreadth is None:
+            recbreadth = self._grid.update_config.recbreadth
+        self._grid.pgrid.peer(holder).store.store_item(DataItem(key=key, value=value))
+        ref = DataRef(key=key, holder=holder, version=version)
+        return self.nodes[start].publish(ref, recbreadth=recbreadth)
+
+
+class AsyncService:
+    """The ``"async"`` driver: an :class:`~repro.aio.AsyncSwarm` on a
+    private event loop, driven synchronously per operation.
+
+    For genuinely concurrent workloads use :class:`repro.aio.AsyncSwarm`
+    directly; this service exists so the facade can expose all three
+    drivers behind one synchronous surface.
+    """
+
+    driver = "async"
+
+    def __init__(
+        self,
+        grid: Grid,
+        *,
+        retry=None,
+        healer=None,
+        config: SearchConfig | None = None,
+        mailbox_size: int = 64,
+    ) -> None:
+        from repro.aio.swarm import AsyncSwarm
+
+        self._grid = grid
+        self._loop = asyncio.new_event_loop()
+        self.swarm = AsyncSwarm(
+            grid.pgrid,
+            retry=retry,
+            healer=healer,
+            config=config,
+            probe=grid.probe,
+            mailbox_size=mailbox_size,
+        )
+        self._loop.run_until_complete(self.swarm.start())
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the swarm, release its mailboxes, close the loop."""
+        if self._loop.is_closed():
+            return
+        self._loop.run_until_complete(self.swarm.stop())
+        for address in list(self.swarm.nodes):
+            self.swarm.transport.unregister(address)
+        self.swarm.nodes.clear()
+        self._loop.close()
+
+    def run(self, coroutine):
+        """Run one coroutine on the service's private loop."""
+        return self._loop.run_until_complete(coroutine)
+
+    def search(self, key: str, *, start: Address = 0) -> SearchResult:
+        outcome = self.run(self.swarm.search(start, key))
+        return _outcome_to_result(key, start, outcome)
+
+    def update(
+        self,
+        key: str,
+        holder: Address,
+        *,
+        start: Address = 0,
+        version: int = 0,
+        value=None,
+        recbreadth: int | None = None,
+    ) -> UpdateResult:
+        if recbreadth is None:
+            recbreadth = self._grid.update_config.recbreadth
+        self._grid.pgrid.peer(holder).store.store_item(DataItem(key=key, value=value))
+        ref = DataRef(key=key, holder=holder, version=version)
+        return self.run(self.swarm.update(start, ref, recbreadth=recbreadth))

@@ -6,7 +6,11 @@ Subcommands
     Construct a P-Grid and print the construction report; optionally save a
     JSON snapshot.
 ``search``
-    Load a snapshot and run one search (optionally under churn).
+    Load a snapshot and run one search (optionally under churn), via any
+    of the three drivers (``--driver engine|node|async``).
+``swarm``
+    Build a grid, run every peer as an asyncio task and drive a mixed
+    query/update workload against it (the 1k-node smoke gate).
 ``analyze``
     Run the §4 sizing planner for a workload.
 ``info``
@@ -121,10 +125,12 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--start", type=int, default=0)
     search.add_argument("--p-online", type=float, default=1.0)
     search.add_argument("--seed", type=int, default=0)
-    search.add_argument("--driver", choices=("engine", "node"), default="engine",
-                        help="execution path: in-process engine or the "
+    search.add_argument("--driver", choices=("engine", "node", "async"),
+                        default="engine",
+                        help="execution path: in-process engine, the "
                              "message-driven node over the simulated "
-                             "transport (same protocol machines)")
+                             "transport, or the asyncio mailbox runtime "
+                             "(same protocol machines either way)")
     search.add_argument("--trace", action="store_true",
                         help="dump the hop-level trace of the search "
                              "(engine driver only)")
@@ -149,6 +155,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="corrupt one routing ref on this fraction of peers")
     faults.add_argument("--fault-seed", type=int, default=None,
                         help="seed for fault decisions (default: --seed)")
+
+    swarm = sub.add_parser(
+        "swarm",
+        help="build a grid and drive a mixed workload on the asyncio runtime",
+    )
+    swarm.add_argument("--peers", type=int, default=1000)
+    swarm.add_argument("--maxl", type=int, default=6)
+    swarm.add_argument("--refmax", type=int, default=2)
+    swarm.add_argument("--recmax", type=int, default=2)
+    swarm.add_argument("--fanout", type=int, default=2,
+                       help="case-4 recursion fan-out bound (0 = unbounded)")
+    swarm.add_argument("--items-per-peer", type=int, default=1)
+    swarm.add_argument("--operations", type=int, default=2000)
+    swarm.add_argument("--update-fraction", type=float, default=0.1)
+    swarm.add_argument("--concurrency", type=int, default=64,
+                       help="operations in flight at once")
+    swarm.add_argument("--mailbox-size", type=int, default=64,
+                       help="bound of each node's mailbox (backpressure)")
+    swarm.add_argument("--seed", type=int, default=0)
+    swarm.add_argument("--time-budget", type=float, default=0.0,
+                       help="fail (exit 1) if the workload takes longer "
+                            "than this many wall seconds (0 = no budget)")
+    swarm.add_argument("--min-found-rate", type=float, default=1.0,
+                       help="fail (exit 1) if fewer searches find their "
+                            "key (fraction, default 1.0)")
+    swarm.add_argument("--json", type=str, default=None,
+                       help="write the swarm report to this JSON file")
 
     analyze = sub.add_parser("analyze", help="run the §4 sizing planner")
     analyze.add_argument("--d-global", type=int, default=10**7)
@@ -376,13 +409,30 @@ def _cmd_search(args: argparse.Namespace) -> int:
         from repro.faults import RefHealer
 
         healer = RefHealer(grid, evict_after=args.evict_after)
-    if args.driver == "node":
-        from repro.net.node import attach_nodes
-        from repro.net.transport import LocalTransport
+    if args.driver in ("node", "async"):
+        if args.driver == "async":
+            import asyncio
 
-        transport = LocalTransport(grid)
-        nodes = attach_nodes(grid, transport, retry=retry, healer=healer)
-        outcome = nodes[args.start].search(args.key)
+            from repro.aio import AsyncTransport, attach_async_nodes
+
+            transport = AsyncTransport(grid)
+            nodes = attach_async_nodes(grid, transport, retry=retry, healer=healer)
+
+            async def _run_search():
+                await transport.start()
+                try:
+                    return await nodes[args.start].search(args.key)
+                finally:
+                    await transport.stop()
+
+            outcome = asyncio.run(_run_search())
+        else:
+            from repro.net.node import attach_nodes
+            from repro.net.transport import LocalTransport
+
+            transport = LocalTransport(grid)
+            nodes = attach_nodes(grid, transport, retry=retry, healer=healer)
+            outcome = nodes[args.start].search(args.key)
         print(
             f"found={outcome.found} responder={outcome.responder} "
             f"messages={outcome.messages_sent} "
@@ -503,6 +553,86 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_swarm(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as jsonmod
+
+    from repro.aio import AsyncSwarm, seed_items
+    from repro.api import Grid
+
+    grid = Grid.build(
+        args.peers,
+        maxl=args.maxl,
+        refmax=args.refmax,
+        recmax=args.recmax,
+        fanout=args.fanout if args.fanout > 0 else None,
+        seed=args.seed,
+    )
+    report = grid.report
+    print(
+        f"grid: {args.peers} peers, converged={report.converged} "
+        f"avg_depth={report.average_depth:.3f} exchanges={report.exchanges}"
+    )
+    keys = seed_items(grid.pgrid, items_per_peer=args.items_per_peer, seed=args.seed)
+    print(f"seeded {len(keys)} distinct keys")
+
+    async def _run():
+        async with AsyncSwarm(grid.pgrid, mailbox_size=args.mailbox_size) as swarm:
+            return await swarm.run_workload(
+                operations=args.operations,
+                keys=keys,
+                update_fraction=args.update_fraction,
+                concurrency=args.concurrency,
+                seed=args.seed,
+            )
+
+    swarm_report = asyncio.run(_run())
+    snapshot = swarm_report.snapshot()
+    print(
+        f"workload: {swarm_report.operations} ops "
+        f"({swarm_report.searches} searches / {swarm_report.updates} updates) "
+        f"in {swarm_report.wall_seconds:.2f}s "
+        f"({swarm_report.ops_per_second:.0f} ops/s)"
+    )
+    print(
+        f"results: found_rate={swarm_report.found_rate:.4f} "
+        f"update_failures={swarm_report.update_failures} "
+        f"messages={swarm_report.messages_delivered} "
+        f"offline_failures={swarm_report.offline_failures}"
+    )
+    print(
+        f"mailboxes: max_depth={swarm_report.max_mailbox_depth} "
+        f"mean_wait={swarm_report.mean_queue_wait * 1000:.2f}ms "
+        f"max_wait={swarm_report.max_queue_wait * 1000:.2f}ms"
+    )
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            jsonmod.dumps(snapshot, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {args.json}")
+    failed = False
+    for error in swarm_report.errors[:5]:
+        print(f"operation error: {error}", file=sys.stderr)
+        failed = True
+    if swarm_report.found_rate < args.min_found_rate:
+        print(
+            f"FAIL: found_rate {swarm_report.found_rate:.4f} < "
+            f"required {args.min_found_rate:.4f}",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.time_budget > 0 and swarm_report.wall_seconds > args.time_budget:
+        print(
+            f"FAIL: workload took {swarm_report.wall_seconds:.2f}s > "
+            f"budget {args.time_budget:.2f}s",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     plan = plan_grid(
         args.d_global,
@@ -617,6 +747,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "build": _cmd_build,
         "search": _cmd_search,
+        "swarm": _cmd_swarm,
         "analyze": _cmd_analyze,
         "info": _cmd_info,
         "scenario": _cmd_scenario,

@@ -71,6 +71,10 @@ class SnapshotFormatError(PGridError, ValueError):
     """A persisted grid snapshot could not be decoded."""
 
 
+class WireFormatError(PGridError, ValueError):
+    """A wire frame could not be decoded into a protocol message."""
+
+
 class TransportError(PGridError, RuntimeError):
     """A simulated transport failed to deliver a message."""
 

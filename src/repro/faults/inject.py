@@ -129,6 +129,21 @@ class FaultInjector:
         one of the *source's* routing references (a stale ref the sender
         will trip over later).
         """
+        self.precheck(message)
+        reply = self.transport.send(message)
+        self.postcheck(message)
+        return reply
+
+    def precheck(self, message) -> None:
+        """Pre-delivery fault gate for one message (crash, then drop coin).
+
+        Shared by :meth:`send` and the async transport
+        (:class:`repro.aio.transport.AsyncTransport`), so a fault plan
+        behaves identically — same derived streams, same draw order —
+        whichever substrate delivers the message.  Raises
+        :class:`PeerOfflineError` / :class:`~repro.errors.TransportError`
+        exactly as :meth:`send` would.
+        """
         plan = self.plan
         if self._contact_crashed(message.destination):
             self.fault_stats.crashed_contacts += 1
@@ -151,10 +166,19 @@ class FaultInjector:
                 f"message {message.message_id} to {message.destination} "
                 "dropped by fault plan"
             )
-        reply = self.transport.send(message)
+
+    def postcheck(self, message) -> float:
+        """Post-delivery faults; returns the latency injected (if any).
+
+        The latency is already accrued on the transport's simulated clock;
+        the async transport additionally awaits it on its event-loop clock.
+        """
+        plan = self.plan
+        latency = 0.0
         if plan.extra_latency:
             self.transport.stats.simulated_time += plan.extra_latency
             self.fault_stats.injected_latency += plan.extra_latency
+            latency = plan.extra_latency
         if plan.crash_probability and self._crash_rng.random() < plan.crash_probability:
             self.crash(message.destination, downtime=plan.crash_downtime)
         if (
@@ -162,7 +186,7 @@ class FaultInjector:
             and self._stale_rng.random() < plan.stale_ref_probability
         ):
             self._inject_stale_ref(message.source)
-        return reply
+        return latency
 
     def try_send(self, message):
         """Like :meth:`send` but returns ``None`` on any failure."""
@@ -182,16 +206,39 @@ class FaultInjector:
 
     def crash(self, address: Address, *, downtime: int | None = None) -> None:
         """Take *address* down for *downtime* contact attempts (0/None = until
-        :meth:`restart`)."""
+        :meth:`restart`).
+
+        Raises :class:`~repro.errors.InvalidConfigError` if *address* is
+        not a peer of the grid: a fault plan naming a nonexistent peer is
+        a configuration bug, and silently no-opping it would let a typo'd
+        plan report a fault-free run as resilience (same audit stance as
+        the lossy-but-unseeded transport check).
+        """
+        self._require_peer(address, "crash")
         if address in self._crashed:
             return
         self._crashed[address] = downtime if downtime else None
         self.fault_stats.crashes += 1
 
     def restart(self, address: Address) -> None:
-        """Bring *address* back up."""
+        """Bring *address* back up (no-op if it was not crashed).
+
+        Like :meth:`crash`, an *address* outside the grid raises
+        :class:`~repro.errors.InvalidConfigError` instead of silently
+        doing nothing.
+        """
+        self._require_peer(address, "restart")
         if self._crashed.pop(address, _MISSING) is not _MISSING:
             self.fault_stats.restarts += 1
+
+    def _require_peer(self, address: Address, action: str) -> None:
+        if not self.grid.has_peer(address):
+            from repro.errors import InvalidConfigError
+
+            raise InvalidConfigError(
+                f"fault plan cannot {action} peer {address!r}: "
+                "no such peer in the grid"
+            )
 
     def crash_random(self, fraction: float, *, downtime: int | None = None) -> list[Address]:
         """Crash a seeded random *fraction* of registered peers; returns them.

@@ -20,6 +20,7 @@ from repro.net.transport import (
     TrafficStats,
     UniformLatency,
 )
+from repro.net.wire import decode_message, encode_message, frame_message
 
 __all__ = [
     "ConstantLatency",
@@ -33,6 +34,9 @@ __all__ = [
     "attach_nodes",
     "breadth_message",
     "breadth_response",
+    "decode_message",
+    "encode_message",
+    "frame_message",
     "ping",
     "pong",
     "propagate_ack",

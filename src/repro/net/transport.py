@@ -138,7 +138,18 @@ class LocalTransport:
         self.stats = TrafficStats()
 
     def register(self, address: Address, handler: Handler) -> None:
-        """Attach the message handler for *address* (one per peer)."""
+        """Attach the message handler for *address* (one per peer).
+
+        *address* must name a peer of the grid: a handler for a
+        nonexistent peer can never be reached by the protocol (routing
+        only targets grid references), so registering one is a
+        configuration error, not a useful state.
+        """
+        if not self.grid.has_peer(address):
+            raise InvalidConfigError(
+                f"cannot register a handler for {address!r}: "
+                "no such peer in the grid"
+            )
         if address in self._handlers:
             raise TransportError(f"handler already registered for {address}")
         self._handlers[address] = handler

@@ -1,0 +1,154 @@
+"""Wire framing of protocol messages: length-prefixed JSON codec.
+
+The in-process transports pass :class:`~repro.net.message.Message`
+objects by reference; a multi-process swarm (``repro.aio.tcp``) needs
+them as bytes.  This module is that boundary: :func:`encode_message` /
+:func:`decode_message` must round-trip every message kind
+**bit-identically** — ``decode(encode(m)) == m`` field for field,
+payload for payload — which the property tests in
+``tests/net/test_wire.py`` assert for the whole kind vocabulary.
+
+JSON is the obvious substrate but has one sharp edge for this protocol:
+object keys must be strings, while ``BREADTH_RESPONSE`` /
+``RANGE_RESPONSE`` payloads carry ``entries`` dicts keyed by *integer*
+peer addresses.  Naive ``json.dumps`` would silently stringify those
+keys and break equality (and every consumer doing ``entries[address]``
+lookups).  Any dict with a non-string key is therefore encoded as a
+tagged pair list ``{"__imap__": [[key, value], ...]}`` — JSON preserves
+scalar types inside arrays — and restored verbatim on decode.  A
+string-keyed dict that happens to contain the reserved ``"__imap__"``
+key takes the tagged form too, so the encoding is unambiguous.
+
+Frames on a stream are ``4-byte big-endian length || UTF-8 JSON body``
+(:func:`frame_message`, :func:`read_message`, :func:`write_message`),
+with a hard size cap so a corrupt length prefix cannot ask the reader
+to buffer gigabytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from repro.errors import WireFormatError
+from repro.net.message import Message, MessageKind
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
+    "decode_message",
+    "encode_message",
+    "frame_message",
+    "read_message",
+    "write_message",
+]
+
+#: Bumped on any incompatible change to the frame layout.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame's body; larger length prefixes are rejected.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Tag for dicts whose keys JSON objects cannot represent (int addresses).
+_IMAP = "__imap__"
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and _IMAP not in value:
+            return {key: _encode_value(item) for key, item in value.items()}
+        return {_IMAP: [[key, _encode_value(item)] for key, item in value.items()]}
+    if isinstance(value, list):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {_IMAP}:
+            return {key: _decode_value(item) for key, item in value[_IMAP]}
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize one message to its canonical wire body (no frame header)."""
+    document = {
+        "v": WIRE_VERSION,
+        "kind": message.kind.value,
+        "source": message.source,
+        "destination": message.destination,
+        "payload": _encode_value(message.payload),
+        "message_id": message.message_id,
+        "in_reply_to": message.in_reply_to,
+    }
+    return json.dumps(document, separators=(",", ":"), ensure_ascii=True).encode("ascii")
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse one wire body back into a :class:`Message` (bit-identical)."""
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"undecodable wire body: {exc}") from exc
+    if not isinstance(document, dict):
+        raise WireFormatError(f"wire body is not an object: {document!r}")
+    version = document.get("v")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version!r} (this build speaks {WIRE_VERSION})"
+        )
+    try:
+        return Message(
+            kind=MessageKind(document["kind"]),
+            source=document["source"],
+            destination=document["destination"],
+            payload=_decode_value(document["payload"]),
+            message_id=document["message_id"],
+            in_reply_to=document["in_reply_to"],
+        )
+    except (KeyError, ValueError) as exc:
+        raise WireFormatError(f"malformed wire body: {exc}") from exc
+
+
+def frame_message(message: Message) -> bytes:
+    """One stream frame: big-endian length prefix plus the encoded body."""
+    body = encode_message(message)
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"message {message.message_id} encodes to {len(body)} bytes "
+            f"(frame cap {MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+async def read_message(reader: asyncio.StreamReader) -> Message | None:
+    """Read one framed message off *reader*; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireFormatError("stream truncated inside a frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame announces {length} bytes (cap {MAX_FRAME_BYTES})"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireFormatError("stream truncated inside a frame body") from exc
+    return decode_message(body)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: Message) -> None:
+    """Write one framed message to *writer* and drain its buffer."""
+    writer.write(frame_message(message))
+    await writer.drain()

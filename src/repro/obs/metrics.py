@@ -290,6 +290,9 @@ METRIC_NAMES: tuple[str, ...] = (
     "transport.delivered.{kind}",
     "transport.dropped",
     "transport.offline_failures",
+    "mailbox.enqueued",
+    "mailbox.depth",                 # histogram: queue depth at enqueue
+    "mailbox.wait",                  # histogram: queue latency (wall seconds)
 )
 
 
@@ -417,3 +420,15 @@ class MetricsProbe(Probe):
             registry.counter("transport.dropped").inc()
         elif status == "offline":
             registry.counter("transport.offline_failures").inc()
+
+    # -- async runtime (per-node mailboxes) ----------------------------------------
+
+    def on_mailbox(
+        self, event: str, address: Address, *, depth: int, wait: float = 0.0
+    ) -> None:
+        registry = self.registry
+        if event == "enqueue":
+            registry.counter("mailbox.enqueued").inc()
+            registry.histogram("mailbox.depth").observe(depth)
+        elif event == "dequeue":
+            registry.histogram("mailbox.wait").observe(wait)

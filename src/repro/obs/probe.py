@@ -147,6 +147,21 @@ class Probe:
         """A transport-level send: *status* is ``delivered``, ``dropped``
         or ``offline``; *kind* is the message kind's wire name."""
 
+    # -- async runtime (per-node mailboxes) -----------------------------------
+
+    def on_mailbox(
+        self, event: str, address: Address, *, depth: int, wait: float = 0.0
+    ) -> None:
+        """A mailbox event on the async transport.
+
+        *event* is ``enqueue`` (a message entered *address*'s mailbox;
+        *depth* is the queue depth right after the put) or ``dequeue``
+        (the node's worker picked a message up; *depth* is the depth
+        after the get and *wait* the message's queue latency in wall
+        seconds).  Depth growth and rising waits are the backpressure
+        signals of an overloaded node.
+        """
+
 
 class CompositeProbe(Probe):
     """Fans every hook out to an ordered sequence of probes."""
@@ -275,3 +290,9 @@ class CompositeProbe(Probe):
     ) -> None:
         for probe in self.probes:
             probe.on_transport(kind, source, target, status)
+
+    def on_mailbox(
+        self, event: str, address: Address, *, depth: int, wait: float = 0.0
+    ) -> None:
+        for probe in self.probes:
+            probe.on_mailbox(event, address, depth=depth, wait=wait)

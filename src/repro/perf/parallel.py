@@ -17,12 +17,28 @@ for every ``jobs`` value, which the property tests assert end-to-end.
 
 Results are always returned in submission order (never completion order),
 so downstream table assembly and metrics merging are order-stable too.
+
+Pool amortization
+-----------------
+Worker processes are *expensive to start* (a fresh interpreter plus the
+repro import graph per worker) and the experiment harness calls
+:func:`run_trials` once per sweep point — dozens of small batches.
+Paying the spawn cost inside every call made small parallel sweeps
+*slower* than serial (the BENCH_search.json 0.74x regression).  The
+executor is therefore process-global and reused across calls: the first
+parallel call creates it, later calls with the same-or-smaller worker
+count reuse it for free, and a larger request swaps in a bigger pool.
+:func:`warm_pool` lets harnesses pre-spawn workers outside their timed
+region; :func:`shutdown_pool` (registered via :mod:`atexit`) reclaims
+the processes.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -34,6 +50,8 @@ __all__ = [
     "parallel_starmap",
     "resolve_jobs",
     "run_trials",
+    "shutdown_pool",
+    "warm_pool",
 ]
 
 
@@ -64,6 +82,58 @@ def _invoke(payload: tuple[Callable[..., Any], dict[str, Any]]) -> Any:
     return fn(**kwargs)
 
 
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-global executor, grown (never shrunk) on demand.
+
+    A request needing more workers than the current pool has replaces
+    it; a smaller request reuses the existing pool — its extra workers
+    idle at zero cost, while respawning them per call is what caused the
+    parallel-slower-than-serial regression.
+    """
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+        atexit.unregister(shutdown_pool)
+        atexit.register(shutdown_pool)
+    return _pool
+
+
+def warm_pool(jobs: int | None) -> int:
+    """Pre-spawn the shared pool's workers; returns the worker count.
+
+    Harnesses call this before their timed region so measured speedups
+    reflect steady-state throughput, not interpreter start-up.  The
+    round-trip of one tiny task per worker forces every process to
+    actually spawn and finish importing.
+    """
+    workers = resolve_jobs(jobs)
+    if workers <= 1:
+        return workers
+    pool = _shared_pool(workers)
+    list(pool.map(_noop, range(workers)))
+    return workers
+
+
+def _noop(_: int) -> None:
+    return None
+
+
+def shutdown_pool() -> None:
+    """Dispose of the shared executor (idempotent; re-created on demand)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
 def run_trials(
     fn: Callable[..., Any],
     specs: Sequence[TrialSpec],
@@ -74,15 +144,21 @@ def run_trials(
 
     ``jobs <= 1`` runs serially in-process (no executor, no pickling).
     ``fn`` must be a module-level callable and every ``kwargs`` value must
-    be picklable when ``jobs > 1``.
+    be picklable when ``jobs > 1``.  Parallel calls share one
+    process-global executor across invocations (see module docstring).
     """
     jobs = resolve_jobs(jobs)
     payloads = [(fn, spec.kwargs) for spec in specs]
     if jobs <= 1 or len(payloads) <= 1:
         return [_invoke(payload) for payload in payloads]
     workers = min(jobs, len(payloads))
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(_invoke, payloads))
+    try:
+        return list(_shared_pool(workers).map(_invoke, payloads))
+    except BrokenProcessPool:
+        # A dead worker poisons the whole executor; drop it so the next
+        # call starts from a fresh pool instead of failing forever.
+        shutdown_pool()
+        raise
 
 
 def parallel_starmap(

@@ -21,6 +21,7 @@ line mapping and ``docs/API.md`` for driver contracts.
 """
 
 from repro.protocol.contact import Budget, Context, StepStats, contact_step
+from repro.protocol.driver import drive, drive_async
 from repro.protocol.effects import (
     BUDDY_PING,
     GONE,
@@ -85,6 +86,9 @@ __all__ = [
     "fanout_step",
     "exchange_step",
     "buddy_forward_step",
+    # driver contract
+    "drive",
+    "drive_async",
     # orchestration
     "key_in_range",
     "run_range",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.protocol.contact import Budget, Context, StepStats
+from repro.protocol.driver import drive as _drive
 from repro.protocol.effects import (
     GONE,
     OFFLINE,
@@ -39,17 +40,6 @@ from repro.protocol.search import Traversal, breadth_step, dfs_step
 from repro.protocol.update import buddy_forward_step
 
 __all__ = ["run_dfs", "run_breadth", "run_exchange", "run_buddies"]
-
-
-def _drive(gen, execute):
-    """Run one machine to completion, answering effects via *execute*."""
-    response = None
-    while True:
-        try:
-            effect = gen.send(response)
-        except StopIteration as stop:
-            return stop.value
-        response = execute(effect)
 
 
 def _contact_status(grid, target):

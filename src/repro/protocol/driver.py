@@ -1,0 +1,68 @@
+"""The driver contract: how an I/O layer executes a protocol machine.
+
+A *driver* runs one sans-I/O machine — a generator yielding
+:mod:`repro.protocol.effects` — to completion, answering every effect
+from its substrate and sending the outcome back in.  Three drivers ship
+with this repository, all running the very same machines:
+
+* the **direct driver** (:mod:`repro.protocol.direct`): answers effects
+  synchronously from an in-process :class:`repro.core.grid.PGrid`;
+* the **message driver** (:class:`repro.net.node.PGridNode`): maps
+  effects onto :mod:`repro.net.message` kinds over a synchronous
+  transport;
+* the **async driver** (:class:`repro.aio.node.AsyncPGridNode`):
+  executes each effect as an *awaitable* — one
+  :meth:`repro.aio.transport.AsyncTransport.request` per
+  :class:`~repro.protocol.effects.Contact`, retry backoff awaited on
+  the event-loop clock.
+
+The contract is identical in all three: ``execute(effect)`` must return
+(or resolve to) exactly the value the machine expects for that effect
+kind — a :class:`~repro.protocol.effects.ContactStatus` for ``Contact``,
+the remote step's outcome for ``Resolve``, the sorted buddy list for
+``FetchBuddies``, ``None`` for ``Record`` / ``Deliver``.  Machines never
+observe *how* an effect was executed, which is what makes the
+engine ≡ node ≡ async equivalence suite possible: on twin grids the
+three drivers consume the grid RNG bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Awaitable, Callable, Generator
+
+__all__ = ["drive", "drive_async"]
+
+#: A protocol machine: yields effects, receives their outcomes, returns
+#: the operation result via ``StopIteration.value``.
+Machine = Generator[Any, Any, Any]
+
+
+def drive(gen: Machine, execute: Callable[[Any], Any]) -> Any:
+    """Run *gen* to completion, answering effects via *execute*."""
+    response = None
+    while True:
+        try:
+            effect = gen.send(response)
+        except StopIteration as stop:
+            return stop.value
+        response = execute(effect)
+
+
+async def drive_async(
+    gen: Machine, execute: Callable[[Any], Awaitable[Any]]
+) -> Any:
+    """Awaitable twin of :func:`drive`: each effect's execution is awaited.
+
+    The machine itself stays a synchronous generator (all protocol
+    randomness happens inside it, in deterministic order); only the
+    *execution* of its effects suspends.  While one machine awaits a
+    contact, the event loop is free to run other machines — concurrency
+    lives entirely in the driver, never in the protocol.
+    """
+    response = None
+    while True:
+        try:
+            effect = gen.send(response)
+        except StopIteration as stop:
+            return stop.value
+        response = await execute(effect)

@@ -133,7 +133,19 @@ class TestCrashes:
         injector.crash(1)
         injector.crash(1)
         assert injector.fault_stats.crashes == 1
-        injector.restart(9)  # never crashed — no restart counted
+        injector.restart(2)  # a real peer that never crashed — free no-op
+        assert injector.fault_stats.restarts == 0
+
+    def test_crash_unknown_peer_rejected(self):
+        _, _, injector = make_injector(n_peers=4)
+        with pytest.raises(InvalidConfigError, match="no such peer"):
+            injector.crash(9)
+        assert injector.fault_stats.crashes == 0
+
+    def test_restart_unknown_peer_rejected(self):
+        _, _, injector = make_injector(n_peers=4)
+        with pytest.raises(InvalidConfigError, match="no such peer"):
+            injector.restart(9)
         assert injector.fault_stats.restarts == 0
 
     def test_crash_random_is_seed_deterministic(self):

@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.config import PGridConfig
 from repro.core.grid import PGrid
-from repro.errors import PeerOfflineError, TransportError
+from repro.errors import InvalidConfigError, PeerOfflineError, TransportError
 from repro.net.message import MessageKind, ping, pong
 from repro.net.transport import (
     ConstantLatency,
@@ -37,6 +37,11 @@ class TestRegistration:
         transport.register(1, pong)
         with pytest.raises(TransportError):
             transport.register(1, pong)
+
+    def test_register_unknown_address_rejected(self):
+        _, transport = make_transport(n_peers=2)
+        with pytest.raises(InvalidConfigError, match="no such peer"):
+            transport.register(9, pong)
 
     def test_unregister(self):
         _, transport = make_transport()

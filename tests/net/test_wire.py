@@ -1,0 +1,371 @@
+"""Property tests for the wire codec (`repro.net.wire`).
+
+The contract under test: every message kind the protocol can emit
+survives ``decode(encode(m))`` **bit-identically** — same kind, same
+addresses, same ids, and a payload that compares equal value-for-value
+(including ``entries`` dicts keyed by *integer* addresses, the case a
+naive JSON codec silently corrupts).  Framing must round-trip through a
+real ``asyncio`` stream, and malformed input must fail loudly with
+:class:`~repro.errors.WireFormatError`, never with corrupted messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.net import message as msg
+from repro.net import wire
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=2**16)
+binary_keys = st.text(alphabet="01", min_size=0, max_size=12)
+levels = st.integers(min_value=0, max_value=12)
+budgets = st.integers(min_value=0, max_value=10_000)
+delays = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+refs = st.lists(
+    st.fixed_dictionaries(
+        {
+            "key": binary_keys,
+            "holder": addresses,
+            "version": st.integers(min_value=0, max_value=100),
+            "deleted": st.booleans(),
+        }
+    ),
+    max_size=4,
+)
+
+entries = st.dictionaries(addresses, refs, max_size=4)
+
+seen_lists = st.lists(addresses, max_size=8)
+
+
+@st.composite
+def query_messages(draw):
+    return msg.query_message(
+        draw(addresses),
+        draw(addresses),
+        draw(binary_keys),
+        draw(levels),
+        budget=draw(st.none() | budgets),
+        retry_spent=draw(delays),
+    )
+
+
+@st.composite
+def query_responses(draw):
+    request = draw(query_messages())
+    return msg.query_response(
+        request,
+        found=draw(st.booleans()),
+        responder=draw(st.none() | addresses),
+        refs=draw(refs),
+        messages=draw(budgets),
+        failed=draw(budgets),
+        retry_delay=draw(delays),
+        budget=draw(st.none() | budgets),
+    )
+
+
+@st.composite
+def breadth_messages(draw, collect=st.none() | binary_keys):
+    return msg.breadth_message(
+        draw(addresses),
+        draw(addresses),
+        query=draw(binary_keys),
+        level=draw(levels),
+        recbreadth=draw(st.integers(1, 8)),
+        enumerate_subtree=draw(st.booleans()),
+        seen=draw(seen_lists),
+        budget=draw(budgets),
+        retry_spent=draw(delays),
+        collect=draw(collect),
+    )
+
+
+@st.composite
+def breadth_responses(draw):
+    request = draw(breadth_messages())
+    return msg.breadth_response(
+        request,
+        responders=draw(seen_lists),
+        seen=draw(seen_lists),
+        messages=draw(budgets),
+        failed=draw(budgets),
+        retry_delay=draw(delays),
+        budget=draw(budgets),
+        entries=draw(st.none() | entries),
+    )
+
+
+@st.composite
+def update_messages(draw):
+    return msg.update_message(
+        draw(addresses),
+        draw(addresses),
+        draw(binary_keys),
+        draw(addresses),
+        draw(st.integers(0, 100)),
+    )
+
+
+@st.composite
+def propagate_messages(draw):
+    return msg.propagate_message(
+        draw(addresses),
+        draw(addresses),
+        key=draw(binary_keys),
+        holder=draw(addresses),
+        version=draw(st.integers(0, 100)),
+        deleted=draw(st.booleans()),
+        query=draw(binary_keys),
+        level=draw(levels),
+        recbreadth=draw(st.integers(1, 8)),
+        seen=draw(st.none() | seen_lists),
+        budget=draw(st.none() | budgets),
+        retry_spent=draw(delays),
+    )
+
+
+@st.composite
+def propagate_acks(draw):
+    request = draw(propagate_messages())
+    return msg.propagate_ack(
+        request,
+        draw(seen_lists),
+        seen=draw(st.none() | seen_lists),
+        messages=draw(budgets),
+        failed=draw(budgets),
+        retry_delay=draw(delays),
+        budget=draw(st.none() | budgets),
+    )
+
+
+@st.composite
+def pings(draw):
+    return msg.ping(draw(addresses), draw(addresses))
+
+
+@st.composite
+def pongs(draw):
+    return msg.pong(draw(pings()))
+
+
+#: One strategy per protocol message kind the constructors can emit
+#: (EXCHANGE and UPDATE_ACK have no constructor; covered by raw_messages).
+any_message = st.one_of(
+    query_messages(),
+    query_responses(),
+    breadth_messages(),
+    breadth_messages(collect=binary_keys),  # force RANGE_QUERY
+    breadth_responses(),
+    update_messages(),
+    propagate_messages(),
+    propagate_acks(),
+    pings(),
+    pongs(),
+)
+
+json_scalars = st.none() | st.booleans() | st.integers(-(2**31), 2**31) | binary_keys
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6) | addresses, children, max_size=3),
+    max_leaves=12,
+)
+
+
+@st.composite
+def raw_messages(draw):
+    """Arbitrary kind x arbitrary JSON-ish payload, including int-keyed
+    dicts at any nesting depth and the reserved ``__imap__`` key."""
+    return msg.Message(
+        kind=draw(st.sampled_from(list(msg.MessageKind))),
+        source=draw(addresses),
+        destination=draw(addresses),
+        payload=draw(
+            st.dictionaries(st.text(max_size=8) | st.just(wire._IMAP), json_values, max_size=4)
+        ),
+        message_id=draw(st.integers(1, 2**31)),
+        in_reply_to=draw(st.none() | st.integers(1, 2**31)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# round-trip properties
+# ---------------------------------------------------------------------------
+
+
+def assert_identical(original: msg.Message, restored: msg.Message) -> None:
+    assert restored.kind is original.kind
+    assert restored.source == original.source
+    assert restored.destination == original.destination
+    assert restored.message_id == original.message_id
+    assert restored.in_reply_to == original.in_reply_to
+    assert restored.payload == original.payload
+    # equality must also hold key-*type* wise: walk dicts and compare key sets
+    _assert_same_key_types(original.payload, restored.payload)
+
+
+def _assert_same_key_types(a, b):
+    if isinstance(a, dict):
+        assert isinstance(b, dict)
+        assert sorted(map(repr, a)) == sorted(map(repr, b))
+        for key in a:
+            _assert_same_key_types(a[key], b[key])
+    elif isinstance(a, list):
+        assert isinstance(b, list)
+        for left, right in zip(a, b):
+            _assert_same_key_types(left, right)
+
+
+@settings(max_examples=200, deadline=None)
+@given(any_message)
+def test_every_message_kind_round_trips(message):
+    assert_identical(message, wire.decode_message(wire.encode_message(message)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(raw_messages())
+def test_arbitrary_payloads_round_trip(message):
+    assert_identical(message, wire.decode_message(wire.encode_message(message)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(any_message)
+def test_encoding_is_deterministic(message):
+    assert wire.encode_message(message) == wire.encode_message(message)
+
+
+def test_int_keyed_entries_keep_int_keys():
+    request = msg.breadth_message(
+        1, 2, query="01", level=1, recbreadth=2, seen=[1], budget=9
+    )
+    response = msg.breadth_response(
+        request,
+        responders=[3],
+        seen=[1, 3],
+        messages=2,
+        failed=0,
+        retry_delay=0.0,
+        budget=7,
+        entries={3: [{"key": "011", "holder": 3, "version": 0, "deleted": False}]},
+    )
+    restored = wire.decode_message(wire.encode_message(response))
+    assert list(restored.payload["entries"]) == [3]  # int, not "3"
+    assert restored.payload["entries"][3] == response.payload["entries"][3]
+
+
+def test_reserved_imap_key_round_trips():
+    message = msg.Message(
+        kind=msg.MessageKind.PING,
+        source=0,
+        destination=1,
+        payload={wire._IMAP: "collision"},
+        message_id=7,
+    )
+    restored = wire.decode_message(wire.encode_message(message))
+    assert restored.payload == {wire._IMAP: "collision"}
+
+
+# ---------------------------------------------------------------------------
+# stream framing
+# ---------------------------------------------------------------------------
+
+
+def _read_all(data: bytes):
+    """Run ``read_message`` over *data* inside a fresh event loop.
+
+    The reader must be constructed inside the running loop — stream
+    primitives bind to the loop current at creation time.
+    """
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        restored = []
+        while (m := await wire.read_message(reader)) is not None:
+            restored.append(m)
+        return restored
+
+    return asyncio.run(run())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(any_message, min_size=1, max_size=5))
+def test_framed_stream_round_trips(messages):
+    restored = _read_all(b"".join(wire.frame_message(m) for m in messages))
+    assert len(restored) == len(messages)
+    for original, decoded in zip(messages, restored):
+        assert_identical(original, decoded)
+
+
+def test_read_message_clean_eof_returns_none():
+    assert _read_all(b"") == []
+
+
+def test_read_message_truncated_header_raises():
+    with pytest.raises(WireFormatError, match="frame header"):
+        _read_all(b"\x00\x00")
+
+
+def test_read_message_truncated_body_raises():
+    frame = wire.frame_message(msg.ping(0, 1))
+    with pytest.raises(WireFormatError, match="frame body"):
+        _read_all(frame[:-3])
+
+
+def test_read_message_oversized_frame_rejected():
+    header = struct.pack(">I", wire.MAX_FRAME_BYTES + 1)
+    with pytest.raises(WireFormatError, match="cap"):
+        _read_all(header)
+
+
+# ---------------------------------------------------------------------------
+# malformed input
+# ---------------------------------------------------------------------------
+
+
+def test_decode_rejects_bad_json():
+    with pytest.raises(WireFormatError, match="undecodable"):
+        wire.decode_message(b"{not json")
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(WireFormatError, match="not an object"):
+        wire.decode_message(b"[1,2,3]")
+
+
+def test_decode_rejects_wrong_version():
+    body = wire.encode_message(msg.ping(0, 1))
+    doc = json.loads(body)
+    doc["v"] = wire.WIRE_VERSION + 1
+    with pytest.raises(WireFormatError, match="version"):
+        wire.decode_message(json.dumps(doc).encode())
+
+
+def test_decode_rejects_unknown_kind():
+    body = wire.encode_message(msg.ping(0, 1))
+    doc = json.loads(body)
+    doc["kind"] = "teleport"
+    with pytest.raises(WireFormatError, match="malformed"):
+        wire.decode_message(json.dumps(doc).encode())
+
+
+def test_decode_rejects_missing_field():
+    body = wire.encode_message(msg.ping(0, 1))
+    doc = json.loads(body)
+    del doc["payload"]
+    with pytest.raises(WireFormatError, match="malformed"):
+        wire.decode_message(json.dumps(doc).encode())

@@ -16,12 +16,14 @@ from repro.core.config import PGridConfig
 from repro.experiments import table1_construction_scaling, table3_recmax
 from repro.experiments.common import run_experiment_points, run_scenario_trials
 from repro.obs.metrics import MetricsRegistry
+from repro.perf import parallel
 from repro.perf.parallel import (
     TrialSpec,
     merge_registries,
     parallel_starmap,
     resolve_jobs,
     run_trials,
+    warm_pool,
 )
 from repro.sim import rng as rngmod
 from repro.sim.scenario import ScenarioSpec
@@ -150,3 +152,63 @@ class TestScenarioTrialsBitIdentical:
     def test_trials_validated(self, spec):
         with pytest.raises(ValueError):
             run_scenario_trials(spec, 0)
+
+
+class TestSharedPool:
+    """The executor is process-global: calls reuse it instead of paying
+    worker spawn per sweep point (the BENCH_search 0.74x regression)."""
+
+    def setup_method(self):
+        parallel.shutdown_pool()
+
+    def teardown_method(self):
+        parallel.shutdown_pool()
+
+    def test_pool_reused_across_calls(self):
+        specs = [TrialSpec(kwargs={"value": v}) for v in range(4)]
+        run_trials(_square, specs, jobs=2)
+        first = parallel._pool
+        assert first is not None
+        run_trials(_square, specs, jobs=2)
+        assert parallel._pool is first
+
+    def test_pool_grows_but_never_shrinks(self):
+        specs = [TrialSpec(kwargs={"value": v}) for v in range(4)]
+        run_trials(_square, specs, jobs=2)
+        small = parallel._pool
+        run_trials(_square, specs, jobs=3)
+        grown = parallel._pool
+        assert grown is not small
+        assert parallel._pool_workers == 3
+        # a smaller request reuses the bigger pool
+        run_trials(_square, specs, jobs=2)
+        assert parallel._pool is grown
+
+    def test_warm_pool_prespawns_workers(self):
+        assert parallel._pool is None
+        assert warm_pool(2) == 2
+        assert parallel._pool is not None
+        assert parallel._pool_workers == 2
+        # the warmed pool is the one run_trials picks up
+        pool = parallel._pool
+        specs = [TrialSpec(kwargs={"value": v}) for v in range(4)]
+        assert run_trials(_square, specs, jobs=2) == [0, 1, 4, 9]
+        assert parallel._pool is pool
+
+    def test_warm_pool_serial_is_noop(self):
+        assert warm_pool(1) == 1
+        assert parallel._pool is None
+
+    def test_shutdown_is_idempotent(self):
+        parallel.shutdown_pool()
+        parallel.shutdown_pool()
+        assert parallel._pool is None
+
+    def test_results_identical_through_shared_pool(self):
+        specs = [TrialSpec(kwargs={"seed": s}) for s in range(6)]
+        serial = run_trials(_seeded_draw, specs, jobs=1)
+        # two parallel batches over the same pool instance
+        first = run_trials(_seeded_draw, specs, jobs=2)
+        second = run_trials(_seeded_draw, specs, jobs=2)
+        assert first == serial
+        assert second == serial
