@@ -44,13 +44,21 @@ bench-quick:
 	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Perf gate: a fresh micro-bench run's hot-path speedup ratios must stay
-# within 10% of the committed smoke-scale baseline (ratios, not raw
+# within 10% of the committed smoke-scale baseline, and the construction
+# engine ratios (array/batch vs object) within 35% (ratios, not raw
 # timings, so the gate is machine-independent).
 bench-regression:
 	$(PYTHON) benchmarks/harness.py --scale smoke --out-dir benchmarks/results/fresh
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline benchmarks/baselines/BENCH_micro_smoke.json \
-		--fresh benchmarks/results/fresh/BENCH_micro.json
+		--fresh benchmarks/results/fresh/BENCH_micro.json \
+		--fresh-construction benchmarks/results/fresh/BENCH_construction.json
+
+# Array-core scale point: gridless batched construction at the smoke
+# scale's 20k peers (fig4 scale runs 100k), reporting throughput, the
+# replica distribution and the memory footprint.
+bench-array:
+	$(PYTHON) benchmarks/bench_array_smoke.py --scale $(SCALE)
 
 # Parallel-speedup gate over the committed BENCH_search.json: jobs=2
 # sweeps must beat serial on multi-core machines and stay bit-identical

@@ -1,0 +1,90 @@
+"""Array-core scale gate: gridless batch construction with a wall budget.
+
+Runs only the large construction point of ``benchmarks/harness.py``
+(smoke: 20k peers, fig4: 100k peers) so CI can exercise the 100k-peer
+claim without paying for the full harness.  Exits non-zero if the run
+fails to converge or blows the wall-clock budget.
+
+Usage (what ``make bench-array`` runs)::
+
+    python benchmarks/bench_array_smoke.py [--scale smoke|fig4]
+        [--out-dir DIR] [--budget-seconds S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from harness import SCALES, _write, bench_large_construction  # noqa: E402
+
+from repro.fast import HAVE_NUMPY  # noqa: E402
+
+#: Default wall budgets, sized ~10x the measured time on a busy 1-CPU
+#: runner so the gate catches order-of-magnitude regressions, not noise.
+DEFAULT_BUDGETS = {"smoke": 120.0, "fig4": 900.0}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument(
+        "--out-dir", type=Path, default=_ROOT,
+        help="directory for BENCH_array_smoke.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="fail if the construction takes longer (default per scale)",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+    budget = (
+        args.budget_seconds
+        if args.budget_seconds is not None
+        else DEFAULT_BUDGETS[scale.name]
+    )
+
+    if not HAVE_NUMPY:
+        # The batch engine is numpy-only by design; without it this gate
+        # has nothing to measure (the strict kernel is covered by
+        # bench-regression).
+        print("[bench-array] SKIP: numpy not available")
+        return 0
+
+    print(
+        f"[bench-array] scale={scale.name}: N={scale.large_peers} "
+        f"maxl={scale.large_maxl} refmax={scale.refmax} "
+        f"(budget {budget:.0f}s)"
+    )
+    results = bench_large_construction(scale)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    path = _write(args.out_dir, "array_smoke", scale, results)
+    print(
+        f"[bench-array] converged={results['converged']} "
+        f"exchanges={results['exchanges']:,} in {results['seconds']:.1f}s "
+        f"({results['exchanges_per_second']:,.0f} exch/s, "
+        f"{results['bytes_per_peer']:.0f} B/peer, "
+        f"peak RSS {results['peak_rss_bytes'] / 1e6:,.0f} MB)"
+    )
+    print(f"[bench-array] wrote {path}")
+    if not results["converged"]:
+        print("[bench-array] FAIL: construction did not converge", file=sys.stderr)
+        return 1
+    if results["seconds"] > budget:
+        print(
+            f"[bench-array] FAIL: {results['seconds']:.1f}s exceeded the "
+            f"{budget:.0f}s budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("[bench-array] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Hot-path perf regression gate over ``BENCH_micro.json``.
+"""Perf regression gate over ``BENCH_micro.json`` / ``BENCH_construction.json``.
 
 The micro benchmark (``benchmarks/harness.py``) times each keyspace
 hot-path twice — a straightforward reference implementation ("baseline")
@@ -8,21 +8,30 @@ both sides run in the same process on the same hardware, so comparing
 the committed baseline's ratios against a fresh run's is meaningful on
 any CI runner, unlike raw ns/op numbers.
 
-This script fails (exit 1) if any hot-path's fresh speedup has dropped
-more than ``--tolerance`` (default 10%) below the committed baseline's,
-i.e. someone slowed the fast path back down relative to the reference.
+The construction benchmark records the same kind of same-run ratios for
+the construction engines: incremental vs. naive depth tracking, the
+strict array kernel vs. the object core, and the vectorized batch engine
+vs. the object core.  Passing ``--fresh-construction`` gates those too
+(with a wider tolerance — the two sides are separate timed runs, not
+interleaved best-of-N loops, so they wear more scheduler noise).
 
-The committed gate baseline lives at
-``benchmarks/baselines/BENCH_micro_smoke.json`` (smoke scale, so CI can
-regenerate the comparison in seconds; scales must match — key lengths,
-and thus the fast paths' advantage, depend on the grid sizing).
+This script fails (exit 1) if any gated ratio has dropped more than the
+applicable tolerance below the committed baseline's, i.e. someone slowed
+a fast path back down relative to its reference.
+
+The committed gate baselines live at
+``benchmarks/baselines/BENCH_micro_smoke.json`` and
+``benchmarks/baselines/BENCH_construction_smoke.json`` (smoke scale, so
+CI can regenerate the comparison in seconds; scales must match — the
+fast paths' advantage depends on the grid sizing).
 
 Usage (what ``make bench-regression`` runs)::
 
     python benchmarks/harness.py --scale smoke --out-dir benchmarks/results/fresh
     python benchmarks/check_regression.py \
         --baseline benchmarks/baselines/BENCH_micro_smoke.json \
-        --fresh benchmarks/results/fresh/BENCH_micro.json
+        --fresh benchmarks/results/fresh/BENCH_micro.json \
+        --fresh-construction benchmarks/results/fresh/BENCH_construction.json
 """
 
 from __future__ import annotations
@@ -46,6 +55,25 @@ def load_speedups(path: Path) -> tuple[str, dict[str, float]]:
     return payload["scale"], {
         name: row["speedup"] for name, row in payload["results"].items()
     }
+
+
+def load_construction_ratios(path: Path) -> tuple[str, dict[str, float]]:
+    """Same-run engine speedup ratios from a ``BENCH_construction.json``."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("benchmark") != "construction":
+        raise SystemExit(f"{path}: not a construction benchmark file")
+    results = payload["results"]
+    ratios: dict[str, float] = {}
+    depth = results.get("depth_tracking", {})
+    if depth.get("speedup") is not None:
+        ratios["depth_tracking"] = depth["speedup"]
+    array = results.get("full_construction_array", {})
+    if array.get("speedup_vs_object") is not None:
+        ratios["array_strict_vs_object"] = array["speedup_vs_object"]
+    batch = results.get("full_construction_batch", {})
+    if batch.get("speedup_vs_object") is not None:
+        ratios["batch_vs_object"] = batch["speedup_vs_object"]
+    return payload["scale"], ratios
 
 
 def check(
@@ -87,6 +115,23 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=0.10,
         help="allowed fractional speedup drop per hot-path (default 0.10)",
     )
+    parser.add_argument(
+        "--baseline-construction", type=Path,
+        default=_ROOT / "benchmarks" / "baselines"
+        / "BENCH_construction_smoke.json",
+        help="committed construction benchmark gate baseline",
+    )
+    parser.add_argument(
+        "--fresh-construction", type=Path, default=None,
+        help="BENCH_construction.json from a fresh run "
+             "(omit to gate micro hot-paths only)",
+    )
+    parser.add_argument(
+        "--construction-tolerance", type=float, default=0.35,
+        help="allowed fractional drop per construction ratio (default 0.35; "
+             "wider than --tolerance because the two sides are separately "
+             "timed full runs)",
+    )
     args = parser.parse_args(argv)
 
     baseline_scale, baseline = load_speedups(args.baseline)
@@ -107,11 +152,34 @@ def main(argv: list[str] | None = None) -> int:
         shown = f"{measured:.2f}x" if measured is not None else "missing"
         print(f"[bench-regression] {name}: {committed:.2f}x -> {shown} ({gate})")
 
+    if args.fresh_construction is not None:
+        base_scale, base_ratios = load_construction_ratios(
+            args.baseline_construction
+        )
+        run_scale, run_ratios = load_construction_ratios(args.fresh_construction)
+        if base_scale != run_scale:
+            raise SystemExit(
+                f"construction scale mismatch: baseline is {base_scale!r}, "
+                f"fresh run is {run_scale!r}"
+            )
+        failures += check(base_ratios, run_ratios, args.construction_tolerance)
+        for name in sorted(base_ratios):
+            committed = base_ratios[name]
+            measured = run_ratios.get(name)
+            gate = (
+                "gated" if committed >= MIN_MEANINGFUL_SPEEDUP else "noise-floor"
+            )
+            shown = f"{measured:.2f}x" if measured is not None else "missing"
+            print(
+                f"[bench-regression] construction {name}: "
+                f"{committed:.2f}x -> {shown} ({gate})"
+            )
+
     if failures:
         for line in failures:
             print(f"[bench-regression] FAIL {line}", file=sys.stderr)
         return 1
-    print("[bench-regression] OK: no hot-path regressed beyond tolerance")
+    print("[bench-regression] OK: no gated ratio regressed beyond tolerance")
     return 0
 
 

@@ -52,6 +52,13 @@ from repro.perf.parallel import warm_pool  # noqa: E402
 from repro.experiments.table1_construction_scaling import (  # noqa: E402
     construction_cost,
 )
+from repro.fast import (  # noqa: E402
+    HAVE_NUMPY,
+    ArrayGrid,
+    ArrayGridBuilder,
+    grid_memory_report,
+    peak_rss_bytes,
+)
 from repro.sim import rng as rngmod  # noqa: E402
 from repro.sim.builder import GridBuilder  # noqa: E402
 
@@ -71,6 +78,8 @@ class BenchScale:
     micro_repeats: int
     trial_points: int        # parallel-vs-serial experiment points
     trial_peers: int
+    large_peers: int = 0     # gridless batch construction point (0 = skip)
+    large_maxl: int = 0
     seed: int = 20020101
 
     @property
@@ -97,6 +106,8 @@ SCALES = {
         micro_repeats=200_000,
         trial_points=4,
         trial_peers=300,
+        large_peers=100_000,
+        large_maxl=12,
     ),
     # CI smoke: every phase in seconds.
     "smoke": BenchScale(
@@ -111,6 +122,8 @@ SCALES = {
         micro_repeats=20_000,
         trial_points=2,
         trial_peers=150,
+        large_peers=20_000,
+        large_maxl=10,
     ),
 }
 
@@ -281,7 +294,117 @@ def bench_construction(scale: BenchScale) -> tuple[dict, PGrid]:
             "exchanges_per_second": report.exchanges / full_s if full_s else None,
         },
     }
+
+    # Strict array kernel, twin-seeded: must replay the object run
+    # bit-for-bit, so its speedup is apples-to-apples by construction.
+    arr_pgrid = PGrid(scale.config, rng=rngmod.derive(scale.seed, "construction"))
+    arr_pgrid.add_peers(scale.n_peers)
+    agrid = ArrayGrid.from_pgrid(arr_pgrid)
+    start = time.perf_counter()
+    arr_report = ArrayGridBuilder(agrid).build(
+        threshold_fraction=0.985, max_exchanges=10_000_000
+    )
+    arr_s = time.perf_counter() - start
+    assert arr_report.stats == report.stats, (
+        "strict array kernel diverged from the object core — bit-identity broken"
+    )
+    results["full_construction_array"] = {
+        "engine": "array-strict",
+        "accelerated_rng": HAVE_NUMPY,
+        "bit_identical_to_object": True,
+        "exchanges": arr_report.exchanges,
+        "seconds": arr_s,
+        "exchanges_per_second": arr_report.exchanges / arr_s if arr_s else None,
+        "speedup_vs_object": full_s / arr_s if arr_s else None,
+    }
+
+    # Vectorized batch engine: deterministic, statistically equivalent,
+    # not bit-identical (different meeting interleaving + numpy RNG).
+    if HAVE_NUMPY:
+        from repro.fast import BatchGridBuilder
+
+        batch_pgrid = PGrid(
+            scale.config, rng=rngmod.derive(scale.seed, "construction")
+        )
+        batch_pgrid.add_peers(scale.n_peers)
+        batch_agrid = ArrayGrid.from_pgrid(batch_pgrid)
+        builder = BatchGridBuilder(
+            batch_agrid, seed=rngmod.derive_seed(scale.seed, "construction-batch")
+        )
+        start = time.perf_counter()
+        batch_report = builder.build(
+            threshold_fraction=0.985, max_exchanges=10_000_000
+        )
+        batch_s = time.perf_counter() - start
+        results["full_construction_batch"] = {
+            "engine": "batch",
+            "converged": batch_report.converged,
+            "exchanges": batch_report.exchanges,
+            "meetings": batch_report.meetings,
+            "average_depth": batch_report.average_depth,
+            "seconds": batch_s,
+            "exchanges_per_second": (
+                batch_report.exchanges / batch_s if batch_s else None
+            ),
+            "speedup_vs_object": full_s / batch_s if batch_s else None,
+        }
+        results["memory"] = grid_memory_report(pgrid=grid, agrid=batch_agrid)
+    else:
+        results["full_construction_batch"] = {"skipped": "numpy not available"}
+        results["memory"] = grid_memory_report(pgrid=grid)
     return results, grid
+
+
+def bench_large_construction(scale: BenchScale) -> dict:
+    """The headline scale point: gridless batch construction at 100k+ peers.
+
+    Runs entirely on numpy state (no Python object per peer), reporting
+    wall-clock, throughput, the Fig. 4 replica distribution at scale, and
+    the memory footprint.
+    """
+    if not scale.large_peers:
+        return {"skipped": "no large point at this scale"}
+    if not HAVE_NUMPY:
+        return {"skipped": "numpy not available"}
+    from repro.fast import BatchGridBuilder
+
+    config = PGridConfig(
+        maxl=scale.large_maxl,
+        refmax=scale.refmax,
+        recmax=scale.recmax,
+        recursion_fanout=scale.recursion_fanout,
+    )
+    builder = BatchGridBuilder(
+        n=scale.large_peers,
+        config=config,
+        seed=rngmod.derive_seed(scale.seed, "large-construction"),
+    )
+    start = time.perf_counter()
+    report = builder.build(threshold_fraction=0.985, max_exchanges=100_000_000)
+    elapsed = time.perf_counter() - start
+    sizes = builder.replication_sizes()
+    state_bytes = builder.memory_bytes()
+    return {
+        "engine": "batch-gridless",
+        "n_peers": scale.large_peers,
+        "maxl": scale.large_maxl,
+        "refmax": scale.refmax,
+        "converged": report.converged,
+        "exchanges": report.exchanges,
+        "meetings": report.meetings,
+        "exchanges_per_peer": report.exchanges_per_peer,
+        "average_depth": report.average_depth,
+        "seconds": elapsed,
+        "exchanges_per_second": report.exchanges / elapsed if elapsed else None,
+        "mean_replication": float(sizes.mean()),
+        "max_replication": int(sizes.max()),
+        "replication_histogram": {
+            str(k): v for k, v in sorted(builder.replication_histogram().items())
+        },
+        "state_bytes": state_bytes,
+        "bytes_per_peer": round(state_bytes / scale.large_peers, 1),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
 
 
 def bench_search(scale: BenchScale, grid: PGrid) -> dict:
@@ -401,6 +524,27 @@ def main(argv: list[str] | None = None) -> int:
         f"[bench] full construction: {full['exchanges']} exchanges in "
         f"{full['seconds']:.2f}s (converged={full['converged']})"
     )
+    arr = construction["full_construction_array"]
+    print(
+        f"[bench] array strict: {arr['seconds']:.2f}s "
+        f"({arr['speedup_vs_object']:.2f}x object, bit-identical)"
+    )
+    batch = construction["full_construction_batch"]
+    if "skipped" not in batch:
+        print(
+            f"[bench] batch engine: {batch['exchanges']} exchanges in "
+            f"{batch['seconds']:.2f}s ({batch['speedup_vs_object']:.1f}x object, "
+            f"{batch['exchanges_per_second']:,.0f} exch/s)"
+        )
+    large = bench_large_construction(scale)
+    construction["large_construction"] = large
+    if "skipped" not in large:
+        print(
+            f"[bench] large construction: N={large['n_peers']} "
+            f"maxl={large['maxl']} converged={large['converged']} in "
+            f"{large['seconds']:.1f}s ({large['exchanges_per_second']:,.0f} exch/s, "
+            f"{large['bytes_per_peer']:.0f} B/peer)"
+        )
     path = _write(args.out_dir, "construction", scale, construction)
     print(f"[bench] wrote {path}")
 

@@ -53,7 +53,7 @@ from repro.errors import InvalidConfigError
 from repro.net.node import NodeSearchOutcome, PGridNode, attach_nodes
 from repro.net.transport import LocalTransport
 from repro.obs.probe import Probe
-from repro.sim.builder import ConstructionReport, GridBuilder
+from repro.sim.builder import ConstructionReport, construct_grid
 
 __all__ = ["Grid", "DRIVERS"]
 
@@ -118,6 +118,7 @@ class Grid:
         seed: int = 0,
         threshold: float = 0.99,
         max_exchanges: int | None = 2_000_000,
+        core: str = "object",
         config: PGridConfig | None = None,
         probe: Probe | None = None,
         retry=None,
@@ -130,7 +131,11 @@ class Grid:
         ``maxl``/``refmax``/``recmax``/``fanout`` are the paper's free
         parameters (ignored when an explicit ``config`` is given);
         ``seed`` makes the whole grid — construction and every later
-        protocol decision — reproducible.
+        protocol decision — reproducible.  ``core`` selects the
+        construction engine: ``"object"`` (reference), ``"array"``
+        (flat-array kernel, bit-identical to the object core) or
+        ``"batch"`` (vectorized rounds, deterministic but not
+        bit-identical; requires numpy).
         """
         if config is None:
             config = PGridConfig(
@@ -138,8 +143,11 @@ class Grid:
             )
         pgrid = PGrid(config, rng=random.Random(seed))
         pgrid.add_peers(peers)
-        report = GridBuilder(pgrid).build(
-            threshold_fraction=threshold, max_exchanges=max_exchanges
+        report = construct_grid(
+            pgrid,
+            engine=core,
+            threshold_fraction=threshold,
+            max_exchanges=max_exchanges,
         )
         return cls(
             pgrid,

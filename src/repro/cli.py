@@ -58,7 +58,7 @@ from repro.experiments import (
 from repro.experiments.common import ExperimentResult, run_scenario_trials
 from repro.perf.parallel import parallel_starmap
 from repro.sim import rng as rngmod
-from repro.sim.builder import GridBuilder
+from repro.sim.builder import GridBuilder, construct_grid
 from repro.sim.churn import BernoulliChurn
 from repro.sim.persistence import load_grid, save_grid
 
@@ -74,6 +74,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "resilience": resilience.run,
     "table6": table6_tradeoff.run,
     "discussion_scaling": scaling_comparison.run,
+    "construction_scale": scaling_comparison.run_construction_scale,
     "analysis_example": analysis_example.run,
     "ablation_case4_refs": ablations.run_case4_refs,
     "ablation_online_prob": ablations.run_online_prob,
@@ -108,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--threshold", type=float, default=0.99,
                        help="convergence threshold as a fraction of maxl")
     build.add_argument("--max-exchanges", type=int, default=5_000_000)
+    build.add_argument("--core", choices=("object", "array", "batch"),
+                       default="object",
+                       help="construction engine: object (reference), array "
+                            "(flat-array kernel, bit-identical) or batch "
+                            "(vectorized rounds, needs numpy)")
     build.add_argument("--snapshot", type=str, default=None,
                        help="write the constructed grid to this JSON file")
     build.add_argument("--trace", action="store_true",
@@ -274,6 +280,7 @@ def _build_trial(
     threshold: float,
     max_exchanges: int,
     seed: int,
+    core: str = "object",
 ) -> dict[str, Any]:
     """One full construction (module-level so --jobs can pickle it)."""
     config = PGridConfig(
@@ -284,8 +291,8 @@ def _build_trial(
     )
     grid = PGrid(config, rng=random.Random(seed))
     grid.add_peers(peers)
-    report = GridBuilder(grid).build(
-        threshold_fraction=threshold, max_exchanges=max_exchanges
+    report = construct_grid(
+        grid, engine=core, threshold_fraction=threshold, max_exchanges=max_exchanges
     )
     return {
         "seed": seed,
@@ -319,6 +326,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 "threshold": args.threshold,
                 "max_exchanges": args.max_exchanges,
                 "seed": rngmod.derive_seed(args.seed, f"build-trial-{index}"),
+                "core": args.core,
             }
             for index in range(args.trials)
         ]
@@ -348,16 +356,26 @@ def _cmd_build(args: argparse.Namespace) -> int:
     grid = PGrid(config, rng=random.Random(args.seed))
     grid.add_peers(args.peers)
     trace = None
-    engine = None
     if args.trace:
+        if args.core != "object":
+            print("--trace needs the object core (per-exchange probes)",
+                  file=sys.stderr)
+            return 2
         from repro.core.exchange import ExchangeEngine
         from repro.obs import TraceRecorder
 
         trace = TraceRecorder(limit=100_000)
         engine = ExchangeEngine(grid, probe=trace)
-    report = GridBuilder(grid, engine=engine).build(
-        threshold_fraction=args.threshold, max_exchanges=args.max_exchanges
-    )
+        report = GridBuilder(grid, engine=engine).build(
+            threshold_fraction=args.threshold, max_exchanges=args.max_exchanges
+        )
+    else:
+        report = construct_grid(
+            grid,
+            engine=args.core,
+            threshold_fraction=args.threshold,
+            max_exchanges=args.max_exchanges,
+        )
     print(
         f"converged={report.converged} exchanges={report.exchanges} "
         f"meetings={report.meetings} avg_depth={report.average_depth:.3f} "
@@ -488,6 +506,36 @@ def _print_trace_summary(trace) -> int:
     return 0
 
 
+def _print_memory_footprint(config: PGridConfig, n_peers: int, seed: int) -> None:
+    """Print peak RSS and per-peer bytes for both grid cores.
+
+    Resident memory, not CPU, is what bounds large-population simulation
+    (ROADMAP item 2), so ``pgrid stats`` measures a representative
+    converged grid at the scenario's population in both representations:
+    the object core (peers, routing lists, path strings) and the flat
+    array core the same state bridges into.
+    """
+    from repro.fast import ArrayGrid
+    from repro.fast.mem import grid_memory_report
+
+    grid = PGrid(config, rng=rngmod.derive(seed, "stats-memory"))
+    grid.add_peers(n_peers)
+    GridBuilder(grid).build(max_exchanges=500 * n_peers, raise_on_budget=False)
+    report = grid_memory_report(pgrid=grid, agrid=ArrayGrid.from_pgrid(grid))
+    print()
+    peak = report.get("peak_rss_bytes")
+    peak_text = f"{peak / 1e6:,.0f} MB" if peak is not None else "unknown"
+    print(f"memory: peak RSS {peak_text} (process, high-water mark)")
+    for label, key in (("object core", "object_core"), ("array core", "array_core")):
+        core = report.get(key)
+        if core:
+            print(
+                f"  {label}: {core['bytes_per_peer']:,.0f} B/peer "
+                f"({core['bytes_total'] / 1e6:.1f} MB for "
+                f"{core['peers']:,} peers)"
+            )
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import MetricsProbe
     from repro.report.tables import render_table
@@ -544,6 +592,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"read_success={metrics.read_success_rate:.4f} "
             f"update_coverage={metrics.update_coverage_mean:.4f}"
         )
+    _print_memory_footprint(spec.config, args.peers, args.seed)
     if args.json:
         path = registry.write_json(args.json)
         print(f"metrics snapshot written to {path}")

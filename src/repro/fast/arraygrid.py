@@ -1,0 +1,381 @@
+"""Flat integer grid state and the object-core bridge.
+
+The whole grid lives in a handful of contiguous Python lists (numpy is
+deliberately *not* used for the mutable hot state — boxing every element
+access costs more than list indexing for the branchy exchange logic; it
+is used for bulk RNG generation and the read-only CSR snapshots):
+
+``path_bits[i]`` / ``path_len[i]``
+    Peer *i*'s path as a packed MSB-first integer plus its bit length
+    (``path "011"`` → ``bits 0b011, len 3``).
+``refs`` / ``ref_len``
+    All routing tables in one buffer.  The slot for peer *i*, level
+    ``l`` (1-based) starts at ``(i*maxl + l - 1) * refmax`` and holds
+    ``ref_len[i*maxl + l - 1]`` peer indices, insertion-ordered exactly
+    like :class:`repro.core.routing.RoutingTable` (reference order feeds
+    future RNG draws, so it must survive the bridge bit-for-bit).
+``table_depth[i]``
+    Number of *materialized* levels — distinguishes "level exists but is
+    empty" from "level never touched", which ``RoutingTable.to_lists()``
+    round-trips observably.
+``buddies``
+    Sparse ``{peer index: set of peer indices}`` — replica/buddy sets
+    only exist once paths complete, so a dense array would waste the
+    whole construction phase.  :meth:`ArrayGrid.buddies_csr` exports the
+    CSR (offsets + values) form for analytics.
+``store_refs`` / ``store_items`` / ``store_counts``
+    Sparse leaf-index sidecars keyed by packed ``(bits, length)`` keys.
+    Pure construction runs carry no data, so every store operation
+    short-circuits on the empty dict.
+
+Addresses: internally everything is a dense index ``0..n-1`` into the
+sorted address list; :meth:`from_pgrid` / :meth:`to_pgrid` translate at
+the boundary.  RNG draws operate on positions, so the translation cannot
+perturb the draw stream.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from collections import Counter
+from typing import TYPE_CHECKING, Any
+
+from repro.core.config import PGridConfig
+from repro.core.grid import AlwaysOnline
+from repro.core.routing import RoutingTable
+from repro.core.storage import DataItem, DataRef, DataStore
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.grid import PGrid
+
+__all__ = ["ArrayGrid"]
+
+Address = int
+
+
+def _pack_key(key: str) -> tuple[int, int]:
+    """Binary-string key → ``(packed bits, length)``."""
+    return (int(key, 2) if key else 0, len(key))
+
+
+def _unpack_key(bits: int, length: int) -> str:
+    """``(packed bits, length)`` → binary-string key."""
+    return format(bits, f"0{length}b") if length else ""
+
+
+class ArrayGrid:
+    """The grid as flat integer state (see module docstring for layout)."""
+
+    __slots__ = (
+        "config",
+        "rng",
+        "online_oracle",
+        "n",
+        "maxl",
+        "refmax",
+        "addresses",
+        "addr_index",
+        "path_bits",
+        "path_len",
+        "refs",
+        "ref_len",
+        "table_depth",
+        "buddies",
+        "store_refs",
+        "store_items",
+        "store_counts",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        config: PGridConfig | None = None,
+        *,
+        rng: random.Random | None = None,
+        addresses: list[Address] | None = None,
+        online_oracle: Any = None,
+    ) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        config = config or PGridConfig()
+        if addresses is None:
+            addresses = list(range(n))
+        elif len(addresses) != n:
+            raise ValueError(f"{len(addresses)} addresses for {n} peers")
+        self.config = config
+        self.rng = rng or random.Random()
+        self.online_oracle = online_oracle or AlwaysOnline()
+        self.n = n
+        self.maxl = config.maxl
+        self.refmax = config.refmax
+        self.addresses = addresses
+        self.addr_index = {address: i for i, address in enumerate(addresses)}
+        self.path_bits = [0] * n
+        self.path_len = [0] * n
+        self.refs = [0] * (n * config.maxl * config.refmax)
+        self.ref_len = [0] * (n * config.maxl)
+        self.table_depth = [0] * n
+        self.buddies: dict[int, set[int]] = {}
+        self.store_refs: dict[int, dict[tuple[int, int], dict[Address, tuple[int, bool]]]] = {}
+        self.store_items: dict[int, list[DataItem]] = {}
+        self.store_counts = [0] * n
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- bridge: object core -> arrays --------------------------------------------
+
+    @classmethod
+    def from_pgrid(cls, grid: "PGrid") -> "ArrayGrid":
+        """Snapshot *grid* into flat state (shares its config and RNG).
+
+        Raises :class:`ValueError` on dangling routing references or
+        buddies — repair membership first; the array core models a fixed
+        population.
+        """
+        addresses = grid.addresses()
+        agrid = cls(
+            len(addresses),
+            grid.config,
+            rng=grid.rng,
+            addresses=addresses,
+            online_oracle=grid.online_oracle,
+        )
+        index = agrid.addr_index
+        maxl = agrid.maxl
+        refmax = agrid.refmax
+        refs = agrid.refs
+        ref_len = agrid.ref_len
+        for i, address in enumerate(addresses):
+            peer = grid.peer(address)
+            path = peer.path
+            agrid.path_bits[i] = int(path, 2) if path else 0
+            agrid.path_len[i] = len(path)
+            levels = peer.routing.to_lists()
+            if len(levels) > maxl:
+                raise ValueError(
+                    f"peer {address}: routing depth {len(levels)} exceeds maxl={maxl}"
+                )
+            agrid.table_depth[i] = len(levels)
+            for level0, level_refs in enumerate(levels):
+                base = (i * maxl + level0) * refmax
+                for j, ref_address in enumerate(level_refs):
+                    try:
+                        refs[base + j] = index[ref_address]
+                    except KeyError:
+                        raise ValueError(
+                            f"peer {address}: dangling routing ref {ref_address} "
+                            f"at level {level0 + 1}; repair before array construction"
+                        ) from None
+                ref_len[i * maxl + level0] = len(level_refs)
+            if peer.buddies:
+                try:
+                    agrid.buddies[i] = {index[b] for b in peer.buddies}
+                except KeyError as exc:
+                    raise ValueError(
+                        f"peer {address}: dangling buddy {exc.args[0]}"
+                    ) from None
+            entries: dict[tuple[int, int], dict[Address, tuple[int, bool]]] = {}
+            count = 0
+            for ref in peer.store.iter_refs():
+                holders = entries.setdefault(_pack_key(ref.key), {})
+                holders[ref.holder] = (ref.version, ref.deleted)
+                count += 1
+            if entries:
+                agrid.store_refs[i] = entries
+                agrid.store_counts[i] = count
+            items = list(peer.store.iter_items())
+            if items:
+                agrid.store_items[i] = items
+        return agrid
+
+    # -- bridge: arrays -> object core --------------------------------------------
+
+    def write_back(self, grid: "PGrid") -> None:
+        """Copy the flat state back into *grid*'s peer objects, in place.
+
+        *grid* must hold exactly this grid's peer population.  Paths and
+        routing-reference order are restored bit-exactly (reference order
+        feeds future ``rng.sample`` draws); store entries are restored
+        content-exactly (the object store's internal dict order never
+        reaches results or RNG — every query output is sorted).
+        """
+        if grid.addresses() != self.addresses:
+            raise ValueError("peer populations differ; cannot write back")
+        addresses = self.addresses
+        maxl = self.maxl
+        refmax = self.refmax
+        refs = self.refs
+        ref_len = self.ref_len
+        for i, address in enumerate(addresses):
+            peer = grid.peer(address)
+            peer.set_path(_unpack_key(self.path_bits[i], self.path_len[i]))
+            table = RoutingTable(refmax)
+            for level0 in range(self.table_depth[i]):
+                count = ref_len[i * maxl + level0]
+                base = (i * maxl + level0) * refmax
+                table.set_refs(
+                    level0 + 1,
+                    [addresses[j] for j in refs[base : base + count]],
+                )
+            peer.routing = table
+            buddy_set = self.buddies.get(i)
+            if buddy_set:
+                peer.buddies.update(addresses[j] for j in buddy_set)
+            store = DataStore()
+            for item in self.store_items.get(i, ()):
+                store.store_item(item)
+            for (bits, length), holders in self.store_refs.get(i, {}).items():
+                key = _unpack_key(bits, length)
+                for holder, (version, deleted) in holders.items():
+                    store.add_ref(
+                        DataRef(key=key, holder=holder, version=version, deleted=deleted)
+                    )
+            peer.store = store
+
+    def to_pgrid(
+        self,
+        *,
+        rng: random.Random | None = None,
+        online_oracle: Any = None,
+    ) -> "PGrid":
+        """Materialize a fresh object-core :class:`PGrid` from the arrays.
+
+        By default the new grid *shares* this grid's ``random.Random`` (so
+        a search on the bridged grid consumes the same stream the object
+        core would); pass ``rng`` for an independent twin.
+        """
+        from repro.core.grid import PGrid
+
+        grid = PGrid(
+            self.config,
+            rng=rng if rng is not None else self.rng,
+            online_oracle=online_oracle or self.online_oracle,
+        )
+        for address in self.addresses:
+            grid.add_peer(address)
+        self.write_back(grid)
+        return grid
+
+    # -- paths ---------------------------------------------------------------------
+
+    def path_str(self, i: int) -> str:
+        """Peer *i*'s path as a binary string."""
+        return _unpack_key(self.path_bits[i], self.path_len[i])
+
+    # -- structural statistics (PGrid-equivalent, computed on the arrays) ----------
+
+    def average_path_length(self) -> float:
+        """The §5.1 convergence measure over the flat state."""
+        if not self.n:
+            return 0.0
+        return sum(self.path_len) / self.n
+
+    def path_length_histogram(self) -> Counter[int]:
+        """Number of peers per path length."""
+        return Counter(self.path_len)
+
+    def replica_groups(self) -> dict[str, list[Address]]:
+        """Map each held path to the sorted addresses holding it exactly."""
+        groups: dict[tuple[int, int], list[Address]] = {}
+        addresses = self.addresses
+        bits = self.path_bits
+        lens = self.path_len
+        for i in range(self.n):
+            groups.setdefault((bits[i], lens[i]), []).append(addresses[i])
+        return {_unpack_key(b, ln): addrs for (b, ln), addrs in groups.items()}
+
+    def replication_histogram(self) -> Counter[int]:
+        """Fig. 4's distribution, identical to ``PGrid.replication_histogram``."""
+        sizes: Counter[tuple[int, int]] = Counter(zip(self.path_bits, self.path_len))
+        return Counter(sizes[key] for key in zip(self.path_bits, self.path_len))
+
+    def average_replication(self) -> float:
+        """Mean replication factor over peers."""
+        if not self.n:
+            return 0.0
+        histogram = self.replication_histogram()
+        return sum(factor * count for factor, count in histogram.items()) / self.n
+
+    def total_routing_refs(self) -> int:
+        """Sum of routing references over all peers."""
+        return sum(self.ref_len)
+
+    # -- CSR snapshots ---------------------------------------------------------------
+
+    def routing_csr(self):
+        """Routing tables as CSR ``(offsets, values)`` over peer-level rows.
+
+        Row ``i*maxl + l - 1`` holds peer *i*'s level-``l`` references.
+        numpy arrays when available, plain lists otherwise.
+        """
+        offsets = [0] * (len(self.ref_len) + 1)
+        total = 0
+        for row, count in enumerate(self.ref_len):
+            total += count
+            offsets[row + 1] = total
+        values = [0] * total
+        refmax = self.refmax
+        out = 0
+        for row, count in enumerate(self.ref_len):
+            base = row * refmax
+            values[out : out + count] = self.refs[base : base + count]
+            out += count
+        if _np is not None:
+            return _np.asarray(offsets, dtype=_np.int64), _np.asarray(
+                values, dtype=_np.int64
+            )
+        return offsets, values
+
+    def buddies_csr(self):
+        """Buddy sets as CSR ``(offsets, values)`` with sorted rows."""
+        offsets = [0] * (self.n + 1)
+        values: list[int] = []
+        for i in range(self.n):
+            row = self.buddies.get(i)
+            if row:
+                values.extend(sorted(row))
+            offsets[i + 1] = len(values)
+        if _np is not None:
+            return _np.asarray(offsets, dtype=_np.int64), _np.asarray(
+                values, dtype=_np.int64
+            )
+        return offsets, values
+
+    # -- memory accounting -----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of the flat state (containers + boxes).
+
+        Python lists store pointers to boxed ints; the estimate charges
+        each occupied slot one box.  Upper bound — CPython interns small
+        ints and shares repeated references.
+        """
+        total = (
+            sys.getsizeof(self.path_bits)
+            + sys.getsizeof(self.path_len)
+            + sys.getsizeof(self.refs)
+            + sys.getsizeof(self.ref_len)
+            + sys.getsizeof(self.table_depth)
+            + sys.getsizeof(self.addresses)
+            + sys.getsizeof(self.addr_index)
+        )
+        box = 28  # sys.getsizeof(int) for one-digit ints
+        occupied = self.n * 4 + sum(self.ref_len) + len(self.addr_index)
+        total += box * occupied
+        for row in self.buddies.values():
+            total += sys.getsizeof(row) + box * len(row)
+        total += sys.getsizeof(self.buddies)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayGrid(N={self.n}, avg_depth={self.average_path_length():.2f}, "
+            f"config={self.config})"
+        )

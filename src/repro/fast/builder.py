@@ -1,0 +1,146 @@
+"""Construction driver for the array core.
+
+:class:`ArrayGridBuilder` is a control-flow twin of
+:class:`repro.sim.builder.GridBuilder`: the same validation, the same
+budget-check order, the same incremental average-depth formula (offset +
+case counters), the same trajectory sampling points and the same
+:class:`~repro.sim.builder.ConstructionReport` — so twin-seeded runs stop
+after the identical meeting and report identical numbers.
+
+Meetings run in *batched rounds* only in the RNG sense: pair draws and
+exchange draws are served from block-buffered MT19937 words
+(:mod:`repro.fast.rngbuf`), while the convergence check stays per-meeting
+because the stopping point is part of the bit-identical contract.  The
+uniform scheduler is inlined — ``sample(range(n), 2)`` consumes the same
+words as ``UniformMeetings``' ``rng.sample(addresses, 2)`` because sample
+draws positions, not values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotConvergedError
+from repro.fast.arraygrid import ArrayGrid
+from repro.fast.engine import ArrayExchangeEngine
+from repro.sim.builder import ConstructionReport, ConstructionSample
+
+__all__ = ["ArrayGridBuilder"]
+
+
+class ArrayGridBuilder:
+    """Runs uniform random meetings on an :class:`ArrayGrid` until convergence."""
+
+    def __init__(
+        self,
+        grid: ArrayGrid,
+        *,
+        engine: ArrayExchangeEngine | None = None,
+    ) -> None:
+        if grid.n < 2:
+            raise ValueError("construction needs at least two peers")
+        self.grid = grid
+        self.engine = engine or ArrayExchangeEngine(grid)
+        self._population = range(grid.n)
+        self._rebase_depth_offset()
+
+    def _rebase_depth_offset(self) -> None:
+        """Anchor the case counters to the current population (fixed here)."""
+        counters = self.engine._counters
+        self._depth_offset = sum(self.grid.path_len) - (
+            2 * counters[2] + counters[3] + counters[4]
+        )
+
+    def build(
+        self,
+        *,
+        threshold_fraction: float = 0.99,
+        max_meetings: int | None = None,
+        max_exchanges: int | None = None,
+        sample_every: int | None = None,
+        raise_on_budget: bool = False,
+    ) -> ConstructionReport:
+        """Run meetings until ``avg depth >= threshold_fraction * maxl``.
+
+        Same semantics (and bit-identical stopping point) as
+        :meth:`repro.sim.builder.GridBuilder.build`.  On return the grid's
+        ``random.Random`` has been synced past all consumed draws.
+        """
+        if not 0.0 < threshold_fraction <= 1.0:
+            raise ValueError(
+                f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
+            )
+        if max_meetings is not None and max_meetings < 0:
+            raise ValueError(f"max_meetings must be >= 0, got {max_meetings}")
+        if max_exchanges is not None and max_exchanges < 0:
+            raise ValueError(f"max_exchanges must be >= 0, got {max_exchanges}")
+        if sample_every is not None and sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+
+        grid = self.grid
+        n = grid.n
+        counters = self.engine._counters
+        exchange = self.engine._exchange
+        reader = self.engine.reader
+        if n > 21:
+            # Selection-set regime of CPython's sample: the specialized
+            # two-draw path consumes the identical words.
+            next_pair = reader.pair_below
+            pair_arg = n
+        else:
+            next_pair = reader.sample
+            pair_arg = None
+        population = self._population
+        offset = self._depth_offset
+        threshold = threshold_fraction * grid.config.maxl
+
+        trajectory: list[ConstructionSample] = []
+        meetings_run = 0
+        converged = (
+            offset + 2 * counters[2] + counters[3] + counters[4]
+        ) / n >= threshold
+
+        while not converged:
+            if max_meetings is not None and meetings_run >= max_meetings:
+                break
+            if max_exchanges is not None and counters[0] >= max_exchanges:
+                break
+            if pair_arg is not None:
+                first, second = next_pair(pair_arg)
+            else:
+                first, second = next_pair(population, 2)
+            counters[1] += 1
+            exchange(first, second, 0)
+            meetings_run += 1
+            current_depth = (
+                offset + 2 * counters[2] + counters[3] + counters[4]
+            ) / n
+            if sample_every is not None and meetings_run % sample_every == 0:
+                trajectory.append(
+                    ConstructionSample(
+                        meetings=meetings_run,
+                        exchanges=counters[0],
+                        average_depth=current_depth,
+                    )
+                )
+            converged = current_depth >= threshold
+
+        self.engine.sync_rng()
+        average_depth = sum(grid.path_len) / n
+        if not converged and raise_on_budget:
+            raise NotConvergedError(
+                f"construction stopped at average depth {average_depth:.3f} "
+                f"< threshold {threshold:.3f} after "
+                f"{counters[0]} exchanges",
+                exchanges=counters[0],
+                average_depth=average_depth,
+            )
+        return ConstructionReport(
+            converged=converged,
+            exchanges=counters[0],
+            meetings=counters[1],
+            average_depth=average_depth,
+            threshold=threshold,
+            exchanges_per_peer=counters[0] / n,
+            peer_count=n,
+            stats=self.engine.stats.snapshot(),
+            trajectory=trajectory,
+        )

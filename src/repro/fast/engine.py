@@ -1,0 +1,423 @@
+"""The Fig. 3 exchange kernel compiled over flat arrays.
+
+Semantically a line-by-line twin of
+:func:`repro.protocol.exchange.exchange_step` (and its driver
+:class:`repro.core.exchange.ExchangeEngine`), restated as direct integer
+operations:
+
+* common prefix via packed-int XOR + ``bit_length`` instead of string
+  scanning,
+* routing slots as in-place flat-buffer writes instead of list-copying
+  ``RoutingTable`` calls,
+* stats as a plain counter list instead of dataclass attribute bumps,
+* recursion as a direct self-call instead of the generator/trampoline
+  machinery,
+* RNG via :mod:`repro.fast.rngbuf`, which consumes the *exact* MT word
+  sequence ``random.Random`` would.
+
+Every RNG call site (``merge_refs`` re-sampling, case-4 fanout) fires
+under the same conditions and in the same order as the object core, so
+twin-seeded runs produce identical grids, counters and generator states
+(``tests/fast/test_equivalence.py`` enforces this).
+
+The closure style is deliberate: the kernel binds the grid's arrays and
+the config into local cell variables once, so the per-exchange cost is
+pure indexing with no attribute loads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import PGridConfig
+from repro.core.exchange import ExchangeStats
+from repro.core.grid import AlwaysOnline
+from repro.fast.arraygrid import ArrayGrid
+from repro.fast.rngbuf import reader_for
+
+__all__ = ["ArrayExchangeEngine"]
+
+# Counter slots (flushed into ExchangeStats by the ``stats`` property).
+_CALLS = 0
+_MEETINGS = 1
+_CASE1 = 2
+_CASE2 = 3
+_CASE3 = 4
+_CASE4 = 5
+_BUDDY = 6
+_HANDOVER = 7
+_LOST = 8
+
+
+class ArrayExchangeEngine:
+    """Executes the Fig. 3 protocol on an :class:`ArrayGrid`.
+
+    Bit-identical to ``ExchangeEngine`` on the same population and seed.
+    Probes are not supported — observed runs belong to the object core;
+    the array core is the unobserved hot path.
+    """
+
+    def __init__(
+        self,
+        grid: ArrayGrid,
+        *,
+        config: PGridConfig | None = None,
+        accelerate: bool | None = None,
+        rng_block: int | None = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config or grid.config
+        self._counters = [0] * 9
+        kwargs = {} if rng_block is None else {"block": rng_block}
+        self.reader = reader_for(grid.rng, accelerate=accelerate, **kwargs)
+        self._exchange = self._compile()
+
+    # -- public entry points -------------------------------------------------------
+
+    def meet(self, i1: int, i2: int) -> int:
+        """One meeting between peer indices *i1* and *i2*.
+
+        Returns the number of ``exchange`` calls triggered (1 plus any
+        case-4 recursion), like ``ExchangeEngine.meet``.
+        """
+        if i1 == i2:
+            raise ValueError("a peer cannot meet itself")
+        counters = self._counters
+        before = counters[_CALLS]
+        counters[_MEETINGS] += 1
+        self._exchange(i1, i2, 0)
+        return counters[_CALLS] - before
+
+    def run_batch(self, pairs) -> int:
+        """Execute a batch of meetings back-to-back; returns exchange calls.
+
+        The batched-round entry point: pair draws and convergence checks
+        happen outside, the kernel runs without leaving the loop.
+        """
+        counters = self._counters
+        exchange = self._exchange
+        before = counters[_CALLS]
+        for i1, i2 in pairs:
+            if i1 == i2:
+                raise ValueError("a peer cannot meet itself")
+            counters[_MEETINGS] += 1
+            exchange(i1, i2, 0)
+        return counters[_CALLS] - before
+
+    def sync_rng(self) -> None:
+        """Write the advanced MT state back into ``grid.rng``."""
+        self.reader.sync()
+
+    @property
+    def stats(self) -> ExchangeStats:
+        """Counters as an :class:`ExchangeStats` (fresh snapshot object)."""
+        c = self._counters
+        return ExchangeStats(
+            calls=c[_CALLS],
+            meetings=c[_MEETINGS],
+            case1_splits=c[_CASE1],
+            case2_specializations=c[_CASE2],
+            case3_specializations=c[_CASE3],
+            case4_recursions=c[_CASE4],
+            buddy_links=c[_BUDDY],
+            ref_handover_entries=c[_HANDOVER],
+            ref_handover_lost=c[_LOST],
+        )
+
+    # -- kernel compilation --------------------------------------------------------
+
+    def _compile(self) -> Callable[[int, int, int], None]:
+        grid = self.grid
+        config = self.config
+        pb = grid.path_bits
+        pl = grid.path_len
+        refs = grid.refs
+        rl = grid.ref_len
+        td = grid.table_depth
+        buddies = grid.buddies
+        store_refs = grid.store_refs
+        sc = grid.store_counts
+        ml = config.maxl
+        rm = config.refmax
+        recmax = config.recmax
+        fanout = config.recursion_fanout
+        mutual = config.mutual_refs_in_case4
+        all_levels = config.exchange_refs_all_levels
+        smin = config.split_min_items
+        counters = self._counters
+        sample = self.reader.sample
+        oracle = grid.online_oracle
+        if isinstance(oracle, AlwaysOnline):
+            online = None
+        else:
+            addresses = grid.addresses
+            is_online = oracle.is_online
+            online = lambda i: is_online(addresses[i])  # noqa: E731
+
+        def merge_single(o: int, cand: int) -> None:
+            # RoutingTable.merge_refs(level, [cand]): union keeps slot
+            # order, appends the new candidate, re-samples past refmax.
+            count = rl[o]
+            base = o * rm
+            slot = refs[base : base + count]
+            if cand in slot:
+                return
+            if count < rm:
+                refs[base + count] = cand
+                rl[o] = count + 1
+            else:
+                slot.append(cand)
+                union = sample(slot, rm)
+                refs[base : base + rm] = union
+
+        def handover(src: int, dst: int) -> None:
+            # handover_refs(specialized=src, partner=dst): drop entries
+            # outside src's (new) path, forward the covered ones to dst.
+            entries = store_refs.get(src)
+            if not entries:
+                return
+            src_bits = pb[src]
+            src_len = pl[src]
+            dropped = []
+            width = 0
+            for key in list(entries):
+                kb, kl = key
+                if kl <= src_len:
+                    inside = (src_bits >> (src_len - kl)) == kb
+                else:
+                    inside = (kb >> (kl - src_len)) == src_bits
+                if not inside:
+                    dropped.append((kb, kl, entries.pop(key)))
+                    if kl > width:
+                        width = kl
+            if not dropped:
+                return
+            if not entries:
+                del store_refs[src]
+            flat = []
+            for kb, kl, holders in dropped:
+                sc[src] -= len(holders)
+                for holder, vd in holders.items():
+                    # (padded value, length, holder) sorts like the
+                    # object core's (key string, holder) sort.
+                    flat.append((kb << (width - kl), kl, holder, kb, vd))
+            flat.sort()
+            dst_bits = pb[dst]
+            dst_len = pl[dst]
+            dst_entries = None
+            for _pad, kl, holder, kb, vd in flat:
+                if kl <= dst_len:
+                    covered = (dst_bits >> (dst_len - kl)) == kb
+                else:
+                    covered = (kb >> (kl - dst_len)) == dst_bits
+                if covered:
+                    if dst_entries is None:
+                        dst_entries = store_refs.setdefault(dst, {})
+                    holders = dst_entries.setdefault((kb, kl), {})
+                    existing = holders.get(holder)
+                    if existing is None:
+                        holders[holder] = vd
+                        sc[dst] += 1
+                    elif vd[0] > existing[0]:
+                        holders[holder] = vd
+                    counters[_HANDOVER] += 1
+                else:
+                    counters[_LOST] += 1
+
+        def merge_store(src: int, dst: int) -> None:
+            # One direction of record_replicas' anti-entropy:
+            # dst.store.add_ref(ref) for every ref of src.
+            src_entries = store_refs.get(src)
+            if not src_entries:
+                return
+            dst_entries = store_refs.setdefault(dst, {})
+            added = 0
+            for key, holders in src_entries.items():
+                target = dst_entries.setdefault(key, {})
+                for holder, vd in holders.items():
+                    existing = target.get(holder)
+                    if existing is None:
+                        target[holder] = vd
+                        added += 1
+                    elif vd[0] > existing[0]:
+                        target[holder] = vd
+            sc[dst] += added
+
+        def exchange(i1: int, i2: int, depth: int) -> None:
+            counters[_CALLS] += 1
+            b1 = pb[i1]
+            l1 = pl[i1]
+            b2 = pb[i2]
+            l2 = pl[i2]
+            m = l1 if l1 <= l2 else l2
+            if m:
+                x = (b1 >> (l1 - m)) ^ (b2 >> (l2 - m))
+                lc = m - x.bit_length()
+            else:
+                lc = 0
+
+            if lc:
+                # exchange_refs_default: union + re-sample at the shared
+                # level(s); only levels where candidates exist are touched.
+                for level in range(1, lc + 1) if all_levels else (lc,):
+                    o1 = i1 * ml + level - 1
+                    o2 = i2 * ml + level - 1
+                    n1 = rl[o1]
+                    n2 = rl[o2]
+                    if n1 or n2:
+                        base1 = o1 * rm
+                        base2 = o2 * rm
+                        slot1 = refs[base1 : base1 + n1]
+                        slot2 = refs[base2 : base2 + n2]
+                        combined = [a for a in slot1 if a != i1 and a != i2]
+                        combined += [a for a in slot2 if a != i1 and a != i2]
+                        if combined:
+                            union = list(dict.fromkeys(slot1 + combined))
+                            if len(union) > rm:
+                                union = sample(union, rm)
+                            u = len(union)
+                            refs[base1 : base1 + u] = union
+                            rl[o1] = u
+                            if td[i1] < level:
+                                td[i1] = level
+                            union = list(dict.fromkeys(slot2 + combined))
+                            if len(union) > rm:
+                                union = sample(union, rm)
+                            u = len(union)
+                            refs[base2 : base2 + u] = union
+                            rl[o2] = u
+                            if td[i2] < level:
+                                td[i2] = level
+
+            rem1 = l1 - lc
+            rem2 = l2 - lc
+
+            if rem1 == 0 and rem2 == 0:
+                if lc < ml and (
+                    smin is None or (sc[i1] >= smin and sc[i2] >= smin)
+                ):
+                    # case 1: introduce a new level; i1 takes '0', i2 '1'.
+                    pb[i1] = b1 << 1
+                    pl[i1] = l1 + 1
+                    buddies.pop(i1, None)
+                    pb[i2] = (b2 << 1) | 1
+                    pl[i2] = l2 + 1
+                    buddies.pop(i2, None)
+                    o1 = i1 * ml + lc
+                    refs[o1 * rm] = i2
+                    rl[o1] = 1
+                    if td[i1] <= lc:
+                        td[i1] = lc + 1
+                    o2 = i2 * ml + lc
+                    refs[o2 * rm] = i1
+                    rl[o2] = 1
+                    if td[i2] <= lc:
+                        td[i2] = lc + 1
+                    if store_refs:
+                        handover(i1, i2)
+                        handover(i2, i1)
+                    counters[_CASE1] += 1
+                else:
+                    # replicas: buddy links + index anti-entropy.
+                    s1 = buddies.get(i1)
+                    s2 = buddies.get(i2)
+                    if s1:
+                        union = s1 | s2 if s2 else set(s1)
+                    else:
+                        union = set(s2) if s2 else set()
+                    new1 = union | {i2}
+                    new1.discard(i1)
+                    new2 = union | {i1}
+                    new2.discard(i2)
+                    buddies[i1] = new1
+                    buddies[i2] = new2
+                    counters[_BUDDY] += 1
+                    if store_refs:
+                        merge_store(i1, i2)
+                        merge_store(i2, i1)
+            elif rem1 == 0:
+                if lc < ml and (smin is None or sc[i1] >= smin):
+                    # case 2: i1 specializes opposite i2's next bit.
+                    bit = (b2 >> (l2 - lc - 1)) & 1
+                    pb[i1] = (b1 << 1) | (bit ^ 1)
+                    pl[i1] = l1 + 1
+                    buddies.pop(i1, None)
+                    o1 = i1 * ml + lc
+                    refs[o1 * rm] = i2
+                    rl[o1] = 1
+                    if td[i1] <= lc:
+                        td[i1] = lc + 1
+                    merge_single(i2 * ml + lc, i1)
+                    if td[i2] <= lc:
+                        td[i2] = lc + 1
+                    if store_refs:
+                        handover(i1, i2)
+                    counters[_CASE2] += 1
+            elif rem2 == 0:
+                if lc < ml and (smin is None or sc[i2] >= smin):
+                    # case 3: i2 specializes opposite i1's next bit.
+                    bit = (b1 >> (l1 - lc - 1)) & 1
+                    pb[i2] = (b2 << 1) | (bit ^ 1)
+                    pl[i2] = l2 + 1
+                    buddies.pop(i2, None)
+                    o2 = i2 * ml + lc
+                    refs[o2 * rm] = i1
+                    rl[o2] = 1
+                    if td[i2] <= lc:
+                        td[i2] = lc + 1
+                    merge_single(i1 * ml + lc, i2)
+                    if td[i1] <= lc:
+                        td[i1] = lc + 1
+                    if store_refs:
+                        handover(i2, i1)
+                    counters[_CASE3] += 1
+            else:
+                # case 4: diverged — forward to the refs at the
+                # divergence level, bounded by recmax and the fanout.
+                if depth < recmax:
+                    o1 = i1 * ml + lc
+                    o2 = i2 * ml + lc
+                    if mutual:
+                        # RoutingTable.add_ref materializes the level
+                        # even when full or duplicate.
+                        if td[i1] <= lc:
+                            td[i1] = lc + 1
+                        count = rl[o1]
+                        base = o1 * rm
+                        if count < rm and i2 not in refs[base : base + count]:
+                            refs[base + count] = i2
+                            rl[o1] = count + 1
+                        if td[i2] <= lc:
+                            td[i2] = lc + 1
+                        count = rl[o2]
+                        base = o2 * rm
+                        if count < rm and i1 not in refs[base : base + count]:
+                            refs[base + count] = i1
+                            rl[o2] = count + 1
+                    count = rl[o1]
+                    base = o1 * rm
+                    refs1 = [a for a in refs[base : base + count] if a != i2]
+                    count = rl[o2]
+                    base = o2 * rm
+                    refs2 = [a for a in refs[base : base + count] if a != i1]
+                    if fanout is not None:
+                        if len(refs1) > fanout:
+                            refs1 = sample(refs1, fanout)
+                        if len(refs2) > fanout:
+                            refs2 = sample(refs2, fanout)
+                    counters[_CASE4] += 1
+                    deeper = depth + 1
+                    if online is None:
+                        for a in refs1:
+                            exchange(i2, a, deeper)
+                        for a in refs2:
+                            exchange(i1, a, deeper)
+                    else:
+                        for a in refs1:
+                            if online(a):
+                                exchange(i2, a, deeper)
+                        for a in refs2:
+                            if online(a):
+                                exchange(i1, a, deeper)
+
+        return exchange

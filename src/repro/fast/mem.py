@@ -1,0 +1,81 @@
+"""Memory accounting for both grid cores.
+
+The real limiter for 1M-peer simulation is resident memory, not CPU
+(ROADMAP item 2), so every bench run reports:
+
+* **peak RSS** of the process (``resource.getrusage``),
+* **estimated per-peer bytes** of the grid representation — object core
+  (peers + routing lists + path strings + stores) vs. array core (flat
+  buffers).  Estimates, not exact accounting: CPython interns small ints
+  and shares string storage, so treat them as upper bounds for relative
+  comparison.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+__all__ = ["peak_rss_bytes", "object_grid_bytes", "grid_memory_report"]
+
+_INT_BOX = 28  # sys.getsizeof of a one-digit int
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, in bytes (None if unknown)."""
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024  # Linux reports kilobytes
+
+
+def object_grid_bytes(grid: Any) -> int:
+    """Estimated resident bytes of an object-core ``PGrid``'s peer state."""
+    total = sys.getsizeof(grid._peers)
+    for peer in grid._peers.values():
+        total += object.__sizeof__(peer)  # slots header
+        total += sys.getsizeof(peer.path)
+        total += _INT_BOX  # address box
+        routing = peer.routing
+        total += object.__sizeof__(routing)
+        total += sys.getsizeof(routing._levels)
+        for slot in routing._levels:
+            total += sys.getsizeof(slot) + _INT_BOX * len(slot)
+        total += sys.getsizeof(peer.buddies) + _INT_BOX * len(peer.buddies)
+        store = peer.store
+        total += object.__sizeof__(store)
+        total += sys.getsizeof(store._items)
+        total += sys.getsizeof(store._index)
+        for holders in store._index.values():
+            total += sys.getsizeof(holders) + 72 * len(holders)  # DataRef objects
+    return total
+
+
+def grid_memory_report(
+    pgrid: Any = None,
+    agrid: Any = None,
+) -> dict[str, Any]:
+    """Peak RSS plus per-peer byte estimates for whichever cores are given."""
+    report: dict[str, Any] = {"peak_rss_bytes": peak_rss_bytes()}
+    if pgrid is not None and len(pgrid):
+        total = object_grid_bytes(pgrid)
+        report["object_core"] = {
+            "peers": len(pgrid),
+            "bytes_total": total,
+            "bytes_per_peer": round(total / len(pgrid), 1),
+        }
+    if agrid is not None and agrid.n:
+        total = agrid.memory_bytes()
+        report["array_core"] = {
+            "peers": agrid.n,
+            "bytes_total": total,
+            "bytes_per_peer": round(total / agrid.n, 1),
+        }
+    return report

@@ -34,12 +34,18 @@ class _AddressCache:
     Rebuilding (and re-sorting) the population on every meeting is an
     O(N log N) cost per pair; the version check amortizes it to one rebuild
     per actual join/leave.
+
+    The rebuild is *lazy*: construction and invalidation are O(1), and
+    the sorted list is only (re)materialized on the next :meth:`get`.
+    Churn storms that touch membership many times between draws — e.g.
+    a burst of join/leave callbacks — therefore cost one rebuild total,
+    not one per event.
     """
 
     def __init__(self, grid: PGrid) -> None:
         self._grid = grid
-        self._version = grid.membership_version
-        self._addresses = grid.addresses()
+        self._version: int | None = None
+        self._addresses: list[Address] = []
 
     def get(self) -> list[Address]:
         version = self._grid.membership_version
@@ -60,12 +66,12 @@ class UniformMeetings:
         self._cache = _AddressCache(grid)
 
     def refresh(self) -> None:
-        """Re-read the peer population.
+        """No-op, kept for backwards compatibility.
 
-        Kept for backwards compatibility — the membership-version cache
-        makes joins/leaves visible automatically.
+        The address cache keys on ``PGrid.membership_version``, so
+        joins/leaves are visible at the next draw without an explicit
+        (and formerly O(N log N)-per-call) rebuild here.
         """
-        self._cache = _AddressCache(self.grid)
 
     def next_pair(self) -> tuple[Address, Address]:
         """Draw one unordered uniform pair of distinct peers."""
@@ -142,11 +148,22 @@ class RoundRobinMeetings:
         self._queue: list[Address] = []
 
     def next_pair(self) -> tuple[Address, Address]:
-        """Next pair of the sweep, reshuffling when a round completes."""
-        if not self._queue:
+        """Next pair of the sweep, reshuffling when a round completes.
+
+        Queue entries are validated against current membership: a peer
+        removed mid-round is skipped rather than handed to the exchange
+        engine as a dangling initiator.
+        """
+        first = None
+        while self._queue:
+            candidate = self._queue.pop()
+            if self.grid.has_peer(candidate):
+                first = candidate
+                break
+        if first is None:
             self._queue = list(self._cache.get())
             self._rng.shuffle(self._queue)
-        first = self._queue.pop()
+            first = self._queue.pop()
         addresses = self._cache.get()
         second = self._rng.choice(addresses)
         while second == first:

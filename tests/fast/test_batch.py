@@ -1,0 +1,187 @@
+"""Batched vectorized construction: determinism, semantics, restrictions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import PGridConfig
+from repro.core.grid import PGrid
+from repro.errors import NotConvergedError
+from repro.fast import HAVE_NUMPY, ArrayGrid
+from repro.sim.builder import construct_grid
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+if HAVE_NUMPY:
+    from repro.fast.batch import BatchGridBuilder
+
+
+CONFIG = PGridConfig(maxl=6, refmax=5, recmax=2, recursion_fanout=2)
+
+
+def fresh_agrid(n: int = 300, seed: int = 17, config: PGridConfig = CONFIG) -> ArrayGrid:
+    grid = PGrid(config, rng=random.Random(seed))
+    grid.add_peers(n)
+    return ArrayGrid.from_pgrid(grid)
+
+
+class TestGridBacked:
+    def test_converges_and_writes_back(self):
+        agrid = fresh_agrid()
+        report = BatchGridBuilder(agrid, seed=5).build(threshold_fraction=0.985)
+        assert report.converged
+        assert report.peer_count == 300
+        assert agrid.average_path_length() == pytest.approx(report.average_depth)
+        # The written-back grid satisfies the routing invariant.
+        pgrid = agrid.to_pgrid(rng=random.Random(0))
+        assert pgrid.audit_routing() == []
+
+    def test_deterministic_under_seed(self):
+        r1 = BatchGridBuilder(fresh_agrid(), seed=42).build(threshold_fraction=0.985)
+        a2 = fresh_agrid()
+        r2 = BatchGridBuilder(a2, seed=42).build(threshold_fraction=0.985)
+        a3 = fresh_agrid()
+        r3 = BatchGridBuilder(a3, seed=42).build(threshold_fraction=0.985)
+        assert r1.stats == r2.stats == r3.stats
+        assert a2.path_bits == a3.path_bits
+        assert a2.refs == a3.refs
+        assert a2.ref_len == a3.ref_len
+        assert a2.buddies == a3.buddies
+
+    def test_different_seeds_differ(self):
+        r1 = BatchGridBuilder(fresh_agrid(), seed=1).build(threshold_fraction=0.985)
+        r2 = BatchGridBuilder(fresh_agrid(), seed=2).build(threshold_fraction=0.985)
+        assert r1.stats != r2.stats
+
+    def test_seed_defaults_to_grid_rng_draw(self):
+        a1 = fresh_agrid(seed=13)
+        a2 = fresh_agrid(seed=13)
+        r1 = BatchGridBuilder(a1).build(threshold_fraction=0.985)
+        r2 = BatchGridBuilder(a2).build(threshold_fraction=0.985)
+        assert r1.stats == r2.stats
+        assert a1.path_bits == a2.path_bits
+
+    def test_counters_consistent_with_depth(self):
+        agrid = fresh_agrid()
+        builder = BatchGridBuilder(agrid, seed=9)
+        report = builder.build(threshold_fraction=0.985)
+        stats = report.stats
+        # From a fresh grid every path bit comes from a split (2 bits)
+        # or a specialization (1 bit).
+        total_bits = (
+            2 * stats["case1_splits"]
+            + stats["case2_specializations"]
+            + stats["case3_specializations"]
+        )
+        assert total_bits == sum(agrid.path_len)
+        assert stats["calls"] == report.exchanges
+        assert stats["meetings"] == report.meetings
+        assert report.average_depth == pytest.approx(total_bits / 300)
+
+    def test_statistically_matches_object_core(self):
+        agrid = fresh_agrid(seed=23)
+        report = BatchGridBuilder(agrid, seed=23).build(threshold_fraction=0.985)
+        obj = PGrid(CONFIG, rng=random.Random(23))
+        obj.add_peers(300)
+        obj_report = construct_grid(
+            obj, engine="object", threshold_fraction=0.985
+        )
+        assert report.converged and obj_report.converged
+        # Same convergence point by definition; cost within a modest
+        # factor (different meeting interleavings).
+        ratio = report.exchanges / obj_report.exchanges
+        assert 0.5 < ratio < 2.0
+        assert abs(report.average_depth - obj_report.average_depth) < 0.2
+
+    def test_budget_stops_at_round_granularity(self):
+        agrid = fresh_agrid()
+        builder = BatchGridBuilder(agrid, round_size=128, seed=3)
+        report = builder.build(threshold_fraction=1.0, max_meetings=500)
+        assert not report.converged
+        assert report.meetings <= 500
+
+    def test_raise_on_budget(self):
+        agrid = fresh_agrid()
+        with pytest.raises(NotConvergedError):
+            BatchGridBuilder(agrid, seed=3).build(
+                threshold_fraction=1.0, max_meetings=100, raise_on_budget=True
+            )
+
+
+class TestGridless:
+    def test_matches_grid_backed_run(self):
+        # A gridless run and a fresh grid-backed run with the same seed
+        # execute the identical schedule on identical (all-zero) state.
+        agrid = fresh_agrid(n=250)
+        grid_backed = BatchGridBuilder(agrid, seed=77)
+        r1 = grid_backed.build(threshold_fraction=0.985)
+        gridless = BatchGridBuilder(n=250, config=CONFIG, seed=77)
+        r2 = gridless.build(threshold_fraction=0.985)
+        assert r1.stats == r2.stats
+        assert r1.average_depth == r2.average_depth
+        assert grid_backed.replication_histogram() == gridless.replication_histogram()
+        assert agrid.path_len == list(map(int, gridless._pl))
+
+    def test_analytics_match_written_back_grid(self):
+        agrid = fresh_agrid(n=200)
+        builder = BatchGridBuilder(agrid, seed=31)
+        builder.build(threshold_fraction=0.985)
+        assert builder.replication_histogram() == dict(agrid.replication_histogram())
+        assert builder.path_length_histogram() == dict(agrid.path_length_histogram())
+
+    def test_memory_bytes_is_compact(self):
+        builder = BatchGridBuilder(n=10_000, config=CONFIG, seed=1)
+        per_peer = builder.memory_bytes() / 10_000
+        # int32 refs dominate: maxl * refmax * 4 bytes plus scalars.
+        assert per_peer < CONFIG.maxl * CONFIG.refmax * 4 + 200
+
+    def test_needs_seed(self):
+        with pytest.raises(ValueError):
+            BatchGridBuilder(n=100, config=CONFIG)
+
+    def test_needs_n(self):
+        with pytest.raises(ValueError):
+            BatchGridBuilder(seed=1)
+
+    def test_grid_and_n_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            BatchGridBuilder(fresh_agrid(), n=100, seed=1)
+
+
+class TestRestrictions:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            PGridConfig(maxl=4, refmax=2, split_min_items=1),
+            PGridConfig(maxl=4, refmax=2, mutual_refs_in_case4=True),
+            PGridConfig(maxl=4, refmax=2, exchange_refs_all_levels=True),
+        ],
+        ids=["split-min-items", "mutual-refs", "all-levels"],
+    )
+    def test_unsupported_configs_rejected(self, config):
+        with pytest.raises(ValueError):
+            BatchGridBuilder(n=100, config=config, seed=1)
+
+    def test_stores_must_be_empty(self):
+        from repro.core.storage import DataItem
+
+        grid = PGrid(CONFIG, rng=random.Random(1))
+        grid.add_peers(50)
+        construct_grid(grid, engine="object", max_meetings=300)
+        grid.seed_index([(DataItem(key="0" * CONFIG.maxl), grid.addresses()[0])])
+        agrid = ArrayGrid.from_pgrid(grid)
+        with pytest.raises(ValueError):
+            BatchGridBuilder(agrid)
+
+    def test_validation_messages_match_grid_builder(self):
+        builder = BatchGridBuilder(n=100, config=CONFIG, seed=1)
+        with pytest.raises(ValueError):
+            builder.build(threshold_fraction=0.0)
+        with pytest.raises(ValueError):
+            builder.build(max_meetings=-1)
+        with pytest.raises(ValueError):
+            builder.build(max_exchanges=-1)
+        with pytest.raises(ValueError):
+            builder.build(sample_every=0)

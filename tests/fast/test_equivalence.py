@@ -1,0 +1,142 @@
+"""Bit-identical equivalence: strict array core vs. the object core.
+
+Twin-seeded runs of :class:`ArrayGridBuilder` and
+:class:`repro.sim.builder.GridBuilder` must agree on *everything*: case
+counters, stopping point, trajectory, final RNG state, and the complete
+written-back grid (paths, routing reference order, buddies).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import PAPER_SECTION52_CONFIG, PGridConfig
+from repro.core.grid import PGrid
+from repro.fast import ArrayGrid, ArrayGridBuilder, ArrayExchangeEngine, HAVE_NUMPY
+from repro.sim.builder import GridBuilder, construct_grid
+
+# Every case carries an exchange budget: equivalence must hold at the
+# budget-stop boundary too, and un-capped convergence at tiny populations
+# can run forever (64 peers cannot reach 99% of maxl=6 reliably).
+CASES = [
+    pytest.param(PGridConfig(), 64, 0.95, 20_000, id="default-64"),
+    pytest.param(
+        PGridConfig(maxl=6, refmax=3, recmax=3, recursion_fanout=None),
+        150,
+        0.985,
+        20_000,
+        id="unbounded-fanout",
+    ),
+    pytest.param(
+        PGridConfig(
+            maxl=7,
+            refmax=4,
+            recmax=2,
+            recursion_fanout=2,
+            mutual_refs_in_case4=True,
+            exchange_refs_all_levels=True,
+        ),
+        120,
+        0.98,
+        20_000,
+        id="ablation-flags",
+    ),
+    pytest.param(PAPER_SECTION52_CONFIG, 200, 0.99, 15_000, id="section52-budget"),
+]
+
+ACCEL = [False] + ([True] if HAVE_NUMPY else [])
+
+
+def fresh_grid(config: PGridConfig, n: int, seed: int) -> PGrid:
+    grid = PGrid(config, rng=random.Random(seed))
+    grid.add_peers(n)
+    return grid
+
+
+def grid_state(grid: PGrid):
+    return {
+        peer.address: (
+            peer.path,
+            peer.routing.to_lists(),
+            sorted(peer.buddies),
+        )
+        for peer in grid.peers()
+    }
+
+
+@pytest.mark.parametrize("accelerate", ACCEL)
+@pytest.mark.parametrize("config, n, threshold, budget", CASES)
+def test_twin_builds_are_bit_identical(config, n, threshold, budget, accelerate):
+    seed = 1302
+    obj_grid = fresh_grid(config, n, seed)
+    obj_report = GridBuilder(obj_grid).build(
+        threshold_fraction=threshold, max_exchanges=budget, sample_every=500
+    )
+
+    arr_grid = fresh_grid(config, n, seed)
+    agrid = ArrayGrid.from_pgrid(arr_grid)
+    engine = ArrayExchangeEngine(agrid, accelerate=accelerate)
+    arr_report = ArrayGridBuilder(agrid, engine=engine).build(
+        threshold_fraction=threshold, max_exchanges=budget, sample_every=500
+    )
+    agrid.write_back(arr_grid)
+
+    assert arr_report.stats == obj_report.stats
+    assert arr_report.converged == obj_report.converged
+    assert arr_report.exchanges == obj_report.exchanges
+    assert arr_report.meetings == obj_report.meetings
+    assert arr_report.average_depth == obj_report.average_depth
+    assert arr_report.trajectory == obj_report.trajectory
+    # Same draws consumed: the generators are in the same state, so any
+    # later protocol decision (searches, updates) stays aligned too.
+    assert arr_grid.rng.getstate() == obj_grid.rng.getstate()
+    assert grid_state(arr_grid) == grid_state(obj_grid)
+
+
+@pytest.mark.parametrize("accelerate", ACCEL)
+def test_max_meetings_budget_matches(accelerate):
+    config = PGridConfig(maxl=6, refmax=3)
+    obj_grid = fresh_grid(config, 80, 7)
+    obj_report = GridBuilder(obj_grid).build(max_meetings=400)
+
+    arr_grid = fresh_grid(config, 80, 7)
+    agrid = ArrayGrid.from_pgrid(arr_grid)
+    engine = ArrayExchangeEngine(agrid, accelerate=accelerate)
+    arr_report = ArrayGridBuilder(agrid, engine=engine).build(max_meetings=400)
+    agrid.write_back(arr_grid)
+
+    assert arr_report.stats == obj_report.stats
+    assert arr_report.meetings == obj_report.meetings == 400
+    assert arr_grid.rng.getstate() == obj_grid.rng.getstate()
+
+
+def test_construct_grid_array_engine_is_identical():
+    config = PGridConfig(maxl=5, refmax=4)
+    g1 = fresh_grid(config, 90, 3)
+    r1 = construct_grid(
+        g1, engine="object", threshold_fraction=0.98, max_exchanges=20_000
+    )
+    g2 = fresh_grid(config, 90, 3)
+    r2 = construct_grid(
+        g2, engine="array", threshold_fraction=0.98, max_exchanges=20_000
+    )
+    assert r1.stats == r2.stats
+    assert g1.rng.getstate() == g2.rng.getstate()
+    assert grid_state(g1) == grid_state(g2)
+
+
+def test_small_population_uses_pool_sampling():
+    # n <= 21 drives CPython's sample into the pool branch; the array
+    # builder must follow (pair_below is only valid above that).
+    config = PGridConfig(maxl=3, refmax=2)
+    g1 = fresh_grid(config, 8, 11)
+    r1 = GridBuilder(g1).build(threshold_fraction=0.9, max_exchanges=20_000)
+    g2 = fresh_grid(config, 8, 11)
+    agrid = ArrayGrid.from_pgrid(g2)
+    r2 = ArrayGridBuilder(agrid).build(threshold_fraction=0.9, max_exchanges=20_000)
+    agrid.write_back(g2)
+    assert r1.stats == r2.stats
+    assert g1.rng.getstate() == g2.rng.getstate()
+    assert grid_state(g1) == grid_state(g2)

@@ -1,0 +1,118 @@
+"""The RNG readers must replicate ``random.Random`` draw-for-draw."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fast.rngbuf import HAVE_NUMPY, DirectReader, reader_for
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+READERS = ["direct"] + (["buffered"] if HAVE_NUMPY else [])
+
+
+def make_reader(kind: str, rng: random.Random):
+    return reader_for(rng, accelerate=(kind == "buffered"))
+
+
+@pytest.mark.parametrize("kind", READERS)
+class TestDrawIdentity:
+    def test_getrandbits_matches(self, kind):
+        twin = random.Random(101)
+        reader = make_reader(kind, random.Random(101))
+        for k in (1, 3, 8, 16, 31, 32, 5, 1, 32):
+            for _ in range(50):
+                assert reader.getrandbits(k) == twin.getrandbits(k)
+
+    def test_randbelow_matches(self, kind):
+        twin = random.Random(202)
+        reader = make_reader(kind, random.Random(202))
+        for n in (2, 3, 7, 10, 100, 1000, 2**20, 5, 2):
+            for _ in range(50):
+                assert reader.randbelow(n) == twin._randbelow(n)
+
+    def test_sample_matches_both_branches(self, kind):
+        # n <= setsize(k) takes the pool path, larger n the selection-set
+        # path; both must consume the same words as random.sample.
+        twin = random.Random(303)
+        reader = make_reader(kind, random.Random(303))
+        for n, k in ((5, 2), (10, 3), (21, 2), (22, 2), (100, 7), (500, 20)):
+            population = list(range(1000, 1000 + n))
+            for _ in range(20):
+                assert reader.sample(population, k) == twin.sample(population, k)
+
+    def test_pair_below_matches_sample_of_two(self, kind):
+        twin = random.Random(404)
+        reader = make_reader(kind, random.Random(404))
+        for n in (22, 50, 1000, 4096):
+            for _ in range(50):
+                expected = tuple(twin.sample(range(n), 2))
+                assert reader.pair_below(n) == expected
+
+    def test_interleaved_draws_match(self, kind):
+        twin = random.Random(505)
+        reader = make_reader(kind, random.Random(505))
+        for round_index in range(30):
+            assert reader.getrandbits(7) == twin.getrandbits(7)
+            assert reader.randbelow(97) == twin._randbelow(97)
+            assert reader.sample(range(40), 5) == twin.sample(range(40), 5)
+
+    def test_sample_validates(self, kind):
+        reader = make_reader(kind, random.Random(0))
+        with pytest.raises(ValueError):
+            reader.sample(range(3), 4)
+
+
+class TestDirectReader:
+    def test_state_always_current(self):
+        rng = random.Random(7)
+        twin = random.Random(7)
+        reader = DirectReader(rng)
+        reader.sample(range(100), 3)
+        twin.sample(range(100), 3)
+        assert rng.getstate() == twin.getstate()
+        # Direct draws after reader use continue the same stream.
+        assert rng.random() == twin.random()
+
+
+@needs_numpy
+class TestBufferedReader:
+    def test_sync_restores_exact_state(self):
+        rng = random.Random(99)
+        twin = random.Random(99)
+        reader = reader_for(rng, accelerate=True)
+        for _ in range(10):
+            reader.sample(range(200), 11)
+            twin.sample(range(200), 11)
+        reader.sync()
+        assert rng.getstate() == twin.getstate()
+        assert rng.random() == twin.random()
+
+    def test_reader_usable_after_sync(self):
+        rng = random.Random(42)
+        twin = random.Random(42)
+        reader = reader_for(rng, accelerate=True)
+        assert reader.getrandbits(16) == twin.getrandbits(16)
+        reader.sync()
+        assert reader.getrandbits(16) == twin.getrandbits(16)
+        reader.sync()
+        assert rng.getstate() == twin.getstate()
+
+    def test_sync_without_draws_is_safe(self):
+        rng = random.Random(1)
+        state = rng.getstate()
+        reader = reader_for(rng, accelerate=True)
+        reader.sync()
+        assert rng.getstate() == state
+
+    def test_small_block_refills(self):
+        twin = random.Random(55)
+        reader = reader_for(random.Random(55), accelerate=True, block=4)
+        for _ in range(200):
+            assert reader.getrandbits(32) == twin.getrandbits(32)
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            reader_for(random.Random(0), accelerate=True, block=0)

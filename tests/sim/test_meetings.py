@@ -141,3 +141,76 @@ class TestRoundRobinMeetings:
         round2 = [scheduler.next_pair()[0] for _ in range(16)]
         assert sorted(round1) == sorted(round2)
         assert round1 != round2  # overwhelmingly likely
+
+
+class CountingGrid(PGrid):
+    """PGrid that counts sorted-address-list materializations."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.address_builds = 0
+
+    def addresses(self):
+        self.address_builds += 1
+        return super().addresses()
+
+
+class TestAddressCacheInvalidation:
+    def test_churn_storm_rebuilds_once_per_draw_burst(self):
+        # A burst of membership events between draws must cost one
+        # rebuild at the next draw, not one rebuild per event.
+        grid = CountingGrid(PGridConfig(), rng=random.Random(11))
+        grid.add_peers(4)
+        scheduler = UniformMeetings(grid, rng=random.Random(11))
+        grid.address_builds = 0
+
+        scheduler.next_pair()
+        assert grid.address_builds == 1  # lazy first materialization
+
+        for _ in range(50):  # churn storm: 100 membership events
+            victim = grid.addresses()[0]
+            grid.remove_peer(victim)
+            grid.add_peer()
+        grid.address_builds = 0
+
+        scheduler.next_pair()
+        assert grid.address_builds == 1
+        scheduler.next_pair()
+        assert grid.address_builds == 1  # stable membership: cache hit
+
+    def test_refresh_is_free_and_cache_stays_valid(self):
+        grid = CountingGrid(PGridConfig(), rng=random.Random(12))
+        grid.add_peers(3)
+        scheduler = UniformMeetings(grid, rng=random.Random(12))
+        scheduler.next_pair()
+        grid.address_builds = 0
+        for _ in range(25):
+            scheduler.refresh()
+        assert grid.address_builds == 0  # refresh no longer rebuilds
+        scheduler.next_pair()
+        assert grid.address_builds == 0  # unchanged membership: no rebuild
+        new_peer = grid.add_peer().address
+        seen = set()
+        for _ in range(100):
+            seen.update(scheduler.next_pair())
+        assert new_peer in seen
+        assert grid.address_builds == 1
+
+    def test_all_schedulers_survive_churn(self):
+        for factory in (
+            lambda g: UniformMeetings(g, rng=random.Random(13)),
+            lambda g: BiasedMeetings(g, bias=0.5, rng=random.Random(13)),
+            lambda g: RoundRobinMeetings(g, rng=random.Random(13)),
+        ):
+            grid = grid_of(6)
+            scheduler = factory(grid)
+            scheduler.next_pair()
+            removed = grid.addresses()[0]
+            grid.remove_peer(removed)
+            added = grid.add_peer().address
+            seen = set()
+            for _ in range(200):
+                pair = scheduler.next_pair()
+                assert removed not in pair
+                seen.update(pair)
+            assert added in seen
