@@ -44,15 +44,18 @@ bench-quick:
 	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Perf gate: a fresh micro-bench run's hot-path speedup ratios must stay
-# within 10% of the committed smoke-scale baseline, and the construction
-# engine ratios (array/batch vs object) within 35% (ratios, not raw
-# timings, so the gate is machine-independent).
+# within 10% of the committed smoke-scale baseline, the construction
+# engine ratios (array/batch vs object) within 35%, and the batch-search
+# speedup within 35% of its baseline with found-rate/messages deltas
+# inside the 2% equivalence bound (ratios, not raw timings, so the gate
+# is machine-independent).
 bench-regression:
 	$(PYTHON) benchmarks/harness.py --scale smoke --out-dir benchmarks/results/fresh
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline benchmarks/baselines/BENCH_micro_smoke.json \
 		--fresh benchmarks/results/fresh/BENCH_micro.json \
-		--fresh-construction benchmarks/results/fresh/BENCH_construction.json
+		--fresh-construction benchmarks/results/fresh/BENCH_construction.json \
+		--fresh-array-search benchmarks/results/fresh/BENCH_array_search.json
 
 # Array-core scale point: gridless batched construction at the smoke
 # scale's 20k peers (fig4 scale runs 100k), reporting throughput, the

@@ -19,9 +19,17 @@ This script fails (exit 1) if any gated ratio has dropped more than the
 applicable tolerance below the committed baseline's, i.e. someone slowed
 a fast path back down relative to its reference.
 
+Passing ``--fresh-array-search`` additionally gates the batch query
+plane (``BENCH_array_search.json``): the batch-vs-object search speedup
+must stay within tolerance of the committed baseline's ratio, and the
+fresh run's found-rate / messages-per-search deltas must stay inside the
+absolute statistical-equivalence bound (the two engines draw from
+different RNG streams, so equality is statistical, never exact).
+
 The committed gate baselines live at
-``benchmarks/baselines/BENCH_micro_smoke.json`` and
-``benchmarks/baselines/BENCH_construction_smoke.json`` (smoke scale, so
+``benchmarks/baselines/BENCH_micro_smoke.json``,
+``benchmarks/baselines/BENCH_construction_smoke.json`` and
+``benchmarks/baselines/BENCH_array_search_smoke.json`` (smoke scale, so
 CI can regenerate the comparison in seconds; scales must match — the
 fast paths' advantage depends on the grid sizing).
 
@@ -31,7 +39,8 @@ Usage (what ``make bench-regression`` runs)::
     python benchmarks/check_regression.py \
         --baseline benchmarks/baselines/BENCH_micro_smoke.json \
         --fresh benchmarks/results/fresh/BENCH_micro.json \
-        --fresh-construction benchmarks/results/fresh/BENCH_construction.json
+        --fresh-construction benchmarks/results/fresh/BENCH_construction.json \
+        --fresh-array-search benchmarks/results/fresh/BENCH_array_search.json
 """
 
 from __future__ import annotations
@@ -74,6 +83,24 @@ def load_construction_ratios(path: Path) -> tuple[str, dict[str, float]]:
     if batch.get("speedup_vs_object") is not None:
         ratios["batch_vs_object"] = batch["speedup_vs_object"]
     return payload["scale"], ratios
+
+
+def load_array_search(path: Path) -> tuple[str, dict[str, float], dict[str, float]]:
+    """Scale, speedup ratios and equivalence deltas from a
+    ``BENCH_array_search.json``."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("benchmark") != "array_search":
+        raise SystemExit(f"{path}: not an array_search benchmark file")
+    results = payload["results"]
+    ratios: dict[str, float] = {}
+    if results.get("speedup") is not None:
+        ratios["batch_search_vs_object"] = results["speedup"]
+    deltas = {
+        name: results[name]
+        for name in ("found_rate_rel_delta", "mean_messages_rel_delta")
+        if results.get(name) is not None
+    }
+    return payload["scale"], ratios, deltas
 
 
 def check(
@@ -132,6 +159,22 @@ def main(argv: list[str] | None = None) -> int:
              "wider than --tolerance because the two sides are separately "
              "timed full runs)",
     )
+    parser.add_argument(
+        "--baseline-array-search", type=Path,
+        default=_ROOT / "benchmarks" / "baselines"
+        / "BENCH_array_search_smoke.json",
+        help="committed batch-search benchmark gate baseline",
+    )
+    parser.add_argument(
+        "--fresh-array-search", type=Path, default=None,
+        help="BENCH_array_search.json from a fresh run "
+             "(omit to skip the batch query plane gate)",
+    )
+    parser.add_argument(
+        "--equivalence-tolerance", type=float, default=0.02,
+        help="max relative found-rate / messages-per-search deviation of "
+             "the batch query plane from the object core (default 0.02)",
+    )
     args = parser.parse_args(argv)
 
     baseline_scale, baseline = load_speedups(args.baseline)
@@ -174,6 +217,44 @@ def main(argv: list[str] | None = None) -> int:
                 f"[bench-regression] construction {name}: "
                 f"{committed:.2f}x -> {shown} ({gate})"
             )
+
+    if args.fresh_array_search is not None:
+        base_scale, base_ratios, _ = load_array_search(
+            args.baseline_array_search
+        )
+        run_scale, run_ratios, run_deltas = load_array_search(
+            args.fresh_array_search
+        )
+        if base_scale != run_scale:
+            raise SystemExit(
+                f"array-search scale mismatch: baseline is {base_scale!r}, "
+                f"fresh run is {run_scale!r}"
+            )
+        # Ratio gate (speedup vs the committed baseline, separately timed
+        # runs → construction tolerance) plus the absolute equivalence
+        # gate on the fresh run's own deltas.
+        failures += check(base_ratios, run_ratios, args.construction_tolerance)
+        for name in sorted(base_ratios):
+            committed = base_ratios[name]
+            measured = run_ratios.get(name)
+            gate = (
+                "gated" if committed >= MIN_MEANINGFUL_SPEEDUP else "noise-floor"
+            )
+            shown = f"{measured:.2f}x" if measured is not None else "missing"
+            print(
+                f"[bench-regression] array-search {name}: "
+                f"{committed:.2f}x -> {shown} ({gate})"
+            )
+        for name, delta in sorted(run_deltas.items()):
+            print(
+                f"[bench-regression] array-search {name}: {delta:.3%} "
+                f"(bound {args.equivalence_tolerance:.0%})"
+            )
+            if delta > args.equivalence_tolerance:
+                failures.append(
+                    f"array-search {name}: {delta:.3%} exceeds the "
+                    f"{args.equivalence_tolerance:.0%} equivalence bound"
+                )
 
     if failures:
         for line in failures:

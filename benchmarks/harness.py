@@ -20,10 +20,18 @@ has a perf trajectory to compare against:
     serial-vs-parallel experiment-trial run (``jobs=1`` vs ``jobs=2``)
     with a bit-identity check of the results.
 
+``BENCH_array_search.json``
+    The batch query plane versus the object core: the same query set
+    resolved by a ``SearchEngine`` loop and by
+    ``BatchQueryEngine.search_many`` on twin seeds, reporting the
+    speedup and the found-rate / messages-per-search deltas that the
+    regression gate holds within tolerance.
+
 Scales: ``--scale fig4`` (default — the §5.2 Fig. 4 sizing ratios) or
 ``--scale smoke`` (seconds, for CI).  Usage::
 
     python benchmarks/harness.py [--scale fig4|smoke] [--out-dir DIR]
+        [--no-million]
 """
 
 from __future__ import annotations
@@ -56,6 +64,7 @@ from repro.fast import (  # noqa: E402
     HAVE_NUMPY,
     ArrayGrid,
     ArrayGridBuilder,
+    BatchQueryEngine,
     grid_memory_report,
     peak_rss_bytes,
 )
@@ -80,6 +89,8 @@ class BenchScale:
     trial_peers: int
     large_peers: int = 0     # gridless batch construction point (0 = skip)
     large_maxl: int = 0
+    million_peers: int = 0   # headline gridless point (0 = skip)
+    million_maxl: int = 0
     seed: int = 20020101
 
     @property
@@ -108,6 +119,8 @@ SCALES = {
         trial_peers=300,
         large_peers=100_000,
         large_maxl=12,
+        million_peers=1_000_000,
+        million_maxl=14,
     ),
     # CI smoke: every phase in seconds.
     "smoke": BenchScale(
@@ -355,39 +368,37 @@ def bench_construction(scale: BenchScale) -> tuple[dict, PGrid]:
     return results, grid
 
 
-def bench_large_construction(scale: BenchScale) -> dict:
-    """The headline scale point: gridless batch construction at 100k+ peers.
-
-    Runs entirely on numpy state (no Python object per peer), reporting
-    wall-clock, throughput, the Fig. 4 replica distribution at scale, and
-    the memory footprint.
-    """
-    if not scale.large_peers:
-        return {"skipped": "no large point at this scale"}
-    if not HAVE_NUMPY:
-        return {"skipped": "numpy not available"}
+def _gridless_construction(
+    scale: BenchScale, n_peers: int, maxl: int, seed_label: str
+) -> dict:
+    """One gridless batch construction point on numpy state only."""
     from repro.fast import BatchGridBuilder
 
     config = PGridConfig(
-        maxl=scale.large_maxl,
+        maxl=maxl,
         refmax=scale.refmax,
         recmax=scale.recmax,
         recursion_fanout=scale.recursion_fanout,
     )
     builder = BatchGridBuilder(
-        n=scale.large_peers,
+        n=n_peers,
         config=config,
-        seed=rngmod.derive_seed(scale.seed, "large-construction"),
+        seed=rngmod.derive_seed(scale.seed, seed_label),
     )
+    # Convergence cost grows linearly in N (~250 exchanges/peer observed),
+    # so the cap must scale with the point or the 1M run starves.
+    max_exchanges = max(100_000_000, 600 * n_peers)
     start = time.perf_counter()
-    report = builder.build(threshold_fraction=0.985, max_exchanges=100_000_000)
+    report = builder.build(
+        threshold_fraction=0.985, max_exchanges=max_exchanges
+    )
     elapsed = time.perf_counter() - start
     sizes = builder.replication_sizes()
     state_bytes = builder.memory_bytes()
     return {
         "engine": "batch-gridless",
-        "n_peers": scale.large_peers,
-        "maxl": scale.large_maxl,
+        "n_peers": n_peers,
+        "maxl": maxl,
         "refmax": scale.refmax,
         "converged": report.converged,
         "exchanges": report.exchanges,
@@ -402,9 +413,36 @@ def bench_large_construction(scale: BenchScale) -> dict:
             str(k): v for k, v in sorted(builder.replication_histogram().items())
         },
         "state_bytes": state_bytes,
-        "bytes_per_peer": round(state_bytes / scale.large_peers, 1),
+        "bytes_per_peer": round(state_bytes / n_peers, 1),
         "peak_rss_bytes": peak_rss_bytes(),
     }
+
+
+def bench_large_construction(scale: BenchScale) -> dict:
+    """The CI-gated scale point: gridless batch construction at 100k peers.
+
+    Runs entirely on numpy state (no Python object per peer), reporting
+    wall-clock, throughput, the Fig. 4 replica distribution at scale, and
+    the memory footprint.
+    """
+    if not scale.large_peers:
+        return {"skipped": "no large point at this scale"}
+    if not HAVE_NUMPY:
+        return {"skipped": "numpy not available"}
+    return _gridless_construction(
+        scale, scale.large_peers, scale.large_maxl, "large-construction"
+    )
+
+
+def bench_million_construction(scale: BenchScale) -> dict:
+    """The headline 1M-peer gridless point (fig4 scale only, ~15 min)."""
+    if not scale.million_peers:
+        return {"skipped": "no million point at this scale"}
+    if not HAVE_NUMPY:
+        return {"skipped": "numpy not available"}
+    return _gridless_construction(
+        scale, scale.million_peers, scale.million_maxl, "million-construction"
+    )
 
 
 def bench_search(scale: BenchScale, grid: PGrid) -> dict:
@@ -467,14 +505,117 @@ def bench_search(scale: BenchScale, grid: PGrid) -> dict:
     }
 
 
-def _write(out_dir: Path, name: str, scale: BenchScale, results: dict) -> Path:
+def bench_array_search(scale: BenchScale, grid: PGrid) -> dict:
+    """The batch query plane versus the object ``SearchEngine`` loop.
+
+    Both sides resolve the same (start, query) set over the same
+    converged grid with every peer online, on twin seeds.  The two
+    engines draw routing choices from different RNG streams, so the
+    comparison is statistical, not bit-identical: the regression gate
+    (``check_regression.py``) holds the found-rate and
+    messages-per-search deltas within tolerance while requiring the
+    wall-clock speedup.
+    """
+    if not HAVE_NUMPY:
+        return {"skipped": "numpy not available"}
+    query_rng = rngmod.derive(scale.seed, "array-search-queries")
+    addresses = grid.addresses()
+    starts = [
+        addresses[query_rng.randrange(len(addresses))]
+        for _ in range(scale.n_searches)
+    ]
+    queries = [
+        keyspace.random_key(scale.maxl - 1, query_rng)
+        for _ in range(scale.n_searches)
+    ]
+
+    grid.rng = rngmod.derive(scale.seed, "array-search-object")
+    engine = SearchEngine(grid)
+    obj_found = 0
+    obj_messages = 0
+    obj_failed = 0
+    start_t = time.perf_counter()
+    for address, query in zip(starts, queries):
+        result = engine.query_from(address, query)
+        obj_found += result.found
+        obj_messages += result.messages
+        obj_failed += result.failed_attempts
+    object_s = time.perf_counter() - start_t
+
+    agrid = ArrayGrid.from_pgrid(grid)
+    batch_engine = BatchQueryEngine.from_arraygrid(
+        agrid, seed=rngmod.derive_seed(scale.seed, "array-search-batch")
+    )
+    start_t = time.perf_counter()
+    batch = batch_engine.search_many(queries, starts)
+    batch_s = time.perf_counter() - start_t
+
+    n = scale.n_searches
+    obj_rate = obj_found / n
+    batch_rate = batch.found_rate
+    obj_mean_msgs = obj_messages / n
+    batch_mean_msgs = batch.mean_messages
+    return {
+        "n_queries": n,
+        "n_peers": scale.n_peers,
+        "object": {
+            "engine": "object-dfs",
+            "found": obj_found,
+            "found_rate": obj_rate,
+            "messages": obj_messages,
+            "mean_messages": obj_mean_msgs,
+            "failed_attempts": obj_failed,
+            "seconds": object_s,
+            "searches_per_second": n / object_s if object_s else None,
+        },
+        "batch": {
+            "engine": "batch-dfs",
+            "found": int(batch.found.sum()),
+            "found_rate": batch_rate,
+            "messages": int(batch.messages.sum()),
+            "mean_messages": batch_mean_msgs,
+            "failed_attempts": int(batch.failed_attempts.sum()),
+            "seconds": batch_s,
+            "searches_per_second": n / batch_s if batch_s else None,
+        },
+        "speedup": object_s / batch_s if batch_s else None,
+        "found_rate_rel_delta": (
+            abs(obj_rate - batch_rate) / obj_rate if obj_rate else None
+        ),
+        "mean_messages_rel_delta": (
+            abs(obj_mean_msgs - batch_mean_msgs) / obj_mean_msgs
+            if obj_mean_msgs
+            else None
+        ),
+    }
+
+
+def _numpy_version() -> str | None:
+    if not HAVE_NUMPY:
+        return None
+    import numpy
+
+    return numpy.__version__
+
+
+def _write(
+    out_dir: Path,
+    name: str,
+    scale: BenchScale,
+    results: dict,
+    *,
+    engines: tuple[str, ...] = (),
+) -> Path:
     payload = {
         "benchmark": name,
         "scale": scale.name,
         "generated_at": datetime.now(timezone.utc).isoformat(),
         "python": platform.python_version(),
+        "numpy": _numpy_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "engines": sorted(engines),
+        "peak_rss_bytes": peak_rss_bytes(),
         "params": {
             "n_peers": scale.n_peers,
             "maxl": scale.maxl,
@@ -496,13 +637,17 @@ def main(argv: list[str] | None = None) -> int:
         "--out-dir", type=Path, default=_ROOT,
         help="directory for the BENCH_*.json files (default: repo root)",
     )
+    parser.add_argument(
+        "--no-million", action="store_true",
+        help="skip the 1M-peer gridless point (fig4 scale; ~15 min)",
+    )
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
     print(f"[bench] scale={scale.name} (N={scale.n_peers}, maxl={scale.maxl})")
     micro = bench_micro(scale)
-    path = _write(args.out_dir, "micro", scale, micro)
+    path = _write(args.out_dir, "micro", scale, micro, engines=("reference",))
     for name, row in micro.items():
         print(
             f"[bench] micro {name}: {row['baseline_ns_per_op']:.0f} -> "
@@ -545,7 +690,24 @@ def main(argv: list[str] | None = None) -> int:
             f"{large['seconds']:.1f}s ({large['exchanges_per_second']:,.0f} exch/s, "
             f"{large['bytes_per_peer']:.0f} B/peer)"
         )
-    path = _write(args.out_dir, "construction", scale, construction)
+    if args.no_million:
+        million = {"skipped": "--no-million"}
+    else:
+        million = bench_million_construction(scale)
+    construction["million_construction"] = million
+    if "skipped" not in million:
+        print(
+            f"[bench] million construction: N={million['n_peers']} "
+            f"maxl={million['maxl']} converged={million['converged']} in "
+            f"{million['seconds']:.1f}s "
+            f"({million['exchanges_per_second']:,.0f} exch/s, "
+            f"{million['bytes_per_peer']:.0f} B/peer, "
+            f"peak RSS {million['peak_rss_bytes'] / 1e9:.2f} GB)"
+        )
+    path = _write(
+        args.out_dir, "construction", scale, construction,
+        engines=("object", "array-strict", "batch", "batch-gridless"),
+    )
     print(f"[bench] wrote {path}")
 
     search = bench_search(scale, grid)
@@ -555,8 +717,26 @@ def main(argv: list[str] | None = None) -> int:
         f"{search['parallel_trials']['speedup']:.2f}x, "
         f"bit_identical={search['parallel_trials']['bit_identical']}"
     )
-    path = _write(args.out_dir, "search", scale, search)
+    path = _write(args.out_dir, "search", scale, search, engines=("object",))
     print(f"[bench] wrote {path}")
+
+    array_search = bench_array_search(scale, grid)
+    if "skipped" not in array_search:
+        print(
+            f"[bench] array search: object "
+            f"{array_search['object']['searches_per_second']:,.0f}/s vs batch "
+            f"{array_search['batch']['searches_per_second']:,.0f}/s "
+            f"({array_search['speedup']:.1f}x); found-rate delta "
+            f"{array_search['found_rate_rel_delta']:.3%}, messages delta "
+            f"{array_search['mean_messages_rel_delta']:.3%}"
+        )
+        path = _write(
+            args.out_dir, "array_search", scale, array_search,
+            engines=("object-dfs", "batch-dfs"),
+        )
+        print(f"[bench] wrote {path}")
+    else:
+        print(f"[bench] array search skipped: {array_search['skipped']}")
     return 0
 
 

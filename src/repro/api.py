@@ -55,10 +55,16 @@ from repro.net.transport import LocalTransport
 from repro.obs.probe import Probe
 from repro.sim.builder import ConstructionReport, construct_grid
 
-__all__ = ["Grid", "DRIVERS"]
+__all__ = ["Grid", "DRIVERS", "QUERY_CORES"]
 
 #: The interchangeable driver names :meth:`Grid.serve` accepts.
 DRIVERS = ("engine", "node", "async")
+
+#: The query-plane cores :meth:`Grid.search` / :meth:`Grid.search_many`
+#: accept: ``"object"`` walks the reference engines peer-by-peer,
+#: ``"array"`` resolves whole batches per numpy pass (see
+#: ``repro.fast.query``).
+QUERY_CORES = ("object", "array")
 
 
 class Grid:
@@ -95,6 +101,8 @@ class Grid:
             retry=retry,
             healer=healer,
         )
+        self._batch_engine = None
+        self._batch_index: dict[Address, int] = {}
         self.updates = UpdateEngine(
             pgrid,
             search=self.engine,
@@ -176,11 +184,90 @@ class Grid:
         """Ground-truth replica set for *key*."""
         return self.pgrid.replicas_for_key(key)
 
+    # -- batch query plane (array core) -------------------------------------------------
+
+    def batch_query_engine(self, *, refresh: bool = False, chunk: int = 8192):
+        """The vectorized query plane over this grid (requires numpy).
+
+        Lazily bridges the current routing tables into a
+        :class:`~repro.fast.BatchQueryEngine` snapshot and caches it;
+        pass ``refresh=True`` after mutating the grid (joins, departures,
+        repair) to re-bridge.  The engine draws from its own numpy
+        streams seeded off the grid RNG: deterministic per grid seed and
+        statistically equivalent to the object engines, not
+        bit-identical (see ``repro.fast.query``).
+        """
+        if refresh or self._batch_engine is None:
+            from repro.fast import ArrayGrid, BatchQueryEngine
+
+            agrid = ArrayGrid.from_pgrid(self.pgrid)
+            self._batch_engine = BatchQueryEngine.from_arraygrid(
+                agrid,
+                max_messages=self.search_config.max_messages,
+                chunk=chunk,
+                probe=self.probe,
+            )
+            self._batch_index = {
+                address: index
+                for index, address in enumerate(self._batch_engine.addresses)
+            }
+        return self._batch_engine
+
+    def search_many(
+        self, keys: list[str], starts: list[Address], *, core: str = "array"
+    ):
+        """Resolve one search per ``(key, start)`` pair.
+
+        ``core="array"`` runs all pairs through the batch query plane in
+        vectorized waves and returns a
+        :class:`~repro.fast.BatchSearchResult` (dense peer indices; map
+        responders through ``batch_query_engine().addresses``);
+        ``core="object"`` loops the reference engine and returns a
+        ``list[SearchResult]`` — same costs, one result object per pair.
+        """
+        if core == "object":
+            return [self.engine.query_from(start, key)
+                    for key, start in zip(keys, starts)]
+        if core != "array":
+            raise InvalidConfigError(
+                f"unknown core {core!r}: expected one of {', '.join(QUERY_CORES)}"
+            )
+        engine = self.batch_query_engine()
+        index = self._batch_index
+        return engine.search_many(keys, [index[start] for start in starts])
+
     # -- direct operations (engine driver, no service needed) --------------------------
 
-    def search(self, key: str, *, start: Address = 0) -> SearchResult:
-        """One Fig. 2 depth-first search from *start*."""
-        return self.engine.query_from(start, key)
+    def search(
+        self, key: str, *, start: Address = 0, core: str = "object"
+    ) -> SearchResult:
+        """One Fig. 2 depth-first search from *start*.
+
+        ``core="array"`` resolves it through the batch query plane
+        instead of the object engine — useful to spot-check the bridged
+        snapshot; for throughput use :meth:`search_many`, which is where
+        the vectorization pays.
+        """
+        if core == "object":
+            return self.engine.query_from(start, key)
+        if core != "array":
+            raise InvalidConfigError(
+                f"unknown core {core!r}: expected one of {', '.join(QUERY_CORES)}"
+            )
+        engine = self.batch_query_engine()
+        batch = engine.search_many([key], [self._batch_index[start]])
+        found = bool(batch.found[0])
+        responder = (
+            engine.addresses[int(batch.responder[0])] if found else None
+        )
+        return SearchResult(
+            query=key,
+            start=start,
+            found=found,
+            responder=responder,
+            messages=int(batch.messages[0]),
+            failed_attempts=int(batch.failed_attempts[0]),
+        )
 
     def search_range(
         self, low: str, high: str, *, start: Address = 0, recbreadth: int = 2

@@ -34,6 +34,7 @@ import argparse
 import inspect
 import random
 import sys
+import time
 from typing import Any, Callable, Sequence
 
 from repro.core.analysis import plan_grid
@@ -131,6 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--start", type=int, default=0)
     search.add_argument("--p-online", type=float, default=1.0)
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--core", choices=("object", "array"),
+                        default="object",
+                        help="query plane: 'object' walks the reference "
+                             "engine, 'array' resolves through the "
+                             "vectorized batch plane (numpy; engine "
+                             "driver only, no trace/retry/faults)")
     search.add_argument("--driver", choices=("engine", "node", "async"),
                         default="engine",
                         help="execution path: in-process engine, the "
@@ -243,6 +250,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a paper-reproduction experiment"
     )
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--core", choices=("object", "array"), default="object",
+        help="query plane for experiments that support it (fig5, table6, "
+             "search_reliability): 'array' runs the vectorized batch "
+             "engine over gridless state — required for the 100k-peer "
+             "REPRO_SCALE=large profile",
+    )
     experiment.add_argument(
         "--save", type=str, default=None, help="directory for CSV/JSON output"
     )
@@ -396,6 +410,36 @@ def _cmd_search(args: argparse.Namespace) -> int:
     grid = load_grid(args.snapshot, rng=rng)
     if args.p_online < 1.0:
         grid.online_oracle = BernoulliChurn(args.p_online, random.Random(args.seed + 1))
+    if args.core == "array":
+        unsupported = (
+            args.driver != "engine"
+            or args.trace
+            or args.retry_attempts > 1
+            or args.self_repair
+            or args.crash_fraction > 0.0
+            or args.stale_fraction > 0.0
+        )
+        if unsupported:
+            print(
+                "--core array supports only the plain engine driver "
+                "(no --trace, retries, self-repair or fault injection); "
+                "use --core object for those",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.fast import ArrayGrid, BatchQueryEngine
+
+        engine = BatchQueryEngine.from_arraygrid(ArrayGrid.from_pgrid(grid))
+        dense = {address: i for i, address in enumerate(engine.addresses)}
+        batch = engine.search_many([args.key], [dense[args.start]])
+        found = bool(batch.found[0])
+        responder = engine.addresses[int(batch.responder[0])] if found else None
+        print(
+            f"found={found} responder={responder} "
+            f"messages={int(batch.messages[0])} "
+            f"failed_attempts={int(batch.failed_attempts[0])}"
+        )
+        return 0 if found else 1
     injector = None
     if args.crash_fraction > 0.0 or args.stale_fraction > 0.0:
         from repro.faults import FaultInjector, FaultPlan
@@ -507,13 +551,15 @@ def _print_trace_summary(trace) -> int:
 
 
 def _print_memory_footprint(config: PGridConfig, n_peers: int, seed: int) -> None:
-    """Print peak RSS and per-peer bytes for both grid cores.
+    """Print peak RSS, per-peer bytes and query throughput per core.
 
     Resident memory, not CPU, is what bounds large-population simulation
     (ROADMAP item 2), so ``pgrid stats`` measures a representative
     converged grid at the scenario's population in both representations:
     the object core (peers, routing lists, path strings) and the flat
-    array core the same state bridges into.
+    array core the same state bridges into.  The same grid then answers a
+    fixed query batch through both query planes so the memory trade-off
+    can be read next to the throughput it buys.
     """
     from repro.fast import ArrayGrid
     from repro.fast.mem import grid_memory_report
@@ -521,7 +567,8 @@ def _print_memory_footprint(config: PGridConfig, n_peers: int, seed: int) -> Non
     grid = PGrid(config, rng=rngmod.derive(seed, "stats-memory"))
     grid.add_peers(n_peers)
     GridBuilder(grid).build(max_exchanges=500 * n_peers, raise_on_budget=False)
-    report = grid_memory_report(pgrid=grid, agrid=ArrayGrid.from_pgrid(grid))
+    agrid = ArrayGrid.from_pgrid(grid)
+    report = grid_memory_report(pgrid=grid, agrid=agrid)
     print()
     peak = report.get("peak_rss_bytes")
     peak_text = f"{peak / 1e6:,.0f} MB" if peak is not None else "unknown"
@@ -534,6 +581,55 @@ def _print_memory_footprint(config: PGridConfig, n_peers: int, seed: int) -> Non
                 f"({core['bytes_total'] / 1e6:.1f} MB for "
                 f"{core['peers']:,} peers)"
             )
+    _print_query_throughput(grid, agrid, seed)
+
+
+def _print_query_throughput(grid: PGrid, agrid, seed: int) -> None:
+    """Time one query batch through both planes on the same grid state."""
+    from repro.sim.workload import UniformKeyWorkload
+
+    n_queries = min(500, 5 * len(grid))
+    workload = UniformKeyWorkload(
+        grid.config.maxl - 1, rngmod.derive(seed, "stats-query-keys")
+    )
+    keys = [workload.next_key() for _ in range(n_queries)]
+    addresses = grid.addresses()
+    start_rng = rngmod.derive(seed, "stats-query-starts")
+    starts = [start_rng.choice(addresses) for _ in range(n_queries)]
+    print(
+        f"query plane: {n_queries} searches, "
+        f"key length {grid.config.maxl - 1}"
+    )
+
+    engine = SearchEngine(grid)
+    began = time.perf_counter()
+    object_messages = sum(
+        engine.query_from(start, key).messages
+        for start, key in zip(starts, keys)
+    )
+    object_seconds = max(time.perf_counter() - began, 1e-9)
+    print(
+        f"  object core: {n_queries / object_seconds:,.0f} searches/s, "
+        f"{object_messages / n_queries:.2f} messages/search"
+    )
+
+    try:
+        from repro.fast.query import BatchQueryEngine
+
+        batch = BatchQueryEngine.from_arraygrid(
+            agrid, seed=rngmod.derive_seed(seed, "stats-query-batch")
+        )
+    except RuntimeError as exc:  # numpy missing
+        print(f"  array core: unavailable ({exc})")
+        return
+    index = {address: i for i, address in enumerate(batch.addresses)}
+    began = time.perf_counter()
+    result = batch.search_many(keys, [index[start] for start in starts])
+    batch_seconds = max(time.perf_counter() - began, 1e-9)
+    print(
+        f"  array core: {n_queries / batch_seconds:,.0f} searches/s, "
+        f"{result.mean_messages:.2f} messages/search"
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -754,16 +850,31 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_experiment(name: str, *, jobs: int = 1) -> ExperimentResult:
-    """Invoke a registered experiment, passing ``jobs`` where supported."""
+def _run_experiment(
+    name: str, *, jobs: int = 1, core: str = "object"
+) -> ExperimentResult:
+    """Invoke a registered experiment, passing ``jobs``/``core`` where
+    supported."""
     runner = EXPERIMENTS[name]
-    if jobs != 1 and "jobs" in inspect.signature(runner).parameters:
-        return runner(jobs=jobs)
-    return runner()
+    parameters = inspect.signature(runner).parameters
+    kwargs: dict[str, Any] = {}
+    if jobs != 1 and "jobs" in parameters:
+        kwargs["jobs"] = jobs
+    if core != "object":
+        if "core" not in parameters:
+            raise SystemExit(
+                f"experiment {name!r} does not support --core {core}; "
+                f"the array query plane backs fig5, table6 and "
+                f"search_reliability"
+            )
+        kwargs["core"] = core
+    return runner(**kwargs)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = _run_experiment(args.name, jobs=args.jobs)
+    result = _run_experiment(
+        args.name, jobs=args.jobs, core=getattr(args, "core", "object")
+    )
     print(result.to_text(float_digits=3))
     if args.save:
         result.save(args.save)

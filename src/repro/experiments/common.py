@@ -43,6 +43,7 @@ __all__ = [
     "active_scale",
     "section52_profile",
     "build_section52_grid",
+    "build_section52_array_engine",
     "default_cache_dir",
     "run_experiment_points",
     "run_scenario_trials",
@@ -139,6 +140,24 @@ _PROFILES: dict[str, Section52Profile] = {
         threshold_fraction=0.985,
         max_exchanges=8_000_000,
     ),
+    # Beyond the paper: 5x its population, for the array core only —
+    # building 100k peers as Python objects is infeasible in a test
+    # loop, so use ``core="array"`` (gridless batch construction + the
+    # vectorized query plane; requires numpy).
+    "large": Section52Profile(
+        name="large",
+        n_peers=100_000,
+        maxl=12,
+        refmax=20,
+        recmax=2,
+        recursion_fanout=2,
+        p_online=0.3,
+        n_searches=10_000,
+        n_updates=50,
+        queries_per_update=10,
+        threshold_fraction=0.985,
+        max_exchanges=60_000_000,
+    ),
 }
 
 
@@ -197,6 +216,57 @@ def build_section52_grid(
         save_grid(grid, cache_path)
     grid.rng = rngmod.derive(profile.seed, "post-build")
     return grid
+
+
+def build_section52_array_engine(
+    profile: Section52Profile | None = None,
+    *,
+    p_online: float | None = None,
+    probe: Any = None,
+    chunk: int = 8192,
+):
+    """Build the §5.2 state gridless and wrap it in the batch query plane.
+
+    The array-core twin of :func:`build_section52_grid`: a
+    :class:`~repro.fast.BatchGridBuilder` constructs the routing tables
+    as flat numpy arrays (no Python object per peer — this is what makes
+    the ``large`` 100k-peer profile tractable) and the returned
+    :class:`~repro.fast.BatchQueryEngine` resolves batched searches,
+    updates and reads over them with the profile's availability baked in
+    as ``p_online``.
+
+    No snapshot cache: at 100k peers the gridless build takes about as
+    long as loading a compressed snapshot would, and the flat state has
+    no JSON persistence format.  Requires numpy (raises otherwise).
+    The engine draws from its own numpy streams: results are
+    deterministic per profile seed and statistically equivalent to the
+    object core, not bit-identical (see ``repro.fast.query``).
+    """
+    from repro.fast import HAVE_NUMPY, BatchGridBuilder, BatchQueryEngine
+
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            "core='array' requires numpy; use the object core instead"
+        )
+    profile = profile or section52_profile()
+    builder = BatchGridBuilder(
+        n=profile.n_peers,
+        config=profile.config,
+        seed=rngmod.derive_seed(profile.seed, "construction-batch"),
+    )
+    builder.build(
+        threshold_fraction=profile.threshold_fraction,
+        # The object profiles size max_exchanges for the object builder's
+        # meeting schedule; the batched rounds need ~250/peer to converge.
+        max_exchanges=max(profile.max_exchanges, 600 * profile.n_peers),
+    )
+    return BatchQueryEngine.from_batch_builder(
+        builder,
+        seed=rngmod.derive_seed(profile.seed, "post-build"),
+        p_online=p_online if p_online is not None else profile.p_online,
+        probe=probe,
+        chunk=chunk,
+    )
 
 
 # -- parallel trial execution -------------------------------------------------

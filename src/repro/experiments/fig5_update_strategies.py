@@ -14,6 +14,7 @@ from repro.core.updates import UpdateEngine, UpdateStrategy
 from repro.experiments.common import (
     ExperimentResult,
     Section52Profile,
+    build_section52_array_engine,
     build_section52_grid,
     section52_profile,
 )
@@ -35,38 +36,79 @@ def run(
     grid: PGrid | None = None,
     use_cache: bool = True,
     trials: int | None = None,
+    core: str = "object",
+    array_engine=None,
 ) -> ExperimentResult:
-    """Reproduce Fig. 5: coverage vs. message cost per strategy."""
+    """Reproduce Fig. 5: coverage vs. message cost per strategy.
+
+    ``core="array"`` runs each strategy sweep through
+    :meth:`~repro.fast.BatchQueryEngine.find_replicas_many` over
+    gridless flat state — the only way to sweep the 100k-peer ``large``
+    profile.  Statistically equivalent to the object core; the batch
+    breadth-first frontier visits in wave order, biasing its coverage a
+    few percent low (documented in ``repro.fast.query``).
+    """
+    if core not in ("object", "array"):
+        raise ValueError(f"unknown core {core!r}: expected 'object' or 'array'")
     profile = profile or section52_profile()
-    grid = grid or build_section52_grid(profile, use_cache=use_cache)
     trials = trials if trials is not None else max(10, profile.n_updates // 2)
 
-    grid.online_oracle = BernoulliChurn(
-        profile.p_online, rngmod.derive(profile.seed, "f5-churn")
-    )
-    engine = UpdateEngine(grid)
     keys = UniformKeyWorkload(
         profile.query_key_length, rngmod.derive(profile.seed, "f5-keys")
     )
     start_rng = rngmod.derive(profile.seed, "f5-starts")
-    addresses = grid.addresses()
 
-    def measure(strategy: UpdateStrategy, *, repetition: int, recbreadth: int) -> tuple[float, float]:
-        total_messages = 0
-        total_coverage = 0.0
-        for _ in range(trials):
-            key = keys.next_key()
-            start = start_rng.choice(addresses)
-            replicas = grid.replicas_for_key(key)
-            if not replicas:
-                continue
-            reached, messages, _failed = engine.find_replicas(
-                start, key, strategy=strategy, repetition=repetition,
-                recbreadth=recbreadth,
+    if core == "array":
+        batch = array_engine or build_section52_array_engine(profile)
+
+        def measure(
+            strategy: UpdateStrategy, *, repetition: int, recbreadth: int
+        ) -> tuple[float, float]:
+            trial_keys = [keys.next_key() for _ in range(trials)]
+            starts = [start_rng.randrange(batch.n) for _ in range(trials)]
+            truth = batch.replicas_for_keys(trial_keys)
+            result = batch.find_replicas_many(
+                trial_keys, starts, strategy=strategy,
+                repetition=repetition, recbreadth=recbreadth,
             )
-            total_messages += messages
-            total_coverage += len(reached & set(replicas)) / len(replicas)
-        return total_messages / trials, total_coverage / trials
+            total_messages = int(result.messages.sum())
+            total_coverage = 0.0
+            for i in range(trials):
+                replicas = truth.reached(i)
+                if not len(replicas):
+                    continue
+                reached = set(result.reached(i).tolist())
+                total_coverage += (
+                    len(reached & set(replicas.tolist())) / len(replicas)
+                )
+            return total_messages / trials, total_coverage / trials
+
+    else:
+        grid = grid or build_section52_grid(profile, use_cache=use_cache)
+        grid.online_oracle = BernoulliChurn(
+            profile.p_online, rngmod.derive(profile.seed, "f5-churn")
+        )
+        engine = UpdateEngine(grid)
+        addresses = grid.addresses()
+
+        def measure(
+            strategy: UpdateStrategy, *, repetition: int, recbreadth: int
+        ) -> tuple[float, float]:
+            total_messages = 0
+            total_coverage = 0.0
+            for _ in range(trials):
+                key = keys.next_key()
+                start = start_rng.choice(addresses)
+                replicas = grid.replicas_for_key(key)
+                if not replicas:
+                    continue
+                reached, messages, _failed = engine.find_replicas(
+                    start, key, strategy=strategy, repetition=repetition,
+                    recbreadth=recbreadth,
+                )
+                total_messages += messages
+                total_coverage += len(reached & set(replicas)) / len(replicas)
+            return total_messages / trials, total_coverage / trials
 
     rows: list[list[object]] = []
     series: dict[str, list[tuple[float, float]]] = {}
@@ -100,6 +142,7 @@ def run(
         rows=rows,
         config={
             "profile": profile.name,
+            "core": core,
             "trials": trials,
             "dfs_repetitions": list(DFS_REPETITIONS),
             "bfs_recbreadths": list(BFS_RECBREADTHS),

@@ -14,6 +14,7 @@ from repro.core.search import SearchEngine
 from repro.experiments.common import (
     ExperimentResult,
     Section52Profile,
+    build_section52_array_engine,
     build_section52_grid,
     section52_profile,
 )
@@ -35,28 +36,53 @@ def run(
     grid: PGrid | None = None,
     use_cache: bool = True,
     n_searches: int | None = None,
+    core: str = "object",
+    array_engine=None,
 ) -> ExperimentResult:
-    """Reproduce the §5.2 search-reliability measurement."""
+    """Reproduce the §5.2 search-reliability measurement.
+
+    ``core="array"`` resolves the whole query set through the vectorized
+    :class:`~repro.fast.BatchQueryEngine` over gridless-built flat state
+    (required for the 100k-peer ``large`` profile, where no object grid
+    is ever materialized; statistically equivalent to the object core —
+    see ``repro.fast.query``).  *array_engine* injects a pre-built
+    engine, mirroring the *grid* parameter.
+    """
+    if core not in ("object", "array"):
+        raise ValueError(f"unknown core {core!r}: expected 'object' or 'array'")
     profile = profile or section52_profile()
-    grid = grid or build_section52_grid(profile, use_cache=use_cache)
     n_searches = n_searches if n_searches is not None else profile.n_searches
 
-    churn_rng = rngmod.derive(profile.seed, "s1-churn")
-    grid.online_oracle = BernoulliChurn(profile.p_online, churn_rng)
-    engine = SearchEngine(grid)
-    stream = QueryStream(
-        grid.addresses(),
-        UniformKeyWorkload(profile.query_key_length, rngmod.derive(profile.seed, "s1-keys")),
-        rngmod.derive(profile.seed, "s1-starts"),
-    )
-
     successes = RateAccumulator()
-    message_counts: list[int] = []
-    for start, key in stream.queries(n_searches):
-        result = engine.query_from(start, key)
-        successes.record(result.found)
-        if result.found:
-            message_counts.append(result.messages)
+    if core == "array":
+        engine = array_engine or build_section52_array_engine(profile)
+        key_rng = rngmod.derive(profile.seed, "s1-keys")
+        keys_stream = UniformKeyWorkload(profile.query_key_length, key_rng)
+        start_rng = rngmod.derive(profile.seed, "s1-starts")
+        keys = [keys_stream.next_key() for _ in range(n_searches)]
+        starts = [start_rng.randrange(engine.n) for _ in range(n_searches)]
+        result = engine.search_many(keys, starts)
+        for flag in result.found:
+            successes.record(bool(flag))
+        message_counts = result.messages[result.found].tolist()
+    else:
+        grid = grid or build_section52_grid(profile, use_cache=use_cache)
+        churn_rng = rngmod.derive(profile.seed, "s1-churn")
+        grid.online_oracle = BernoulliChurn(profile.p_online, churn_rng)
+        engine = SearchEngine(grid)
+        stream = QueryStream(
+            grid.addresses(),
+            UniformKeyWorkload(
+                profile.query_key_length, rngmod.derive(profile.seed, "s1-keys")
+            ),
+            rngmod.derive(profile.seed, "s1-starts"),
+        )
+        message_counts = []
+        for start, key in stream.queries(n_searches):
+            result = engine.query_from(start, key)
+            successes.record(result.found)
+            if result.found:
+                message_counts.append(result.messages)
 
     messages = summarize(message_counts) if message_counts else None
     predicted = search_success_probability(
@@ -91,6 +117,7 @@ def run(
         rows=rows,
         config={
             "profile": profile.name,
+            "core": core,
             "n_searches": n_searches,
             "p_online": profile.p_online,
             "query_key_length": profile.query_key_length,

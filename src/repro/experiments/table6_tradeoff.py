@@ -27,6 +27,7 @@ from repro.core.updates import ReadEngine, UpdateEngine, UpdateStrategy
 from repro.experiments.common import (
     ExperimentResult,
     Section52Profile,
+    build_section52_array_engine,
     build_section52_grid,
     section52_profile,
 )
@@ -63,10 +64,21 @@ def run(
     queries_per_update: int | None = None,
     recbreadth_values: tuple[int, ...] = (2, 3),
     repetition_values: tuple[int, ...] = (1, 2, 3),
+    core: str = "object",
+    array_engine=None,
 ) -> ExperimentResult:
-    """Reproduce T6 on the shared §5.2 grid."""
+    """Reproduce T6 on the shared §5.2 grid.
+
+    ``core="array"`` drives the whole update/read matrix through
+    :meth:`~repro.fast.BatchQueryEngine.publish_many` /
+    :meth:`~repro.fast.BatchQueryEngine.read_many` over gridless flat
+    state — required for the 100k-peer ``large`` profile.  Statistically
+    equivalent to the object core, not bit-identical (different RNG
+    streams; see ``repro.fast.query``).
+    """
+    if core not in ("object", "array"):
+        raise ValueError(f"unknown core {core!r}: expected 'object' or 'array'")
     profile = profile or section52_profile()
-    grid = grid or build_section52_grid(profile, use_cache=use_cache)
     n_updates = n_updates if n_updates is not None else profile.n_updates
     queries_per_update = (
         queries_per_update
@@ -74,51 +86,91 @@ def run(
         else profile.queries_per_update
     )
 
-    grid.online_oracle = BernoulliChurn(
-        profile.p_online, rngmod.derive(profile.seed, "t6-churn")
-    )
-    updates = UpdateEngine(grid)
-    reads = ReadEngine(grid, search=updates.search)
+    batch = None
+    if core == "array":
+        batch = array_engine or build_section52_array_engine(profile)
+    else:
+        grid = grid or build_section52_grid(profile, use_cache=use_cache)
+        grid.online_oracle = BernoulliChurn(
+            profile.p_online, rngmod.derive(profile.seed, "t6-churn")
+        )
+        updates = UpdateEngine(grid)
+        reads = ReadEngine(grid, search=updates.search)
+        addresses = grid.addresses()
     keys = UniformKeyWorkload(
         profile.query_key_length, rngmod.derive(profile.seed, "t6-keys")
     )
     pick = rngmod.derive(profile.seed, "t6-starts")
-    addresses = grid.addresses()
 
     rows: list[list[object]] = []
     for repetitive in (True, False):
         for recbreadth in recbreadth_values:
             for repetition in repetition_values:
-                insertion_cost = 0
-                query_cost = 0
-                successes = 0
-                queries = 0
-                for update_index in range(n_updates):
-                    key = keys.next_key()
-                    holder = pick.choice(addresses)
-                    item = DataItem(key=key, value=f"update-{update_index}")
-                    version = 1
-                    result = updates.publish(
-                        pick.choice(addresses),
-                        item,
-                        holder,
+                if batch is not None:
+                    # Same draw order as the object loop below (key,
+                    # holder, publish start, then the query starts), so
+                    # both cores sweep identical workloads per config.
+                    u_keys: list[str] = []
+                    holders: list[int] = []
+                    pub_starts: list[int] = []
+                    read_starts: list[int] = []
+                    for _ in range(n_updates):
+                        u_keys.append(keys.next_key())
+                        holders.append(pick.randrange(batch.n))
+                        pub_starts.append(pick.randrange(batch.n))
+                        for _ in range(queries_per_update):
+                            read_starts.append(pick.randrange(batch.n))
+                    versions = [1] * n_updates
+                    published = batch.publish_many(
+                        u_keys, holders, versions, pub_starts,
                         strategy=UpdateStrategy.BFS,
-                        repetition=repetition,
-                        recbreadth=recbreadth,
-                        version=version,
+                        repetition=repetition, recbreadth=recbreadth,
                     )
-                    insertion_cost += result.messages
-                    for _ in range(queries_per_update):
-                        start = pick.choice(addresses)
-                        if repetitive:
-                            read = reads.read_repeated(
-                                start, key, holder, version
-                            )
-                        else:
-                            read = reads.read_single(start, key, holder, version)
-                        query_cost += read.messages
-                        successes += int(read.success)
-                        queries += 1
+                    insertion_cost = int(published.messages.sum())
+                    tile = queries_per_update
+                    read = batch.read_many(
+                        [k for k in u_keys for _ in range(tile)],
+                        [h for h in holders for _ in range(tile)],
+                        [1] * (n_updates * tile),
+                        read_starts,
+                        repetitive=repetitive,
+                    )
+                    query_cost = int(read.messages.sum())
+                    successes = int(read.success.sum())
+                    queries = n_updates * tile
+                else:
+                    insertion_cost = 0
+                    query_cost = 0
+                    successes = 0
+                    queries = 0
+                    for update_index in range(n_updates):
+                        key = keys.next_key()
+                        holder = pick.choice(addresses)
+                        item = DataItem(key=key, value=f"update-{update_index}")
+                        version = 1
+                        result = updates.publish(
+                            pick.choice(addresses),
+                            item,
+                            holder,
+                            strategy=UpdateStrategy.BFS,
+                            repetition=repetition,
+                            recbreadth=recbreadth,
+                            version=version,
+                        )
+                        insertion_cost += result.messages
+                        for _ in range(queries_per_update):
+                            start = pick.choice(addresses)
+                            if repetitive:
+                                read = reads.read_repeated(
+                                    start, key, holder, version
+                                )
+                            else:
+                                read = reads.read_single(
+                                    start, key, holder, version
+                                )
+                            query_cost += read.messages
+                            successes += int(read.success)
+                            queries += 1
                 rows.append(
                     [
                         "repetitive" if repetitive else "non-repetitive",
@@ -151,6 +203,7 @@ def run(
         rows=rows,
         config={
             "profile": profile.name,
+            "core": core,
             "n_updates": n_updates,
             "queries_per_update": queries_per_update,
             "recbreadth_values": list(recbreadth_values),

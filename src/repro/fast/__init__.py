@@ -30,6 +30,12 @@ from repro.fast.batch import BatchGridBuilder
 from repro.fast.builder import ArrayGridBuilder
 from repro.fast.engine import ArrayExchangeEngine
 from repro.fast.mem import grid_memory_report, peak_rss_bytes
+from repro.fast.query import (
+    BatchQueryEngine,
+    BatchReachResult,
+    BatchReadResult,
+    BatchSearchResult,
+)
 from repro.fast.rngbuf import HAVE_NUMPY, BufferedReader, DirectReader, reader_for
 
 __all__ = [
@@ -37,6 +43,10 @@ __all__ = [
     "ArrayGridBuilder",
     "ArrayExchangeEngine",
     "BatchGridBuilder",
+    "BatchQueryEngine",
+    "BatchReachResult",
+    "BatchReadResult",
+    "BatchSearchResult",
     "BufferedReader",
     "DirectReader",
     "reader_for",

@@ -121,8 +121,13 @@ class BatchGridBuilder:
         # numpy per-op overhead amortizes but threshold overshoot stays
         # a small fraction of the run (the adaptive shrink in ``build``
         # caps it near the threshold anyway).
+        # The 32k floor on the cap keeps small-grid behaviour unchanged;
+        # above ~128k peers rounds scale with n/4 so the per-wave numpy
+        # overhead keeps amortizing (1M peers: 250k-meeting rounds).
         self.round_size = (
-            round_size if round_size is not None else max(64, min(4 * n, 32_768))
+            round_size
+            if round_size is not None
+            else max(64, min(4 * n, max(32_768, n // 4)))
         )
         # A wave's take is bounded by disjoint pairs over distinct peers,
         # and duplicate crowding *lowers* the both-first-occurrence odds
@@ -136,7 +141,11 @@ class BatchGridBuilder:
             # one documented draw, so repeated builds differ like
             # repeated GridBuilder runs would.
             seed = grid.rng.getrandbits(64)
-        self._rng = np.random.Generator(np.random.MT19937(seed))
+        # PCG64 over MT19937: the builder never replays the object
+        # core's word stream (that is the strict engine's job), and the
+        # ref re-sampling keys dominate RNG cost at scale — PCG64 roughly
+        # halves it.  Determinism-per-seed is unchanged.
+        self._rng = np.random.Generator(np.random.PCG64(seed))
 
         maxl = self.maxl
         refmax = self.refmax
@@ -235,27 +244,50 @@ class BatchGridBuilder:
         combined = combined[touched]
         valid = valid[touched]
         counts = counts[touched]
-        # Independent uniform selections for each of the two peers:
-        # pack (random key << vbits) | index per union element, sort the
-        # rows, keep the first refmax — random keys in the high bits
-        # make one int64 sort both shuffle and select.
-        t = len(combined)
-        keys = self._rng.integers(
-            0, self._key_mod, size=(2, t, 2 * refmax), dtype=np.int64
-        )
-        pack = np.where(
-            valid[None], (keys << self._vbits) | combined[None], _SENTINEL
-        ).reshape(2 * t, 2 * refmax)
-        pack.sort(axis=1)
-        picked = pack[:, :refmax] & self._vmask
-        kept = np.minimum(np.concatenate([counts, counts]), refmax)
-        pad = self._ar_refmax[None, :] >= kept[:, None]
-        picked[pad] = -1
+        # Unions that already fit in refmax need no sampling at all:
+        # ``random_select(refmax, union)`` degenerates to the identity
+        # (slot order never matters — future draws are uniform over the
+        # slot), and both peers receive the same set.  One sentinel sort
+        # compacts the deduped entries; no RNG keys are drawn.  This is
+        # the common case through most of construction and roughly
+        # halves the kernel's cost at 100k+ peers.
+        small = counts <= refmax
+        if small.any():
+            sm = np.flatnonzero(small)
+            sent = np.iinfo(combined.dtype).max
+            pack_s = np.where(valid[sm], combined[sm], sent)
+            pack_s.sort(axis=1)
+            picked_s = pack_s[:, :refmax]
+            picked_s[picked_s == sent] = -1
+            kept_s = counts[sm].astype(rl.dtype)
+            refs[rows1[sm]] = picked_s
+            refs[rows2[sm]] = picked_s
+            rl[rows1[sm]] = kept_s
+            rl[rows2[sm]] = kept_s
+        big = ~small
+        if big.any():
+            bg = np.flatnonzero(big)
+            comb_b = combined[bg]
+            valid_b = valid[bg]
+            # Independent uniform selections for each of the two peers:
+            # pack (random key << vbits) | index per union element, sort
+            # the rows, keep the first refmax — random keys in the high
+            # bits make one int64 sort both shuffle and select.
+            t = len(bg)
+            keys = self._rng.integers(
+                0, self._key_mod, size=(2, t, 2 * refmax), dtype=np.int64
+            )
+            pack = np.where(
+                valid_b[None], (keys << self._vbits) | comb_b[None], _SENTINEL
+            ).reshape(2 * t, 2 * refmax)
+            pack.sort(axis=1)
+            picked = (pack[:, :refmax] & self._vmask).astype(refs.dtype)
+            rows_b = np.concatenate([rows1[bg], rows2[bg]])
+            refs[rows_b] = picked
+            rl[rows_b] = refmax
         rows = np.concatenate([rows1, rows2])
-        refs[rows] = picked
-        rl[rows] = kept
         level = np.concatenate([lc[active][touched], lc[active][touched]])
-        peers = np.concatenate([rows1 // maxl, rows2 // maxl])
+        peers = rows // maxl
         np.maximum.at(self._td, peers, level)
 
     def _merge_single(self, longer, shorter, lc):
@@ -300,10 +332,15 @@ class BatchGridBuilder:
         l2 = pl[i2]
         m = np.minimum(l1, l2)
         x = (b1 >> (l1 - m)) ^ (b2 >> (l2 - m))
-        bits = np.zeros(len(x), dtype=np.int64)
-        nz = x > 0
-        if nz.any():
-            bits[nz] = np.floor(np.log2(x[nz])).astype(np.int64) + 1
+        # frexp's binary exponent IS bit_length (0 for 0), one cheap
+        # pass with no zero-guard; exact below 2**53, so guard on maxl.
+        if maxl <= 52:
+            bits = np.frexp(x)[1].astype(np.int64)
+        else:  # pragma: no cover - maxl in (52, 58]
+            bits = np.zeros(len(x), dtype=np.int64)
+            nz = x > 0
+            if nz.any():
+                bits[nz] = np.floor(np.log2(x[nz])).astype(np.int64) + 1
         lc = m - bits
 
         shared = lc > 0
@@ -514,7 +551,10 @@ class BatchGridBuilder:
         pend_i1 = np.empty(0, dtype=np.int64)
         pend_i2 = np.empty(0, dtype=np.int64)
         pend_depth = np.empty(0, dtype=np.int64)
-        min_wave = 128
+        # Scale the tail cut-off with the round so big-grid rounds don't
+        # drain overhead-dominated micro-waves (leftovers fold into the
+        # next round's worklist either way).
+        min_wave = max(128, self.round_size >> 5)
 
         while not converged:
             if max_meetings is not None and meetings_run >= max_meetings:
@@ -618,6 +658,19 @@ class BatchGridBuilder:
         grid.buddies.update(
             (i, set(b)) for i, b in self._buddies.items() if b
         )
+
+    # -- query-plane handoff -------------------------------------------------------
+
+    def snapshot_state(self):
+        """The flat numpy state ``(path_bits, path_len, refs, ref_len,
+        buddies)`` for :class:`repro.fast.query.BatchQueryEngine`.
+
+        Arrays are shared, not copied — take the snapshot after
+        :meth:`build` and do not build further while querying.  This is
+        the gridless handoff that lets 100k–1M peer grids be queried
+        without ever materializing an object grid.
+        """
+        return self._pb, self._pl, self._refs, self._rl, self._buddies
 
     # -- gridless analytics --------------------------------------------------------
 

@@ -1,0 +1,944 @@
+"""Vectorized batch query plane over the flat array grid state.
+
+:class:`BatchQueryEngine` resolves *many* searches per numpy pass: the
+whole in-flight query population advances one protocol step per wave —
+prefix matching via integer path arithmetic, per-wave uniform candidate
+draws, Bernoulli liveness — with per-query message/failed-attempt
+accounting kept exact.  The same wave kernels back the §3/§5.2 update
+and read strategies (repeated DFS, DFS + buddies, breadth-first
+fan-out, repetitive/non-repetitive reads), which is what lets Fig. 5
+and the §6 trade-off sweep run at 100k+ peers.
+
+Semantics relative to the object core (``SearchEngine`` /
+``UpdateEngine`` / ``ReadEngine`` over the Fig. 2 machines):
+
+* **Routing decisions are identical**: divergence level, candidate
+  level (``level + lc + 1``), uniform attempt order without
+  replacement, candidate consumed *before* the liveness check,
+  backtracking order, breadth fan-out capped at ``recbreadth`` with a
+  shared per-query visited set.
+* **Accounting is identical**: ``messages`` counts successful contacts,
+  ``failed_attempts`` counts offline misses; the start peer is visited
+  locally (no message, no liveness draw).
+* **RNG discipline differs**: a seeded numpy generator drawing per
+  wave instead of CPython's ``random`` drawing per hop, so runs are
+  deterministic per seed and statistically equivalent to the object
+  core — not bit-identical (same contract as
+  :class:`repro.fast.batch.BatchGridBuilder`).
+* **Budget exhaustion differs in the tail**: the object core keeps
+  attempting (and failing to budget) contacts while the recursion
+  unwinds, accruing extra ``failed_attempts``; the batch engine marks
+  the query exhausted at the first over-budget contact.  The default
+  budget is 10 000 messages per query, which no experiment reaches.
+* **Breadth visiting order differs**: the object core executes the
+  "breadth" fan-out as a synchronous depth-first recursion over one
+  shared visited set; the batch engine advances a true frontier wave,
+  marking peers visited at forward time.  Reached sets and message
+  costs agree statistically (the equivalence tests pin the tolerance).
+
+Observability fidelity note: the batch plane reports **aggregate
+counters per wave** via :meth:`repro.obs.Probe.on_batch_wave` and one
+batch summary via :meth:`repro.obs.Probe.on_batch_search` — not the
+per-hop ``on_forward``/``on_backtrack``/``on_offline_miss`` event
+stream.  Per-hop tracing of 10^5+ concurrent queries would serialize
+the vectorized kernels back into Python; use the object core when hop
+traces matter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.config import PGridConfig, SearchConfig
+from repro.protocol.update import UpdateStrategy
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    np = None
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fast.arraygrid import ArrayGrid
+    from repro.fast.batch import BatchGridBuilder
+
+__all__ = [
+    "BatchQueryEngine",
+    "BatchSearchResult",
+    "BatchReachResult",
+    "BatchReadResult",
+]
+
+#: Sort-last marker for invalid entries in packed (key | index) rows.
+_SENTINEL = (1 << 62) - 1
+
+# Per-query DFS states.
+_ARRIVE, _SELECT = 0, 1
+_FOUND, _FAILED, _EXHAUSTED = 2, 3, 4
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise RuntimeError(
+            "the batch query engine requires numpy; use the object core instead"
+        )
+
+
+def _pack_keys(keys: Sequence[str]):
+    """Binary-string keys → (packed bits, lengths) int64 arrays."""
+    kb = np.empty(len(keys), dtype=np.int64)
+    kl = np.empty(len(keys), dtype=np.int64)
+    for i, key in enumerate(keys):
+        if not key:
+            raise ValueError("queries must be non-empty binary strings")
+        kb[i] = int(key, 2)
+        kl[i] = len(key)
+    return kb, kl
+
+
+class BatchSearchResult:
+    """Per-query outcome arrays of one :meth:`BatchQueryEngine.search_many`.
+
+    ``responder`` holds dense peer indices (``-1`` where not found); map
+    through ``engine.addresses`` when the grid uses sparse addressing.
+    """
+
+    __slots__ = ("found", "responder", "messages", "failed_attempts")
+
+    def __init__(self, found, responder, messages, failed_attempts) -> None:
+        self.found = found
+        self.responder = responder
+        self.messages = messages
+        self.failed_attempts = failed_attempts
+
+    def __len__(self) -> int:
+        return len(self.found)
+
+    @property
+    def found_rate(self) -> float:
+        return float(self.found.mean()) if len(self.found) else 0.0
+
+    @property
+    def mean_messages(self) -> float:
+        return float(self.messages.mean()) if len(self.messages) else 0.0
+
+    @property
+    def mean_failed(self) -> float:
+        return (
+            float(self.failed_attempts.mean()) if len(self.failed_attempts) else 0.0
+        )
+
+
+class BatchReachResult:
+    """Per-query reached-peer sets (CSR) of one breadth/replica-discovery
+    batch: query *i* reached ``values[offsets[i]:offsets[i+1]]``."""
+
+    __slots__ = ("offsets", "values", "messages", "failed_attempts")
+
+    def __init__(self, offsets, values, messages, failed_attempts) -> None:
+        self.offsets = offsets
+        self.values = values
+        self.messages = messages
+        self.failed_attempts = failed_attempts
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def reached(self, i: int):
+        """Dense peer indices reached by query *i* (discovery order)."""
+        return self.values[self.offsets[i] : self.offsets[i + 1]]
+
+    @property
+    def mean_messages(self) -> float:
+        return float(self.messages.mean()) if len(self.messages) else 0.0
+
+
+class BatchReadResult:
+    """Per-read outcome arrays of :meth:`BatchQueryEngine.read_many`."""
+
+    __slots__ = ("success", "messages", "failed_attempts", "repetitions")
+
+    def __init__(self, success, messages, failed_attempts, repetitions) -> None:
+        self.success = success
+        self.messages = messages
+        self.failed_attempts = failed_attempts
+        self.repetitions = repetitions
+
+    def __len__(self) -> int:
+        return len(self.success)
+
+    @property
+    def success_rate(self) -> float:
+        return float(self.success.mean()) if len(self.success) else 0.0
+
+    @property
+    def mean_messages(self) -> float:
+        return float(self.messages.mean()) if len(self.messages) else 0.0
+
+
+class BatchQueryEngine:
+    """Batched DFS/BFS/update/read kernels over flat numpy grid state.
+
+    Construct via :meth:`from_arraygrid` (bridged object grids) or
+    :meth:`from_batch_builder` (gridless 100k–1M peer state).  All peer
+    identifiers are dense indices ``0..n-1``; ``addresses`` maps them
+    back when the source grid used sparse addressing.
+    """
+
+    def __init__(
+        self,
+        *,
+        pb,
+        pl,
+        refs,
+        rl,
+        n: int,
+        config: PGridConfig,
+        buddies: dict[int, set[int]] | None = None,
+        addresses: list[int] | None = None,
+        seed: int,
+        p_online: float = 1.0,
+        max_messages: int | None = None,
+        chunk: int = 8192,
+        probe: Any = None,
+    ) -> None:
+        _require_numpy()
+        if not 0.0 <= p_online <= 1.0:
+            raise ValueError(f"p_online must be in [0, 1], got {p_online}")
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        if config.maxl > 58:
+            raise ValueError("batch query engine packs paths into int64 (maxl <= 58)")
+        self.n = n
+        self.config = config
+        self.maxl = config.maxl
+        self.refmax = config.refmax
+        self.p_online = p_online
+        self.max_messages = (
+            max_messages if max_messages is not None else SearchConfig().max_messages
+        )
+        self.chunk = chunk
+        self.addresses = addresses if addresses is not None else list(range(n))
+        self._pb = np.ascontiguousarray(pb, dtype=np.int64)
+        self._pl = np.ascontiguousarray(pl, dtype=np.int64)
+        self._refs = refs  # (n * maxl, refmax) int32, -1 beyond each row's count
+        self._rl = rl  # (n * maxl,) per-row counts
+        self._buddies = buddies or {}
+        self._probe = probe
+        self._rng = np.random.Generator(np.random.MT19937(seed))
+        self._pyrng = random.Random(seed ^ 0x9E3779B97F4A7C15)
+        # Shuffle packing (same scheme as batch.py): random key in the
+        # high bits, peer index in the low bits, one int64 sort.
+        self._vbits = max((n - 1).bit_length(), 1)
+        self._vmask = (1 << self._vbits) - 1
+        self._key_mod = 1 << min(62 - self._vbits, 31)
+        # Side store for the §5.2 update/read experiments:
+        # (peer, key bits, key len, holder) -> version.
+        self._store: dict[tuple[int, int, int, int], int] = {}
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def from_arraygrid(
+        cls,
+        grid: "ArrayGrid",
+        *,
+        seed: int | None = None,
+        p_online: float | None = None,
+        max_messages: int | None = None,
+        chunk: int = 8192,
+        probe: Any = None,
+    ) -> "BatchQueryEngine":
+        """Snapshot an :class:`ArrayGrid` (typically bridged from a
+        :class:`~repro.core.grid.PGrid`) into the batch query plane.
+
+        ``p_online`` defaults to the grid's online oracle when it is
+        AlwaysOnline (1.0) or a plain :class:`~repro.sim.churn.BernoulliChurn`
+        (its ``p_online``); other oracles need an explicit value.  When
+        ``seed`` is omitted it is derived from the grid's seeded
+        ``random.Random`` with one documented draw.
+        """
+        _require_numpy()
+        if p_online is None:
+            p_online = _oracle_p_online(grid.online_oracle)
+        if seed is None:
+            seed = grid.rng.getrandbits(64)
+        n = grid.n
+        maxl = grid.maxl
+        refmax = grid.refmax
+        refs = np.full((n * maxl, refmax), -1, dtype=np.int32)
+        flat = grid.refs
+        for row, count in enumerate(grid.ref_len):
+            if count:
+                base = row * refmax
+                refs[row, :count] = flat[base : base + count]
+        rl = np.asarray(grid.ref_len, dtype=np.int16)
+        engine = cls(
+            pb=grid.path_bits,
+            pl=grid.path_len,
+            refs=refs,
+            rl=rl,
+            n=n,
+            config=grid.config,
+            buddies={i: set(b) for i, b in grid.buddies.items()},
+            addresses=list(grid.addresses),
+            seed=seed,
+            p_online=p_online,
+            max_messages=max_messages,
+            chunk=chunk,
+            probe=probe,
+        )
+        for peer, entries in grid.store_refs.items():
+            for (bits, length), holders in entries.items():
+                for holder, (version, deleted) in holders.items():
+                    if not deleted:
+                        engine._store[(peer, bits, length, holder)] = version
+        return engine
+
+    @classmethod
+    def from_batch_builder(
+        cls,
+        builder: "BatchGridBuilder",
+        *,
+        seed: int,
+        p_online: float = 1.0,
+        max_messages: int | None = None,
+        chunk: int = 8192,
+        probe: Any = None,
+    ) -> "BatchQueryEngine":
+        """Wrap a (converged) gridless builder's numpy state directly —
+        no object grid is ever materialized, which is what makes the
+        100k+ peer experiment runs fit in memory.  The reference
+        buffers are shared, not copied."""
+        _require_numpy()
+        pb, pl, refs, rl, buddies = builder.snapshot_state()
+        return cls(
+            pb=pb,
+            pl=pl,
+            refs=refs,
+            rl=rl,
+            n=builder.n,
+            config=builder.config,
+            buddies=buddies,
+            seed=seed,
+            p_online=p_online,
+            max_messages=max_messages,
+            chunk=chunk,
+            probe=probe,
+        )
+
+    # -- shared bit math ----------------------------------------------------------
+
+    def _bit_length(self, x):
+        """Vectorized ``int.bit_length`` for non-negative int64 *x*.
+
+        ``frexp`` returns the binary exponent directly (one libm-free
+        pass, ~3x cheaper than ``floor(log2)+1`` with a zero-guard) and
+        is exact below 2**53; longer paths fall back to log2.
+        """
+        if self.maxl <= 52:
+            return np.frexp(x)[1].astype(np.int64)
+        bits = np.zeros(len(x), dtype=np.int64)
+        nz = x > 0
+        if nz.any():
+            bits[nz] = np.floor(np.log2(x[nz])).astype(np.int64) + 1
+        return bits
+
+    def _divergence(self, kb, kl, cons, cur):
+        """Common-prefix length of the query suffix vs the peer's
+        remaining path, plus both suffix lengths (Fig. 2's ``lc``)."""
+        pb = self._pb
+        pl = self._pl
+        one = np.int64(1)
+        slen = kl - cons
+        sfx = kb & ((one << slen) - 1)
+        rlen = np.maximum(pl[cur] - cons, 0)
+        rem = pb[cur] & ((one << rlen) - 1)
+        m = np.minimum(slen, rlen)
+        x = (sfx >> (slen - m)) ^ (rem >> (rlen - m))
+        lc = m - self._bit_length(x)
+        return lc, slen, rlen
+
+    def _emit_wave(self, kind: str, wave: int, active: int, contacts: int, offline: int) -> None:
+        if self._probe is not None:
+            self._probe.on_batch_wave(
+                kind, wave=wave, active=active, contacts=contacts, offline=offline
+            )
+
+    def _emit_batch(self, kind: str, found: int, queries: int, messages: int, failed: int) -> None:
+        if self._probe is not None:
+            self._probe.on_batch_search(
+                kind,
+                queries=queries,
+                found=found,
+                messages=messages,
+                failed_attempts=failed,
+            )
+
+    # -- depth-first search (Fig. 2) -----------------------------------------------
+
+    def search_many(
+        self,
+        queries: Sequence[str],
+        starts,
+        *,
+        max_messages: int | None = None,
+    ) -> BatchSearchResult:
+        """Resolve one Fig. 2 depth-first search per (query, start) pair.
+
+        ``queries`` are binary strings (or a pre-packed ``(bits, lengths)``
+        array pair); ``starts`` dense peer indices.  Queries advance in
+        waves of at most ``chunk`` concurrent searches.
+        """
+        kb, kl = queries if isinstance(queries, tuple) else _pack_keys(queries)
+        starts = np.asarray(starts, dtype=np.int64)
+        if len(starts) != len(kb):
+            raise ValueError(f"{len(kb)} queries but {len(starts)} starts")
+        budget = max_messages if max_messages is not None else self.max_messages
+        q = len(kb)
+        found = np.zeros(q, dtype=bool)
+        responder = np.full(q, -1, dtype=np.int64)
+        messages = np.zeros(q, dtype=np.int64)
+        failed = np.zeros(q, dtype=np.int64)
+        for lo in range(0, q, self.chunk):
+            hi = min(lo + self.chunk, q)
+            f, r, m, fa = self._dfs_chunk(kb[lo:hi], kl[lo:hi], starts[lo:hi], budget)
+            found[lo:hi] = f
+            responder[lo:hi] = r
+            messages[lo:hi] = m
+            failed[lo:hi] = fa
+        self._emit_batch(
+            "batch_dfs", int(found.sum()), q, int(messages.sum()), int(failed.sum())
+        )
+        return BatchSearchResult(found, responder, messages, failed)
+
+    def _dfs_chunk(self, kb, kl, starts, max_messages):
+        """One chunk of concurrent depth-first searches, advanced per wave.
+
+        Each query holds an explicit stack of (consumed-bits, remaining
+        candidates) frames — depth is bounded by ``maxl`` because every
+        successful forward consumes at least one query bit.
+        """
+        n = self.n
+        maxl = self.maxl
+        refmax = self.refmax
+        refs = self._refs
+        rl = self._rl
+        rng = self._rng
+        p = self.p_online
+        q = len(kb)
+        depth = maxl + 2
+
+        cur = starts.copy()
+        if q and (cur.min() < 0 or cur.max() >= n):
+            raise ValueError("start indices out of range")
+        consumed = np.zeros(q, dtype=np.int64)
+        status = np.full(q, _ARRIVE, dtype=np.int8)
+        msgs = np.zeros(q, dtype=np.int64)
+        fails = np.zeros(q, dtype=np.int64)
+        budget = np.full(q, max_messages, dtype=np.int64)
+        responder = np.full(q, -1, dtype=np.int64)
+        sp = np.full(q, -1, dtype=np.int64)
+        st_cons = np.zeros((q, depth), dtype=np.int64)
+        st_cnt = np.zeros((q, depth), dtype=np.int16)
+        st_cand = np.full((q, depth, refmax), -1, dtype=np.int32)
+
+        active = np.arange(q, dtype=np.int64)
+        wave = 0
+        # Every wave each active query pops a frame, consumes a candidate
+        # or terminates, so total waves are bounded by total candidate
+        # consumptions; the guard only trips on a broken invariant.
+        guard = (max_messages + maxl + 2) * (refmax + 2) * 4 + 64
+        while active.size:
+            if wave > guard:  # pragma: no cover - invariant violation
+                raise RuntimeError("batch DFS failed to terminate")
+            # Phase 1: arrivals — responsibility check or frame push.
+            arr = active[status[active] == _ARRIVE]
+            if arr.size:
+                c = cur[arr]
+                lc, slen, rlen = self._divergence(kb[arr], kl[arr], consumed[arr], c)
+                term = (lc == slen) | (lc == rlen)
+                hit = arr[term]
+                status[hit] = _FOUND
+                responder[hit] = c[term]
+                div = arr[~term]
+                if div.size:
+                    nc = consumed[div] + lc[~term]
+                    d = sp[div] + 1
+                    if d.max() >= depth:  # pragma: no cover - invariant violation
+                        raise RuntimeError("batch DFS stack overflow")
+                    sp[div] = d
+                    st_cons[div, d] = nc
+                    row = c[~term] * maxl + nc  # ref level nc+1, 0-based row
+                    st_cnt[div, d] = rl[row]
+                    st_cand[div, d] = refs[row]
+                    status[div] = _SELECT
+            # Phase 2: selection — candidate draw + contact, or backtrack.
+            sel = active[status[active] == _SELECT]
+            contacts = offline = 0
+            if sel.size:
+                d = sp[sel]
+                cnt = st_cnt[sel, d].astype(np.int64)
+                empty = cnt <= 0
+                pop = sel[empty]
+                if pop.size:
+                    nd = sp[pop] - 1
+                    sp[pop] = nd
+                    status[pop[nd < 0]] = _FAILED
+                have = sel[~empty]
+                if have.size:
+                    dh = d[~empty]
+                    ch = cnt[~empty]
+                    # Uniform draw without replacement: pick a slot, then
+                    # swap the last live candidate into its place.
+                    j = rng.integers(0, ch)
+                    cand = st_cand[have, dh, j].astype(np.int64)
+                    st_cand[have, dh, j] = st_cand[have, dh, ch - 1]
+                    st_cnt[have, dh] = (ch - 1).astype(np.int16)
+                    contacts = int(have.size)
+                    if p >= 1.0:
+                        on_mask = np.ones(have.size, dtype=bool)
+                    else:
+                        on_mask = rng.random(have.size) < p
+                    off = have[~on_mask]
+                    fails[off] += 1
+                    offline = int(off.size)
+                    on = have[on_mask]
+                    if on.size:
+                        within = budget[on] > 0
+                        status[on[~within]] = _EXHAUSTED
+                        fwd = on[within]
+                        if fwd.size:
+                            budget[fwd] -= 1
+                            msgs[fwd] += 1
+                            cur[fwd] = cand[on_mask][within]
+                            consumed[fwd] = st_cons[fwd, sp[fwd]]
+                            status[fwd] = _ARRIVE
+            active = active[status[active] < _FOUND]
+            self._emit_wave("batch_dfs", wave, int(active.size), contacts, offline)
+            wave += 1
+        return status == _FOUND, responder, msgs, fails
+
+    # -- breadth-first search (§3 strategy 3) ---------------------------------------
+
+    def breadth_many(
+        self,
+        queries: Sequence[str],
+        starts,
+        *,
+        recbreadth: int,
+        max_messages: int | None = None,
+    ) -> BatchReachResult:
+        """One §3 breadth-first search per (query, start): fan out to at
+        most *recbreadth* online references per level with a shared
+        per-query visited set; returns all responsible peers reached."""
+        if recbreadth < 1:
+            raise ValueError(f"recbreadth must be >= 1, got {recbreadth}")
+        kb, kl = queries if isinstance(queries, tuple) else _pack_keys(queries)
+        starts = np.asarray(starts, dtype=np.int64)
+        if len(starts) != len(kb):
+            raise ValueError(f"{len(kb)} queries but {len(starts)} starts")
+        budget = max_messages if max_messages is not None else self.max_messages
+        q = len(kb)
+        offsets = np.zeros(q + 1, dtype=np.int64)
+        chunks = []
+        messages = np.zeros(q, dtype=np.int64)
+        failed = np.zeros(q, dtype=np.int64)
+        for lo in range(0, q, self.chunk):
+            hi = min(lo + self.chunk, q)
+            off, vals, m, fa = self._breadth_chunk(
+                kb[lo:hi], kl[lo:hi], starts[lo:hi], recbreadth, budget
+            )
+            counts = off[1:] - off[:-1]
+            offsets[lo + 1 : hi + 1] = counts
+            chunks.append(vals)
+            messages[lo:hi] = m
+            failed[lo:hi] = fa
+        np.cumsum(offsets, out=offsets)
+        values = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        self._emit_batch(
+            "batch_breadth",
+            int(np.count_nonzero(offsets[1:] > offsets[:-1])),
+            q,
+            int(messages.sum()),
+            int(failed.sum()),
+        )
+        return BatchReachResult(offsets, values, messages, failed)
+
+    def _breadth_chunk(self, kb, kl, starts, recbreadth, max_messages):
+        """One chunk of concurrent breadth-first searches.
+
+        The frontier holds (query, peer, consumed-bits) entries; peers
+        are marked visited at forward time (the object core's recursion
+        visits a child before the parent tries its next sibling, so
+        forward-time marking is the closer batched approximation).
+        """
+        n = self.n
+        maxl = self.maxl
+        refmax = self.refmax
+        refs = self._refs
+        rng = self._rng
+        p = self.p_online
+        q = len(kb)
+
+        if q and (starts.min() < 0 or starts.max() >= n):
+            raise ValueError("start indices out of range")
+        msgs = np.zeros(q, dtype=np.int64)
+        fails = np.zeros(q, dtype=np.int64)
+        budget = np.full(q, max_messages, dtype=np.int64)
+        resp_q: list = []
+        resp_p: list = []
+        # Visited keys (query * n + peer); start peers are pre-visited.
+        qidx = np.arange(q, dtype=np.int64)
+        seen = set((qidx * n + starts).tolist())
+
+        eq = qidx
+        ep = starts.copy()
+        ec = np.zeros(q, dtype=np.int64)
+        wave = 0
+        while eq.size:
+            lc, slen, rlen = self._divergence(kb[eq], kl[eq], ec, ep)
+            term = (lc == slen) | (lc == rlen)
+            if term.any():
+                resp_q.append(eq[term])
+                resp_p.append(ep[term])
+            div = ~term
+            contacts = offline = 0
+            child_q: list = []
+            child_p: list = []
+            child_c: list = []
+            if div.any():
+                deq = eq[div]
+                dep = ep[div]
+                nc = ec[div] + lc[div]
+                row = dep * maxl + nc
+                slot = refs[row].astype(np.int64)
+                valid = slot != -1
+                cnt = valid.sum(axis=1)
+                # Shuffle each row's candidates (random key high bits,
+                # peer index low bits, one sort — see batch.py).
+                keys = rng.integers(
+                    0, self._key_mod, size=slot.shape, dtype=np.int64
+                )
+                pack = np.where(valid, (keys << self._vbits) | slot, _SENTINEL)
+                pack.sort(axis=1)
+                cand = pack & self._vmask
+                fwd = np.zeros(len(deq), dtype=np.int64)
+                for col in range(refmax):
+                    live = (col < cnt) & (fwd < recbreadth) & (budget[deq] > 0)
+                    if not live.any():
+                        break
+                    rows = np.flatnonzero(live)
+                    cc = cand[rows, col]
+                    keyv = deq[rows] * n + cc
+                    fresh = np.fromiter(
+                        (k not in seen for k in keyv.tolist()),
+                        dtype=bool,
+                        count=len(rows),
+                    )
+                    rows = rows[fresh]
+                    if not rows.size:
+                        continue
+                    cc = cc[fresh]
+                    keyv = keyv[fresh]
+                    contacts += int(rows.size)
+                    if p >= 1.0:
+                        on_mask = np.ones(rows.size, dtype=bool)
+                    else:
+                        on_mask = rng.random(rows.size) < p
+                    off_rows = rows[~on_mask]
+                    if off_rows.size:
+                        np.add.at(fails, deq[off_rows], 1)
+                        offline += int(off_rows.size)
+                    on_rows = rows[on_mask]
+                    if on_rows.size:
+                        tq = deq[on_rows]
+                        np.subtract.at(budget, tq, 1)
+                        np.add.at(msgs, tq, 1)
+                        fwd[on_rows] += 1
+                        seen.update(keyv[on_mask].tolist())
+                        child_q.append(tq)
+                        child_p.append(cc[on_mask])
+                        child_c.append(nc[on_rows])
+            self._emit_wave(
+                "batch_breadth",
+                wave,
+                sum(len(c) for c in child_q),
+                contacts,
+                offline,
+            )
+            wave += 1
+            if child_q:
+                eq = np.concatenate(child_q)
+                ep = np.concatenate(child_p)
+                ec = np.concatenate(child_c)
+            else:
+                break
+        if resp_q:
+            rq = np.concatenate(resp_q)
+            rp = np.concatenate(resp_p)
+            order = np.argsort(rq, kind="stable")
+            rq = rq[order]
+            rp = rp[order]
+        else:
+            rq = np.empty(0, dtype=np.int64)
+            rp = np.empty(0, dtype=np.int64)
+        offsets = np.zeros(q + 1, dtype=np.int64)
+        np.add.at(offsets, rq + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        return offsets, rp, msgs, fails
+
+    # -- §3/§5.2 update strategies ---------------------------------------------------
+
+    def find_replicas_many(
+        self,
+        keys: Sequence[str],
+        starts,
+        *,
+        strategy: UpdateStrategy,
+        repetition: int = 1,
+        recbreadth: int = 2,
+    ) -> BatchReachResult:
+        """Replica discovery per key under one of the three §3 strategies,
+        batched: repetitions run as one tiled search wave, reached sets
+        are unioned per original key."""
+        if repetition < 1:
+            raise ValueError(f"repetition must be >= 1, got {repetition}")
+        kb, kl = keys if isinstance(keys, tuple) else _pack_keys(keys)
+        starts = np.asarray(starts, dtype=np.int64)
+        q = len(kb)
+        tkb = np.tile(kb, repetition)
+        tkl = np.tile(kl, repetition)
+        tstarts = np.tile(starts, repetition)
+        if strategy is UpdateStrategy.BFS:
+            tiled = self.breadth_many(
+                (tkb, tkl), tstarts, recbreadth=recbreadth
+            )
+            return _union_tiled_reach(tiled, q, repetition)
+        result = self.search_many((tkb, tkl), tstarts)
+        reach = _union_tiled_search(result, q, repetition)
+        if strategy is UpdateStrategy.REPEATED_DFS:
+            return reach
+        if strategy is UpdateStrategy.DFS_BUDDIES:
+            return self._forward_to_buddies(reach)
+        raise ValueError(f"unknown strategy: {strategy!r}")
+
+    def _forward_to_buddies(self, reach: BatchReachResult) -> BatchReachResult:
+        """Strategy 2's second hop: each reached replica forwards to its
+        buddy list; offline buddies count one failed attempt (no retry,
+        matching the engines' historical §3 semantics)."""
+        buddies = self._buddies
+        pyrng = self._pyrng
+        p = self.p_online
+        offsets = reach.offsets
+        values = reach.values
+        messages = reach.messages.copy()
+        failed = reach.failed_attempts.copy()
+        out_offsets = np.zeros(len(reach) + 1, dtype=np.int64)
+        out_values: list[int] = []
+        for i in range(len(reach)):
+            reached = values[offsets[i] : offsets[i + 1]].tolist()
+            extended = list(reached)
+            in_set = set(reached)
+            for peer in reached:
+                for buddy in sorted(buddies.get(peer, ())):
+                    if buddy in in_set:
+                        continue
+                    if p >= 1.0 or pyrng.random() < p:
+                        messages[i] += 1
+                        in_set.add(buddy)
+                        extended.append(buddy)
+                    else:
+                        failed[i] += 1
+            out_values.extend(extended)
+            out_offsets[i + 1] = len(out_values)
+        return BatchReachResult(
+            out_offsets,
+            np.asarray(out_values, dtype=np.int64),
+            messages,
+            failed,
+        )
+
+    def publish_many(
+        self,
+        keys: Sequence[str],
+        holders,
+        versions,
+        starts,
+        *,
+        strategy: UpdateStrategy = UpdateStrategy.BFS,
+        repetition: int = 1,
+        recbreadth: int = 2,
+    ) -> BatchReachResult:
+        """Insert/update one ``(key, holder) -> version`` ref per query at
+        every replica the propagation strategy reaches (§3 update)."""
+        kb, kl = keys if isinstance(keys, tuple) else _pack_keys(keys)
+        holders = np.asarray(holders, dtype=np.int64)
+        versions = np.asarray(versions, dtype=np.int64)
+        reach = self.find_replicas_many(
+            (kb, kl),
+            starts,
+            strategy=strategy,
+            repetition=repetition,
+            recbreadth=recbreadth,
+        )
+        store = self._store
+        offsets = reach.offsets
+        values = reach.values
+        for i in range(len(reach)):
+            bits = int(kb[i])
+            length = int(kl[i])
+            holder = int(holders[i])
+            version = int(versions[i])
+            for peer in values[offsets[i] : offsets[i + 1]].tolist():
+                slot = (peer, bits, length, holder)
+                if store.get(slot, -1) < version:
+                    store[slot] = version
+        return reach
+
+    # -- §5.2 read disciplines -------------------------------------------------------
+
+    def read_many(
+        self,
+        keys: Sequence[str],
+        holders,
+        versions,
+        starts,
+        *,
+        repetitive: bool,
+        max_repetitions: int = 200,
+    ) -> BatchReadResult:
+        """Read each ``(key, holder)`` at the given target version.
+
+        Non-repetitive: one search each; success iff the answering
+        replica already holds the version.  Repetitive: re-query (whole
+        remaining batch per round) until a fresh replica answers, up to
+        ``max_repetitions`` — the §5.2 trade-off the table 6 sweep
+        measures."""
+        if max_repetitions < 1:
+            raise ValueError(f"max_repetitions must be >= 1, got {max_repetitions}")
+        kb, kl = keys if isinstance(keys, tuple) else _pack_keys(keys)
+        holders = np.asarray(holders, dtype=np.int64)
+        versions = np.asarray(versions, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        q = len(kb)
+        success = np.zeros(q, dtype=bool)
+        messages = np.zeros(q, dtype=np.int64)
+        failed = np.zeros(q, dtype=np.int64)
+        repetitions = np.zeros(q, dtype=np.int64)
+        pending = np.arange(q, dtype=np.int64)
+        rounds = max_repetitions if repetitive else 1
+        for _ in range(rounds):
+            if not pending.size:
+                break
+            result = self.search_many(
+                (kb[pending], kl[pending]), starts[pending]
+            )
+            messages[pending] += result.messages
+            failed[pending] += result.failed_attempts
+            repetitions[pending] += 1
+            fresh = self._fresh_mask(
+                result, kb[pending], kl[pending], holders[pending], versions[pending]
+            )
+            success[pending[fresh]] = True
+            pending = pending[~fresh]
+        return BatchReadResult(success, messages, failed, repetitions)
+
+    def _fresh_mask(self, result: BatchSearchResult, kb, kl, holders, versions):
+        """Which answered searches hit a replica already at the target
+        version (``ReadEngine._responder_is_fresh`` semantics)."""
+        store = self._store
+        out = np.zeros(len(kb), dtype=bool)
+        responder = result.responder
+        found = result.found
+        for i in range(len(kb)):
+            if not found[i]:
+                continue
+            version = store.get(
+                (int(responder[i]), int(kb[i]), int(kl[i]), int(holders[i])), -1
+            )
+            out[i] = version >= versions[i]
+        return out
+
+    # -- ground truth ----------------------------------------------------------------
+
+    def replicas_for_keys(self, keys: Sequence[str]) -> BatchReachResult:
+        """All peers whose path is in prefix relation with each key —
+        the oracle :meth:`~repro.core.grid.PGrid.replicas_for_key`
+        computes peer-by-peer, vectorized over the whole population."""
+        kb, kl = keys if isinstance(keys, tuple) else _pack_keys(keys)
+        pb = self._pb
+        pl = self._pl
+        q = len(kb)
+        offsets = np.zeros(q + 1, dtype=np.int64)
+        hits = []
+        for i in range(q):
+            m = np.minimum(pl, kl[i])
+            x = (pb >> (pl - m)) ^ (kb[i] >> (kl[i] - m))
+            peers = np.flatnonzero(x == 0)
+            hits.append(peers)
+            offsets[i + 1] = offsets[i] + len(peers)
+        values = (
+            np.concatenate(hits) if hits else np.empty(0, dtype=np.int64)
+        )
+        return BatchReachResult(
+            offsets,
+            values,
+            np.zeros(q, dtype=np.int64),
+            np.zeros(q, dtype=np.int64),
+        )
+
+
+def _union_tiled_search(result: BatchSearchResult, q: int, repetition: int):
+    """Fold a ``repetition``-tiled DFS batch into per-original-query
+    unioned responder sets + summed costs (repeated_queries semantics)."""
+    messages = result.messages.reshape(repetition, q).sum(axis=0)
+    failed = result.failed_attempts.reshape(repetition, q).sum(axis=0)
+    offsets = np.zeros(q + 1, dtype=np.int64)
+    values: list[int] = []
+    found = result.found.reshape(repetition, q)
+    responder = result.responder.reshape(repetition, q)
+    for i in range(q):
+        hits = responder[:, i][found[:, i]]
+        uniq = np.unique(hits)
+        values.extend(uniq.tolist())
+        offsets[i + 1] = len(values)
+    return BatchReachResult(
+        offsets, np.asarray(values, dtype=np.int64), messages, failed
+    )
+
+
+def _union_tiled_reach(reach: BatchReachResult, q: int, repetition: int):
+    """Union a ``repetition``-tiled breadth batch per original query."""
+    messages = reach.messages.reshape(repetition, q).sum(axis=0)
+    failed = reach.failed_attempts.reshape(repetition, q).sum(axis=0)
+    offsets = np.zeros(q + 1, dtype=np.int64)
+    values: list[int] = []
+    for i in range(q):
+        merged: set[int] = set()
+        for r in range(repetition):
+            j = r * q + i
+            merged.update(
+                reach.values[reach.offsets[j] : reach.offsets[j + 1]].tolist()
+            )
+        values.extend(sorted(merged))
+        offsets[i + 1] = len(values)
+    return BatchReachResult(
+        offsets, np.asarray(values, dtype=np.int64), messages, failed
+    )
+
+
+def _oracle_p_online(oracle: Any) -> float:
+    """Map an online oracle onto a single Bernoulli contact probability."""
+    from repro.core.grid import AlwaysOnline
+    from repro.sim.churn import BernoulliChurn
+
+    if oracle is None or isinstance(oracle, AlwaysOnline):
+        return 1.0
+    if isinstance(oracle, BernoulliChurn) and not oracle._per_peer:
+        return float(oracle.p_online)
+    raise ValueError(
+        "cannot infer p_online from this online oracle; pass p_online explicitly"
+    )

@@ -342,6 +342,31 @@ class MetricsProbe(Probe):
         if name is not None:
             self.registry.counter(name).inc()
 
+    # -- batch query plane --------------------------------------------------------
+
+    def on_batch_wave(
+        self, kind: str, *, wave: int, active: int, contacts: int, offline: int
+    ) -> None:
+        registry = self.registry
+        registry.counter(f"{kind}.waves").inc()
+        registry.counter(f"{kind}.contacts").inc(contacts)
+        registry.counter(f"{kind}.offline").inc(offline)
+
+    def on_batch_search(
+        self,
+        kind: str,
+        *,
+        queries: int,
+        found: int,
+        messages: int,
+        failed_attempts: int,
+    ) -> None:
+        registry = self.registry
+        registry.counter(f"{kind}.count").inc(queries)
+        registry.counter(f"{kind}.found").inc(found)
+        registry.counter(f"{kind}.messages").inc(messages)
+        registry.counter(f"{kind}.failed_contacts").inc(failed_attempts)
+
     # -- exchange ---------------------------------------------------------------
 
     def on_meeting(self, peer1: Address, peer2: Address) -> None:

@@ -162,6 +162,32 @@ class Probe:
         signals of an overloaded node.
         """
 
+    # -- batch query plane (aggregate, per wave) -------------------------------
+
+    def on_batch_wave(
+        self, kind: str, *, wave: int, active: int, contacts: int, offline: int
+    ) -> None:
+        """One vectorized wave of the batch query engine advanced.
+
+        Fidelity note: the batch plane reports aggregate wave counters
+        (*contacts* attempted, *offline* misses, *active* queries still
+        in flight) instead of the object core's per-hop
+        ``on_forward``/``on_backtrack``/``on_offline_miss`` stream —
+        per-hop events for 10^5 concurrent queries would serialize the
+        kernels back into Python.  Use the object core for hop traces.
+        """
+
+    def on_batch_search(
+        self,
+        kind: str,
+        *,
+        queries: int,
+        found: int,
+        messages: int,
+        failed_attempts: int,
+    ) -> None:
+        """A whole batch of searches completed (aggregate totals)."""
+
 
 class CompositeProbe(Probe):
     """Fans every hook out to an ordered sequence of probes."""
@@ -296,3 +322,29 @@ class CompositeProbe(Probe):
     ) -> None:
         for probe in self.probes:
             probe.on_mailbox(event, address, depth=depth, wait=wait)
+
+    def on_batch_wave(
+        self, kind: str, *, wave: int, active: int, contacts: int, offline: int
+    ) -> None:
+        for probe in self.probes:
+            probe.on_batch_wave(
+                kind, wave=wave, active=active, contacts=contacts, offline=offline
+            )
+
+    def on_batch_search(
+        self,
+        kind: str,
+        *,
+        queries: int,
+        found: int,
+        messages: int,
+        failed_attempts: int,
+    ) -> None:
+        for probe in self.probes:
+            probe.on_batch_search(
+                kind,
+                queries=queries,
+                found=found,
+                messages=messages,
+                failed_attempts=failed_attempts,
+            )

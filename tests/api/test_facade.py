@@ -74,6 +74,47 @@ class TestDirectOperations:
         assert {"0010", "0111"} <= keys_found
 
 
+class TestArrayQueryPlane:
+    """``Grid.search(core=...)``/``search_many`` route through the
+    cached batch engine; all-online success is structural, so the found
+    sets must match the object core exactly."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        pytest.importorskip("numpy")
+        return Grid.build(peers=48, maxl=4, seed=31)
+
+    def test_search_many_found_matches_object_core(self, grid):
+        rng = random.Random(5)
+        keys = [format(rng.getrandbits(3), "03b") for _ in range(100)]
+        starts = [rng.choice(grid.addresses()) for _ in range(100)]
+        object_results = grid.search_many(keys, starts, core="object")
+        batch = grid.search_many(keys, starts, core="array")
+        assert len(batch) == 100
+        assert batch.found.tolist() == [r.found for r in object_results]
+
+    def test_single_search_array_core(self, grid):
+        mirrored = grid.search("010", start=3, core="array")
+        reference = grid.search("010", start=3)
+        assert mirrored.found == reference.found
+        assert mirrored.query == "010"
+        assert mirrored.start == 3
+        if mirrored.found:
+            path = grid.pgrid.peer(mirrored.responder).path
+            assert "010".startswith(path) or path.startswith("010")
+
+    def test_engine_cached_until_refresh(self, grid):
+        engine = grid.batch_query_engine()
+        assert grid.batch_query_engine() is engine
+        assert grid.batch_query_engine(refresh=True) is not engine
+
+    def test_unknown_core_rejected(self, grid):
+        with pytest.raises(InvalidConfigError, match="unknown core"):
+            grid.search("010", core="simd")
+        with pytest.raises(InvalidConfigError, match="unknown core"):
+            grid.search_many(["010"], [0], core="simd")
+
+
 class TestServe:
     def test_unknown_driver_rejected(self):
         grid = Grid.build(peers=16, maxl=3, seed=5)

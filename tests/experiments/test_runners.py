@@ -147,6 +147,74 @@ class TestSection52Experiments:
         assert repetitive[1][5] >= repetitive[0][5]
 
 
+class TestArrayCoreExperiments:
+    """The §5.2 experiments accept ``core="array"`` with an injected
+    engine (mirroring the *grid* parameter) and record the core in the
+    result config; shape invariants match the object core's."""
+
+    @pytest.fixture()
+    def tiny_engine(self, tiny_profile, tiny_grid):
+        pytest.importorskip("numpy")
+        from repro.fast import ArrayGrid
+        from repro.fast.query import BatchQueryEngine
+
+        return BatchQueryEngine.from_arraygrid(
+            ArrayGrid.from_pgrid(tiny_grid),
+            seed=77,
+            p_online=tiny_profile.p_online,
+        )
+
+    def test_search_reliability_array(self, tiny_profile, tiny_engine):
+        result = search_reliability.run(
+            tiny_profile, core="array", array_engine=tiny_engine, n_searches=150
+        )
+        assert result.config["core"] == "array"
+        (row,) = result.rows
+        assert row[0] == 150
+        assert 0.5 < row[1] <= 1.0
+
+    def test_fig5_array(self, tiny_profile, tiny_engine):
+        result = fig5_update_strategies.run(
+            tiny_profile, core="array", array_engine=tiny_engine, trials=10
+        )
+        assert result.config["core"] == "array"
+        by_strategy = {}
+        for strategy, effort, messages, coverage in result.rows:
+            assert 0.0 <= coverage <= 1.0
+            by_strategy.setdefault(strategy, []).append((messages, coverage))
+        assert set(by_strategy) == {
+            "repeated DFS", "DFS + buddies", "breadth-first"
+        }
+        bfs_best = max(c for _, c in by_strategy["breadth-first"])
+        dfs_first = by_strategy["repeated DFS"][0][1]
+        assert bfs_best > dfs_first
+
+    def test_table6_array(self, tiny_profile, tiny_engine):
+        result = table6_tradeoff.run(
+            tiny_profile,
+            core="array",
+            array_engine=tiny_engine,
+            n_updates=5,
+            queries_per_update=3,
+            recbreadth_values=(2,),
+            repetition_values=(1, 2),
+        )
+        assert result.config["core"] == "array"
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert 0.0 <= row[3] <= 1.0  # success rate
+            assert row[4] >= 0 and row[5] >= 0  # query/insertion cost
+
+    def test_unknown_core_rejected(self, tiny_profile):
+        for runner in (
+            search_reliability.run,
+            fig5_update_strategies.run,
+            table6_tradeoff.run,
+        ):
+            with pytest.raises(ValueError, match="unknown core"):
+                runner(tiny_profile, core="simd")
+
+
 class TestComparisonAndAnalysis:
     def test_scaling_comparison_shapes(self):
         result = scaling_comparison.run(

@@ -19,7 +19,9 @@ from repro.core.grid import PGrid
 from repro.core.search import SearchEngine
 from repro.core.storage import DataItem
 from repro.fast import ArrayGrid
+from repro.faults.repair import RefHealer
 from repro.sim.builder import GridBuilder
+from repro.sim.churn import BernoulliChurn
 
 
 def build_grid(
@@ -120,6 +122,89 @@ def test_search_results_bit_identical_on_bridged_grid():
         r1 = engine_orig.query_from(start, query)
         r2 = engine_bridged.query_from(start, query)
         assert r1 == r2
+    assert grid.rng.getstate() == bridged.rng.getstate()
+
+
+class TestBridgeEdgeCases:
+    """Degenerate populations and repaired (ragged) routing state."""
+
+    def test_empty_grid_round_trip(self):
+        config = PGridConfig(maxl=4, refmax=2, recmax=2, recursion_fanout=2)
+        grid = PGrid(config, rng=random.Random(0))
+        agrid = ArrayGrid.from_pgrid(grid)
+        assert len(agrid) == 0
+        assert agrid.average_path_length() == 0.0
+        bridged = agrid.to_pgrid(rng=random.Random(1))
+        assert bridged.addresses() == []
+        assert full_state(bridged) == full_state(grid)
+
+    def test_single_peer_round_trip_and_local_answer(self):
+        config = PGridConfig(maxl=4, refmax=2, recmax=2, recursion_fanout=2)
+        grid = PGrid(config, rng=random.Random(2))
+        grid.add_peers(1)
+        address = grid.addresses()[0]
+        grid.seed_index([(DataItem(key="0110", value="only"), address)])
+        agrid = ArrayGrid.from_pgrid(grid)
+        bridged = agrid.to_pgrid(rng=random.Random(3))
+        assert full_state(bridged) == full_state(grid)
+        # The lone peer has the empty path: responsible for every key,
+        # so both grids must answer from it without any forwarding.
+        original = SearchEngine(grid).query_from(address, "0110")
+        mirrored = SearchEngine(bridged).query_from(address, "0110")
+        assert original == mirrored
+        assert original.found
+
+    def test_post_churn_evicted_refs_round_trip(self):
+        # Healer evictions leave ragged routing lists (fewer than refmax
+        # entries, possibly empty levels); the bridge must carry the
+        # shrunken lists through exactly, not re-pad or drop levels.
+        grid = build_grid(13, 30, 5, 3, with_data=False)
+        healer = RefHealer(grid, evict_after=1, refill=False)
+        for peer in grid.peers():
+            for level0, level_refs in enumerate(peer.routing.to_lists()):
+                if level_refs:
+                    healer.record_failure(
+                        peer.address, level0 + 1, level_refs[0]
+                    )
+        assert healer.stats.evictions > 0
+        agrid = ArrayGrid.from_pgrid(grid)
+        bridged = agrid.to_pgrid(rng=random.Random(0))
+        assert full_state(bridged) == full_state(grid)
+        assert bridged.addresses() == grid.addresses()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=2, max_value=32),
+    maxl=st.integers(min_value=2, max_value=5),
+    refmax=st.integers(min_value=1, max_value=4),
+    n_queries=st.integers(min_value=1, max_value=15),
+)
+def test_bridged_search_bit_identical_property(seed, n, maxl, refmax, n_queries):
+    """Any bridged grid answers any query stream bit-identically.
+
+    Both grids get equal-but-independent RNGs and churn oracles, so every
+    ``rng.sample`` draw and every availability coin must line up — the
+    strongest observable-equivalence statement the bridge can make, under
+    churn rather than the all-online easy case.
+    """
+    grid = build_grid(seed, n, maxl, refmax, meetings=300)
+    agrid = ArrayGrid.from_pgrid(grid)
+    bridged = agrid.to_pgrid(rng=random.Random(seed ^ 0xA5A5))
+    grid.rng = random.Random(seed ^ 0xA5A5)
+    grid.online_oracle = BernoulliChurn(0.7, random.Random(seed + 1))
+    bridged.online_oracle = BernoulliChurn(0.7, random.Random(seed + 1))
+    engine_orig = SearchEngine(grid)
+    engine_bridged = SearchEngine(bridged)
+    addresses = grid.addresses()
+    query_rng = random.Random(seed + 7)
+    for _ in range(n_queries):
+        start = query_rng.choice(addresses)
+        query = format(query_rng.getrandbits(maxl), f"0{maxl}b")
+        assert engine_orig.query_from(start, query) == (
+            engine_bridged.query_from(start, query)
+        )
     assert grid.rng.getstate() == bridged.rng.getstate()
 
 

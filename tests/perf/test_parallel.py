@@ -71,6 +71,32 @@ class TestRunTrials:
         assert serial == parallel
 
 
+class TestChunkedSubmission:
+    """Trials are packed into chunked pool tasks; chunking is pure
+    batching — results stay bit-identical to serial for every jobs
+    value and every batch size around the chunk boundaries."""
+
+    def test_chunks_partition_payloads_in_order(self):
+        payloads = [(_square, {"value": v}) for v in range(11)]
+        chunks = parallel._chunk_payloads(payloads, workers=2)
+        # ~_CHUNKS_PER_WORKER chunks per worker, never empty
+        assert 1 <= len(chunks) <= 2 * parallel._CHUNKS_PER_WORKER
+        assert all(chunk for chunk in chunks)
+        flattened = [payload for chunk in chunks for payload in chunk]
+        assert flattened == payloads
+
+    def test_single_trial_single_chunk(self):
+        payloads = [(_square, {"value": 7})]
+        assert parallel._chunk_payloads(payloads, workers=4) == [payloads]
+
+    @pytest.mark.parametrize("count", [2, 7, 8, 9, 17])
+    def test_bit_identical_across_jobs_at_chunk_boundaries(self, count):
+        specs = [TrialSpec(kwargs={"seed": s}) for s in range(count)]
+        serial = run_trials(_seeded_draw, specs, jobs=1)
+        for jobs in (2, 3):
+            assert run_trials(_seeded_draw, specs, jobs=jobs) == serial
+
+
 class TestMergeRegistries:
     def test_counters_add_and_order_independent_totals(self):
         shards = []

@@ -89,6 +89,10 @@ class TestKaryConstructionInvariants:
         )
         start = data.draw(st.sampled_from(grid.addresses()))
         result = engine.query_from(start, query)
+        # Everyone is online, so no contact ever fails.  No upper bound on
+        # messages is asserted: DFS backtracking out of dead-end replicas
+        # spends messages without consuming query symbols, so the hop count
+        # can exceed len(query) even on an all-online grid.
+        assert result.failed_attempts == 0
         if result.found:
             assert grid.peer(result.responder).responsible_for(query)
-            assert result.messages <= len(query)
