@@ -4,7 +4,7 @@ PYTHON ?= python
 # Scale of `make bench`: fig4 (default) or smoke (CI-fast).
 SCALE ?= fig4
 
-.PHONY: install test lint check bench bench-experiments bench-paper bench-quick bench-regression check-parallel protocol-equivalence resilience-smoke swarm-smoke examples clean results
+.PHONY: install test lint check bench bench-experiments bench-paper bench-quick bench-regression check-parallel protocol-equivalence resilience-smoke replication-smoke swarm-smoke examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -80,6 +80,13 @@ protocol-equivalence:
 resilience-smoke:
 	PYTHONPATH=src $(PYTHON) -c "import sys; from repro.experiments import resilience; \
 	sys.exit(resilience.main(['--scale', 'smoke', '--jobs', '2', '--check']))"
+
+# Replication gate: under Zipf traffic with exponent >= 1.0 the adaptive
+# balancer must beat the static §4 baseline on p95 messages-to-hit
+# without losing found rate (see docs/REPLICATION.md).
+replication-smoke:
+	PYTHONPATH=src $(PYTHON) -c "import sys; from repro.experiments import replication; \
+	sys.exit(replication.main(['--scale', 'smoke', '--jobs', '2', '--check']))"
 
 # Swarm gate: 1000 concurrent asyncio nodes absorb a mixed
 # search/update workload with a perfect found rate inside the time

@@ -52,7 +52,14 @@ from repro.core.updates import ReadEngine, UpdateEngine, UpdateResult, UpdateStr
 from repro.errors import InvalidConfigError
 from repro.net.node import NodeSearchOutcome, PGridNode, attach_nodes
 from repro.net.transport import LocalTransport
-from repro.obs.probe import Probe
+from repro.obs.probe import CompositeProbe, Probe
+from repro.replication import (
+    LoadProbe,
+    LoadTracker,
+    PathResolver,
+    ReplicaBalancer,
+    ReplicationConfig,
+)
 from repro.sim.builder import ConstructionReport, construct_grid
 
 __all__ = ["Grid", "DRIVERS", "QUERY_CORES"]
@@ -73,7 +80,18 @@ class Grid:
     Construct with :meth:`build` (the common case) or wrap an existing
     :class:`~repro.core.grid.PGrid` directly.  All collaborators are
     keyword-only: ``probe`` observes, ``retry``/``healer`` add
-    resilience, the config objects tune the engines.
+    resilience, the config objects tune the engines, and ``replication``
+    enables query-load-driven replica balancing (see below).
+
+    ``replication`` is a strategy name (``"static"`` / ``"sqrt"`` /
+    ``"adaptive"``) or a full
+    :class:`~repro.replication.ReplicationConfig`.  When set, the facade
+    builds a :class:`~repro.replication.LoadTracker` fed from every
+    driver's searches, and a
+    :class:`~repro.replication.ReplicaBalancer` that acts during
+    :meth:`rebalance` meetings and update propagation.  ``None`` (the
+    default) and ``"static"`` are bit-identical to today's behaviour
+    (property-tested).
     """
 
     def __init__(
@@ -86,14 +104,43 @@ class Grid:
         healer=None,
         search_config: SearchConfig | None = None,
         update_config: UpdateConfig | None = None,
+        replication: ReplicationConfig | str | None = None,
     ) -> None:
         self.pgrid = pgrid
         self.report = report
-        self.probe = probe
         self.retry = retry
         self.healer = healer
         self.search_config = search_config or SearchConfig()
         self.update_config = update_config or UpdateConfig()
+        self.replication = (
+            ReplicationConfig(strategy=replication)
+            if isinstance(replication, str)
+            else replication
+        )
+        if self.replication is not None:
+            self.load_tracker: LoadTracker | None = LoadTracker(
+                half_life=self.replication.half_life
+            )
+            self._path_resolver = PathResolver(pgrid)
+            self.load_probe: LoadProbe | None = LoadProbe(
+                self.load_tracker, self._path_resolver
+            )
+            probe = (
+                CompositeProbe([probe, self.load_probe])
+                if probe is not None
+                else self.load_probe
+            )
+            self.balancer: ReplicaBalancer | None = ReplicaBalancer(
+                pgrid, self.load_tracker, config=self.replication, probe=probe
+            )
+            self.balancer.subscribe(self._path_resolver.invalidate)
+            self.balancer.subscribe(self._drop_batch_engine)
+        else:
+            self.load_tracker = None
+            self.load_probe = None
+            self.balancer = None
+            self._path_resolver = None
+        self.probe = probe
         self.engine = SearchEngine(
             pgrid,
             config=self.search_config,
@@ -103,12 +150,14 @@ class Grid:
         )
         self._batch_engine = None
         self._batch_index: dict[Address, int] = {}
+        self._rebalance_engine = None
         self.updates = UpdateEngine(
             pgrid,
             search=self.engine,
             config=self.update_config,
             probe=probe,
             retry=retry,
+            balancer=self.balancer,
         )
         self.reads = ReadEngine(pgrid, search=self.engine, probe=probe)
 
@@ -133,6 +182,7 @@ class Grid:
         healer=None,
         search_config: SearchConfig | None = None,
         update_config: UpdateConfig | None = None,
+        replication: ReplicationConfig | str | None = None,
     ) -> "Grid":
         """Create *peers* peers and run construction to convergence.
 
@@ -143,7 +193,9 @@ class Grid:
         construction engine: ``"object"`` (reference), ``"array"``
         (flat-array kernel, bit-identical to the object core) or
         ``"batch"`` (vectorized rounds, deterministic but not
-        bit-identical; requires numpy).
+        bit-identical; requires numpy).  ``replication`` enables the
+        query-load balancer on the returned facade (construction itself
+        is unaffected — the balancer needs observed traffic to act).
         """
         if config is None:
             config = PGridConfig(
@@ -165,6 +217,7 @@ class Grid:
             healer=healer,
             search_config=search_config,
             update_config=update_config,
+            replication=replication,
         )
 
     # -- population ------------------------------------------------------------------
@@ -183,6 +236,58 @@ class Grid:
     def replicas_for(self, key: str) -> list[Address]:
         """Ground-truth replica set for *key*."""
         return self.pgrid.replicas_for_key(key)
+
+    # -- replication (query-load-driven balancing) --------------------------------------
+
+    def _drop_batch_engine(self) -> None:
+        """Invalidate the cached batch-plane snapshot (balancer listener)."""
+        self._batch_engine = None
+        self._batch_index = {}
+
+    def _observe_search(self, key: str) -> None:
+        """Credit one query against *key*'s replica group.
+
+        The engine driver feeds the tracker through the probe's
+        ``on_search_end`` hook; the node/async drivers and the batch
+        query plane do not fire per-query probe hooks, so their service
+        wrappers call this instead.  No-op without replication.
+        """
+        if self.load_tracker is not None:
+            self.load_tracker.observe(self._path_resolver(key))
+
+    def rebalance(
+        self, *, meetings: int = 64, rounds: int = 1, scheduler=None
+    ) -> dict[str, int]:
+        """Run balancing meetings and return the stats delta.
+
+        Drives the Fig. 3 exchange protocol (with the balancer attached)
+        over ``rounds`` × ``meetings`` uniform random pairings — the
+        anti-entropy meetings a live grid performs anyway, which is where
+        the Spiral-Walk-style balancer acts.  ``scheduler`` (anything
+        with ``next_pair()``) overrides the default
+        :class:`~repro.sim.meetings.UniformMeetings` over the grid RNG.
+        Requires ``replication=`` to have been set.
+        """
+        if self.balancer is None:
+            raise InvalidConfigError(
+                "rebalance() requires the grid to be built with replication="
+            )
+        from repro.core.exchange import ExchangeEngine
+        from repro.sim.meetings import UniformMeetings
+
+        if self._rebalance_engine is None:
+            self._rebalance_engine = ExchangeEngine(
+                self.pgrid, probe=self.probe, balancer=self.balancer
+            )
+        if scheduler is None:
+            scheduler = UniformMeetings(self.pgrid)
+        before = self.balancer.stats.snapshot()
+        for _ in range(rounds):
+            for _ in range(meetings):
+                address1, address2 = scheduler.next_pair()
+                self._rebalance_engine.meet(address1, address2)
+        after = self.balancer.stats.snapshot()
+        return {name: after[name] - before[name] for name in after}
 
     # -- batch query plane (array core) -------------------------------------------------
 
@@ -234,7 +339,11 @@ class Grid:
             )
         engine = self.batch_query_engine()
         index = self._batch_index
-        return engine.search_many(keys, [index[start] for start in starts])
+        result = engine.search_many(keys, [index[start] for start in starts])
+        if self.load_tracker is not None:
+            for key in keys:
+                self._observe_search(key)
+        return result
 
     # -- direct operations (engine driver, no service needed) --------------------------
 
@@ -256,6 +365,7 @@ class Grid:
             )
         engine = self.batch_query_engine()
         batch = engine.search_many([key], [self._batch_index[start]])
+        self._observe_search(key)
         found = bool(batch.found[0])
         responder = (
             engine.addresses[int(batch.responder[0])] if found else None
@@ -421,7 +531,9 @@ class NodeService:
         self.nodes.clear()
 
     def search(self, key: str, *, start: Address = 0) -> SearchResult:
-        return _outcome_to_result(key, start, self.nodes[start].search(key))
+        outcome = self.nodes[start].search(key)
+        self._grid._observe_search(key)
+        return _outcome_to_result(key, start, outcome)
 
     def update(
         self,
@@ -437,7 +549,9 @@ class NodeService:
             recbreadth = self._grid.update_config.recbreadth
         self._grid.pgrid.peer(holder).store.store_item(DataItem(key=key, value=value))
         ref = DataRef(key=key, holder=holder, version=version)
-        return self.nodes[start].publish(ref, recbreadth=recbreadth)
+        result = self.nodes[start].publish(ref, recbreadth=recbreadth)
+        self._grid._observe_search(key)
+        return result
 
 
 class AsyncService:
@@ -496,6 +610,7 @@ class AsyncService:
 
     def search(self, key: str, *, start: Address = 0) -> SearchResult:
         outcome = self.run(self.swarm.search(start, key))
+        self._grid._observe_search(key)
         return _outcome_to_result(key, start, outcome)
 
     def update(
@@ -512,4 +627,6 @@ class AsyncService:
             recbreadth = self._grid.update_config.recbreadth
         self._grid.pgrid.peer(holder).store.store_item(DataItem(key=key, value=value))
         ref = DataRef(key=key, holder=holder, version=version)
-        return self.run(self.swarm.update(start, ref, recbreadth=recbreadth))
+        result = self.run(self.swarm.update(start, ref, recbreadth=recbreadth))
+        self._grid._observe_search(key)
+        return result

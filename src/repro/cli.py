@@ -47,6 +47,7 @@ from repro.experiments import (
     convergence,
     fig4_replicas,
     fig5_update_strategies,
+    replication,
     resilience,
     scaling_comparison,
     search_reliability,
@@ -73,6 +74,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig5": fig5_update_strategies.run,
     "search_reliability": search_reliability.run,
     "resilience": resilience.run,
+    "replication": replication.run,
     "table6": table6_tradeoff.run,
     "discussion_scaling": scaling_comparison.run,
     "construction_scale": scaling_comparison.run_construction_scale,
@@ -220,6 +222,21 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--operations", type=int, default=2000)
     scenario.add_argument("--update-fraction", type=float, default=0.1)
     scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--replication",
+                          choices=("static", "sqrt", "adaptive"), default=None,
+                          help="attach the query-load replica balancer "
+                               "(default: off; 'static' attaches it as an "
+                               "inert baseline)")
+    scenario.add_argument("--replicate-threshold", type=float, default=4.0,
+                          help="per-replica EWMA load above which a group "
+                               "is considered hot")
+    scenario.add_argument("--retract-floor", type=float, default=0.25,
+                          help="per-replica EWMA load below which a replica "
+                               "may retract and convert")
+    scenario.add_argument("--balance-every", type=int, default=50,
+                          help="run balancing meetings every N operations")
+    scenario.add_argument("--balance-meetings", type=int, default=4,
+                          help="exchange meetings per balancing interval")
 
     stats = sub.add_parser(
         "stats", help="run an instrumented scenario and print the metrics registry"
@@ -840,6 +857,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         operations=args.operations,
         update_fraction=args.update_fraction,
         seed=args.seed,
+        replication=args.replication,
+        replicate_threshold=args.replicate_threshold,
+        retract_floor=args.retract_floor,
+        balance_every=args.balance_every,
+        balance_meetings=args.balance_meetings,
     )
     metrics = run_scenario(spec)
     for key, value in metrics.as_dict().items():

@@ -81,6 +81,13 @@ class ExchangeEngine:
     ``probe`` receives one ``on_meeting`` per top-level meeting and one
     ``on_exchange_case`` per CASE action fired (including recursive
     exchanges); ``None`` disables observation.
+
+    ``balancer`` (a :class:`repro.replication.ReplicaBalancer`) is given
+    each finished meeting as a replication opportunity — the Spiral-Walk
+    idea of replicating along contacts the protocol makes anyway.
+    ``None``, or a balancer whose strategy/thresholds never fire, leaves
+    every run bit-identical to an unbalanced one (the balancer draws no
+    RNG; property-tested like probes and fault plans).
     """
 
     def __init__(
@@ -89,10 +96,12 @@ class ExchangeEngine:
         *,
         config: PGridConfig | None = None,
         probe: Probe | None = None,
+        balancer=None,
     ) -> None:
         self.grid = grid
         self.config = config or grid.config
         self.probe = probe
+        self.balancer = balancer
         self.stats = ExchangeStats()
         self._ctx = ExchangeContext(
             self.config,
@@ -127,6 +136,8 @@ class ExchangeEngine:
             self.grid.peer(address2),
             0,
         )
+        if self.balancer is not None:
+            self.balancer.after_meeting(address1, address2)
         return self.stats.calls - before
 
     # -- subclass hooks -----------------------------------------------------------

@@ -90,6 +90,12 @@ class UpdateEngine:
     buddy is re-contacted per the policy before being counted as missed.
     When an explicit ``search`` engine is supplied it keeps its own
     retry/healer configuration; only the buddy hop uses ``retry`` here.
+
+    ``balancer`` (a :class:`repro.replication.ReplicaBalancer`) is
+    offered the replica set each propagation reached — update traffic
+    walks the same trie as searches, so the peers it contacts are
+    replication opportunities too.  ``None``, or a balancer that never
+    fires, changes nothing (no RNG, no state).
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class UpdateEngine:
         probe: Probe | None = None,
         retry=None,
         healer=None,
+        balancer=None,
     ) -> None:
         self.grid = grid
         self.search = search or SearchEngine(
@@ -109,6 +116,7 @@ class UpdateEngine:
         self.config = config or UpdateConfig()
         self.probe = probe
         self.retry = retry
+        self.balancer = balancer
 
     # -- insertion / update ------------------------------------------------------
 
@@ -162,6 +170,8 @@ class UpdateEngine:
         )
         for address in reached:
             self.grid.peer(address).store.add_ref(ref)
+        if self.balancer is not None and reached:
+            self.balancer.after_update(reached)
         if self.probe is not None:
             self.probe.on_update(
                 ref.key,

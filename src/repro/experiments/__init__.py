@@ -10,6 +10,7 @@ from repro.experiments import (
     convergence,
     fig4_replicas,
     fig5_update_strategies,
+    replication,
     resilience,
     scaling_comparison,
     search_reliability,
@@ -39,6 +40,7 @@ __all__ = [
     "default_cache_dir",
     "fig4_replicas",
     "fig5_update_strategies",
+    "replication",
     "resilience",
     "scaling_comparison",
     "search_reliability",

@@ -121,6 +121,18 @@ class Probe:
     ) -> None:
         """A read strategy finished."""
 
+    # -- replication (query-load-driven balancing) -----------------------------
+
+    def on_replication(
+        self, event: str, address: Address, old_path: str, new_path: str
+    ) -> None:
+        """The replica balancer changed *address*'s position.
+
+        *event* is currently always ``convert``: the peer retracted from
+        its ``old_path`` replica group and became a replica of
+        ``new_path`` (see :mod:`repro.replication`).
+        """
+
     # -- membership -----------------------------------------------------------
 
     def on_join(self, address: Address, *, meetings: int, exchanges: int) -> None:
@@ -286,6 +298,12 @@ class CompositeProbe(Probe):
                 failed_attempts=failed_attempts,
                 repetitions=repetitions,
             )
+
+    def on_replication(
+        self, event: str, address: Address, old_path: str, new_path: str
+    ) -> None:
+        for probe in self.probes:
+            probe.on_replication(event, address, old_path, new_path)
 
     def on_join(self, address: Address, *, meetings: int, exchanges: int) -> None:
         for probe in self.probes:

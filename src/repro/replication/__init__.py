@@ -1,0 +1,38 @@
+"""``repro.replication`` — query-load-driven replica balancing.
+
+The paper fixes the replica distribution at construction time (§4);
+this package adapts it to the measured query load (ROADMAP item 4):
+
+* :class:`LoadTracker` — per-path EWMA load counters on a logical clock,
+  fed through the existing :class:`~repro.obs.probe.Probe` hooks by
+  :class:`LoadProbe` (attribution via :class:`PathResolver`).
+* :class:`ReplicaBalancer` — the policy object riding the exchange
+  protocol's meetings: ``static`` (paper baseline, strict no-op),
+  ``sqrt`` (square-root replication) or ``adaptive`` (threshold
+  expand/retract, Spiral-Walk-style), configured by
+  :class:`ReplicationConfig`.
+
+The common entry point is the facade: ``Grid.build(...,
+replication="adaptive")`` wires tracker, probe and balancer, and
+``Grid.rebalance()`` drives balancing meetings.  See docs/REPLICATION.md
+for the operator guide and ``experiments/replication.py`` for the
+strategy ablation.
+"""
+
+from repro.replication.balancer import (
+    STRATEGIES,
+    BalanceStats,
+    ReplicaBalancer,
+    ReplicationConfig,
+)
+from repro.replication.tracker import LoadProbe, LoadTracker, PathResolver
+
+__all__ = [
+    "STRATEGIES",
+    "BalanceStats",
+    "LoadProbe",
+    "LoadTracker",
+    "PathResolver",
+    "ReplicaBalancer",
+    "ReplicationConfig",
+]

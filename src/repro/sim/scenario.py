@@ -20,11 +20,21 @@ from repro.core.grid import PGrid
 from repro.core.search import SearchEngine
 from repro.core.storage import DataItem
 from repro.core.updates import ReadEngine, UpdateEngine, UpdateStrategy
+from repro.core.exchange import ExchangeEngine
 from repro.errors import InvalidConfigError
-from repro.obs.probe import Probe
+from repro.obs.probe import CompositeProbe, Probe
+from repro.replication import (
+    STRATEGIES,
+    LoadProbe,
+    LoadTracker,
+    PathResolver,
+    ReplicaBalancer,
+    ReplicationConfig,
+)
 from repro.sim import rng as rngmod
 from repro.sim.builder import GridBuilder
 from repro.sim.churn import BernoulliChurn
+from repro.sim.meetings import UniformMeetings
 from repro.sim.metrics import RateAccumulator, summarize
 from repro.sim.workload import UniformKeyWorkload, ZipfKeyWorkload
 
@@ -56,6 +66,12 @@ class ScenarioSpec:
     update_recbreadth: int = 2
     read_repetitions: int = 50
     seed: int = 0
+    replication: str | None = None
+    replicate_threshold: float = 4.0
+    retract_floor: float = 0.25
+    replication_half_life: float = 64.0
+    balance_every: int = 50
+    balance_meetings: int = 4
 
     def __post_init__(self) -> None:
         if self.n_peers < 2:
@@ -80,6 +96,19 @@ class ScenarioSpec:
             raise InvalidConfigError(
                 f"update_fraction must be in [0, 1], got {self.update_fraction}"
             )
+        if self.replication is not None and self.replication not in STRATEGIES:
+            raise InvalidConfigError(
+                f"unknown replication strategy {self.replication!r}: "
+                f"expected one of {', '.join(STRATEGIES)}"
+            )
+        if self.balance_every < 1:
+            raise InvalidConfigError(
+                f"balance_every must be >= 1, got {self.balance_every}"
+            )
+        if self.balance_meetings < 0:
+            raise InvalidConfigError(
+                f"balance_meetings must be >= 0, got {self.balance_meetings}"
+            )
 
 
 @dataclass
@@ -99,6 +128,7 @@ class ScenarioMetrics:
     reads_after_update: int
     read_success_rate: float
     invariant_violations: int
+    replica_conversions: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """Flat dict for reports."""
@@ -116,6 +146,7 @@ class ScenarioMetrics:
             "reads_after_update": self.reads_after_update,
             "read_success_rate": self.read_success_rate,
             "invariant_violations": self.invariant_violations,
+            "replica_conversions": self.replica_conversions,
         }
 
 
@@ -165,8 +196,34 @@ def run_scenario(
         grid.online_oracle = BernoulliChurn(
             spec.p_online, rngmod.derive(spec.seed, "scenario-churn")
         )
+    balancer = None
+    exchange = None
+    balance_rng = None
+    if spec.replication is not None:
+        replication_config = ReplicationConfig(
+            strategy=spec.replication,
+            replicate_threshold=spec.replicate_threshold,
+            retract_floor=spec.retract_floor,
+            half_life=spec.replication_half_life,
+        )
+        tracker = LoadTracker(half_life=replication_config.half_life)
+        resolver = PathResolver(grid)
+        load_probe = LoadProbe(tracker, resolver)
+        probe = (
+            CompositeProbe([probe, load_probe]) if probe is not None else load_probe
+        )
+        balancer = ReplicaBalancer(
+            grid, tracker, config=replication_config, probe=probe
+        )
+        balancer.subscribe(resolver.invalidate)
+        exchange = ExchangeEngine(grid, probe=probe, balancer=balancer)
+        # Balancing meetings draw from their own derived stream so the
+        # operation mix below stays seed-for-seed comparable across
+        # strategies (static included — it runs the same meetings and
+        # simply never converts anyone).
+        balance_rng = rngmod.derive(spec.seed, "scenario-balance")
     search = SearchEngine(grid, probe=probe)
-    updates = UpdateEngine(grid, search=search, probe=probe)
+    updates = UpdateEngine(grid, search=search, probe=probe, balancer=balancer)
     reads = ReadEngine(grid, search=search, probe=probe)
     ops_rng = rngmod.derive(spec.seed, "scenario-ops")
     query_keys = _workload(spec, "scenario-queries")
@@ -179,7 +236,18 @@ def run_scenario(
     update_messages: list[int] = []
     versions: dict[tuple[str, int], int] = {}
 
-    for _ in range(spec.operations):
+    meetings = (
+        UniformMeetings(grid, rng=balance_rng) if exchange is not None else None
+    )
+    for op_index in range(spec.operations):
+        if (
+            meetings is not None
+            and op_index
+            and op_index % spec.balance_every == 0
+        ):
+            for _ in range(spec.balance_meetings):
+                pair = meetings.next_pair()
+                exchange.meet(*pair)
         start = ops_rng.choice(addresses)
         if items and ops_rng.random() < spec.update_fraction:
             item, holder = ops_rng.choice(items)
@@ -229,4 +297,7 @@ def run_scenario(
         reads_after_update=read_success.trials,
         read_success_rate=read_success.rate,
         invariant_violations=len(grid.audit_routing()),
+        replica_conversions=(
+            balancer.stats.conversions if balancer is not None else 0
+        ),
     )

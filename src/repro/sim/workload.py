@@ -7,7 +7,10 @@ uniformity assumption breaks.
 
 from __future__ import annotations
 
+import itertools
+import math
 import random
+from bisect import bisect
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -56,6 +59,10 @@ class UniformKeyWorkload:
         return [self.next_key() for _ in range(count)]
 
 
+#: Ranks kept exact (cumulative table) by the sampled Zipf mode.
+_SAMPLED_HEAD = 65536
+
+
 @dataclass
 class ZipfKeyWorkload:
     """Zipf-skewed keys: low-value leaves are exponentially more popular.
@@ -63,33 +70,108 @@ class ZipfKeyWorkload:
     Leaf intervals are ranked by numeric value; leaf popularity follows a
     Zipf law with the given exponent.  ``exponent = 0`` degenerates to the
     uniform workload.
+
+    ``sampled`` selects the draw algorithm.  ``False`` materializes the
+    full ``2^key_length`` cumulative weight table (exact, limited to
+    ``key_length <= 24``); ``True`` keeps only the head of the
+    distribution exact and inverts the continuous Zipf integral for the
+    tail — O(head) memory for arbitrarily long keys, at the price of a
+    relative weight error below ``1/(12 * head^2)`` per tail rank (the
+    Euler–Maclaurin midpoint-rule bound).  The default ``None`` picks
+    exact for ``key_length <= 24`` (bit-identical to the historical
+    behaviour) and sampled beyond, where exact was previously an error.
     """
 
     key_length: int
     rng: random.Random
     exponent: float = 1.0
+    sampled: bool | None = None
 
     def __post_init__(self) -> None:
         if self.key_length < 1:
             raise ValueError(f"key_length must be >= 1, got {self.key_length}")
-        if self.key_length > 24:
+        if self.sampled is None:
+            self.sampled = self.key_length > 24
+        if not self.sampled and self.key_length > 24:
             raise ValueError(
-                "ZipfKeyWorkload materializes 2^key_length weights; "
-                f"key_length {self.key_length} is too large (max 24)"
+                "exact ZipfKeyWorkload materializes 2^key_length weights; "
+                f"key_length {self.key_length} is too large (max 24) — "
+                "pass sampled=True for the inverse-CDF mode"
             )
-        self._weights = zipf_weights(2**self.key_length, self.exponent)
-        self._population = range(2**self.key_length)
+        if self.sampled:
+            self._init_sampled()
+        else:
+            self._weights = zipf_weights(2**self.key_length, self.exponent)
+            # random.choices re-accumulates ``weights`` on every call;
+            # handing it the cumulative table instead is bit-identical
+            # (same accumulate, same random() draws) and O(log n)/draw.
+            self._cum_weights = list(itertools.accumulate(self._weights))
+            self._population = range(2**self.key_length)
+
+    # -- sampled mode (inverse CDF over ranks) -------------------------------
+
+    def _init_sampled(self) -> None:
+        count = 2**self.key_length
+        head = min(count, _SAMPLED_HEAD)
+        exponent = self.exponent
+        cumulative: list[float] = []
+        total = 0.0
+        for rank in range(1, head + 1):
+            total += 1.0 / rank**exponent
+            cumulative.append(total)
+        self._head_cum = cumulative
+        self._head = head
+        self._tail_mass = (
+            self._tail_integral(head + 0.5, count + 0.5) if count > head else 0.0
+        )
+        self._total_mass = total + self._tail_mass
+
+    def _tail_integral(self, low: float, high: float) -> float:
+        """``integral of x^-s`` over ``[low, high]`` (midpoint-rule mass of
+        the ranks whose intervals the bounds enclose)."""
+        exponent = self.exponent
+        if exponent == 1.0:
+            return math.log(high / low)
+        power = 1.0 - exponent
+        return (high**power - low**power) / power
+
+    def _draw_sampled(self) -> int:
+        """One 0-based Zipf value via exact head + inverted integral tail."""
+        target = self.rng.random() * self._total_mass
+        head_mass = self._head_cum[-1]
+        if target < head_mass or not self._tail_mass:
+            return bisect(self._head_cum, target)
+        # Invert integral(head+0.5 .. t) = target - head_mass for t.
+        remaining = target - head_mass
+        low = self._head + 0.5
+        exponent = self.exponent
+        if exponent == 1.0:
+            t = low * math.exp(remaining)
+        else:
+            power = 1.0 - exponent
+            t = (low**power + power * remaining) ** (1.0 / power)
+        rank = int(t + 0.5)
+        return max(self._head, min(2**self.key_length - 1, rank - 1))
 
     def next_key(self) -> str:
         """One Zipf-distributed key."""
-        value = self.rng.choices(self._population, weights=self._weights, k=1)[0]
+        if self.sampled:
+            value = self._draw_sampled()
+        else:
+            value = self.rng.choices(
+                self._population, cum_weights=self._cum_weights, k=1
+            )[0]
         return format(value, f"0{self.key_length}b")
 
     def keys(self, count: int) -> list[str]:
         """A batch of *count* keys."""
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
-        values = self.rng.choices(self._population, weights=self._weights, k=count)
+        if self.sampled:
+            return [self.next_key() for _ in range(count)]
+        values = self.rng.choices(
+            self._population, cum_weights=self._cum_weights, k=count
+        )
         return [format(value, f"0{self.key_length}b") for value in values]
 
 

@@ -1,0 +1,158 @@
+"""A balancer that never fires must be a strict no-op (ISSUE 9 contract).
+
+Mirrors the probe- and fault-transparency suites: a ``Grid`` built with
+``replication=None``, ``replication="static"`` or an adaptive config
+whose warm-up gate never opens must return field-for-field identical
+results — and leave the grid RNG stream bit-identical — across all three
+drivers.  This is what lets experiments attach the balancer
+unconditionally and trust that the static column really is the §4
+baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Grid
+from repro.core import keys as keyspace
+from repro.core.exchange import ExchangeEngine
+from repro.replication import (
+    LoadTracker,
+    ReplicaBalancer,
+    ReplicationConfig,
+)
+from tests.conftest import build_grid
+
+QUERIES = ("0000", "0101", "1101")
+STARTS = (0, 13, 31)
+
+#: An adaptive config whose warm-up gate never opens: attached but inert.
+INERT_ADAPTIVE = ReplicationConfig(strategy="adaptive", min_observations=10**9)
+
+
+def _facade_pair(seed: int, replication):
+    plain = Grid.build(peers=48, maxl=4, refmax=2, seed=seed)
+    tracked = Grid.build(
+        peers=48, maxl=4, refmax=2, seed=seed, replication=replication
+    )
+    return plain, tracked
+
+
+def _run_workload(service, *, updates: bool = False):
+    outcomes = []
+    for start in STARTS:
+        for query in QUERIES:
+            outcomes.append(service.search(query, start=start))
+    if updates:
+        for index, query in enumerate(QUERIES):
+            outcomes.append(
+                service.update(query, holder=STARTS[index], version=index)
+            )
+    return outcomes
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10**6),
+    replication=st.sampled_from(["static", INERT_ADAPTIVE]),
+    driver=st.sampled_from(["engine", "node", "async"]),
+)
+def test_inert_balancer_is_driver_transparent(seed, replication, driver):
+    """Static and gated-adaptive grids match bare grids on every driver."""
+    plain_grid, tracked_grid = _facade_pair(seed, replication)
+    with plain_grid.serve(driver) as plain, tracked_grid.serve(driver) as tracked:
+        assert _run_workload(plain, updates=True) == _run_workload(
+            tracked, updates=True
+        )
+    assert plain_grid.pgrid.rng.getstate() == tracked_grid.pgrid.rng.getstate()
+    assert tracked_grid.balancer.stats.conversions == 0
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10**6), meeting_seed=st.integers(0, 10**6))
+def test_static_balancer_is_exchange_transparent(seed, meeting_seed):
+    """Exchange meetings with a static balancer leave peers bit-identical."""
+    plain_grid = build_grid(48, maxl=4, refmax=2, seed=seed)
+    tracked_grid = build_grid(48, maxl=4, refmax=2, seed=seed)
+    tracker = LoadTracker()
+    for _ in range(200):
+        tracker.observe("0000")  # plenty of (would-be) load
+    balancer = ReplicaBalancer(
+        tracked_grid,
+        tracker,
+        config=ReplicationConfig(strategy="static", min_observations=0),
+    )
+    plain_engine = ExchangeEngine(plain_grid)
+    tracked_engine = ExchangeEngine(tracked_grid, balancer=balancer)
+    pair_rng = random.Random(meeting_seed)
+    addresses = plain_grid.addresses()
+    for _ in range(40):
+        a1, a2 = pair_rng.sample(addresses, 2)
+        plain_engine.meet(a1, a2)
+        tracked_engine.meet(a1, a2)
+    assert {p.address: (p.path, p.routing.to_lists()) for p in plain_grid.peers()} == {
+        p.address: (p.path, p.routing.to_lists()) for p in tracked_grid.peers()
+    }
+    assert plain_grid.rng.getstate() == tracked_grid.rng.getstate()
+    assert balancer.stats.meetings_seen == 40
+    assert balancer.stats.conversions == 0
+
+
+def test_drivers_agree_with_replication_enabled():
+    """An *active* adaptive grid still serves identically on all drivers.
+
+    Balancing only happens inside :meth:`Grid.rebalance` / update
+    propagation, so three identically-built adaptive grids that each run
+    the same operation sequence stay equal to each other (the cross-driver
+    equivalence the facade guarantees) even after conversions.
+    """
+    config = ReplicationConfig(
+        strategy="adaptive",
+        replicate_threshold=1.0,
+        retract_floor=0.25,
+        min_replicas=2,
+        min_observations=10,
+    )
+    results = {}
+    for driver in ("engine", "node", "async"):
+        grid = Grid.build(peers=48, maxl=4, refmax=2, seed=77, replication=config)
+        rng = random.Random(99)
+        with grid.serve(driver) as service:
+            for _ in range(120):
+                service.search(
+                    "0000" + keyspace.random_key(4, rng),
+                    start=rng.choice(grid.addresses()),
+                )
+        delta = grid.rebalance(meetings=48)
+        results[driver] = (
+            delta,
+            {p.address: p.path for p in grid.pgrid.peers()},
+            grid.pgrid.rng.getstate(),
+        )
+    assert results["engine"] == results["node"] == results["async"]
+    assert results["engine"][0]["conversions"] > 0
+
+
+def test_facade_observes_searches_on_every_surface():
+    """Engine probes, node/async wrappers and the batch plane all feed
+    the same tracker clock."""
+    grid = Grid.build(peers=48, maxl=4, refmax=2, seed=5, replication="adaptive")
+    grid.search("0000")
+    assert grid.load_tracker.clock == 1
+    with grid.serve("node") as service:
+        service.search("0001", start=3)
+    assert grid.load_tracker.clock == 2
+    with grid.serve("async") as service:
+        service.search("0010", start=3)
+    assert grid.load_tracker.clock == 3

@@ -87,9 +87,91 @@ class TestZipfKeyWorkload:
         with pytest.raises(ValueError):
             ZipfKeyWorkload(0, random.Random(0))
         with pytest.raises(ValueError):
-            ZipfKeyWorkload(30, random.Random(0))  # would materialize 2^30
+            # exact mode would materialize 2^30 weights
+            ZipfKeyWorkload(30, random.Random(0), sampled=False)
         with pytest.raises(ValueError):
             ZipfKeyWorkload(4, random.Random(0)).keys(-1)
+
+
+class TestZipfSampledMode:
+    def test_exact_mode_stream_unchanged(self):
+        """The cum_weights optimization must not shift the exact stream.
+
+        Reproduces the historical draw (random.choices with raw weights)
+        and asserts the optimized path emits the identical keys.
+        """
+        from repro.sim.workload import zipf_weights
+
+        historical_rng = random.Random(42)
+        weights = zipf_weights(2**8, exponent=1.2)
+        population = range(2**8)
+        historical = [
+            format(value, "08b")
+            for value in historical_rng.choices(population, weights=weights, k=64)
+        ]
+        workload = ZipfKeyWorkload(8, random.Random(42), exponent=1.2)
+        assert workload.keys(64) == historical
+
+    def test_auto_selects_sampled_beyond_24_bits(self):
+        workload = ZipfKeyWorkload(64, random.Random(0))
+        assert workload.sampled is True
+        exact = ZipfKeyWorkload(8, random.Random(0))
+        assert exact.sampled is False
+
+    def test_sampled_key_shape(self):
+        workload = ZipfKeyWorkload(64, random.Random(1), exponent=1.25)
+        for key in workload.keys(200):
+            assert len(key) == 64
+            assert keyspace.is_valid_key(key)
+
+    def test_sampled_deterministic(self):
+        a = ZipfKeyWorkload(40, random.Random(3), exponent=1.0).keys(50)
+        b = ZipfKeyWorkload(40, random.Random(3), exponent=1.0).keys(50)
+        assert a == b
+
+    def test_sampled_matches_exact_head_mass(self):
+        """At a size where both modes exist, leading-prefix masses agree."""
+        draws = 4000
+        exact_keys = ZipfKeyWorkload(
+            16, random.Random(11), exponent=1.25, sampled=False
+        ).keys(draws)
+        sampled_keys = ZipfKeyWorkload(
+            16, random.Random(12), exponent=1.25, sampled=True
+        ).keys(draws)
+        for prefix_len in (1, 2, 4):
+            exact_mass = sum(
+                1 for key in exact_keys if key[:prefix_len] == "0" * prefix_len
+            ) / draws
+            sampled_mass = sum(
+                1 for key in sampled_keys if key[:prefix_len] == "0" * prefix_len
+            ) / draws
+            assert abs(exact_mass - sampled_mass) < 0.05
+
+    def test_sampled_rank_one_frequency(self):
+        """P(rank 1) over 2^32 keys matches the analytic Zipf mass."""
+        import math
+
+        exponent = 1.25
+        workload = ZipfKeyWorkload(32, random.Random(21), exponent=exponent)
+        draws = 5000
+        top = sum(1 for key in workload.keys(draws) if int(key, 2) == 0)
+        # Analytic: 1 / zeta-like normalizer over 2^32 ranks; the tail
+        # integral approximates the sum closely at this exponent.
+        head = sum(1.0 / rank**exponent for rank in range(1, 65537))
+        tail = (
+            ((2**32 + 0.5) ** (1 - exponent) - 65536.5 ** (1 - exponent))
+            / (1 - exponent)
+        )
+        expected = 1.0 / (head + tail)
+        assert math.isclose(top / draws, expected, abs_tol=0.03)
+
+    def test_sampled_exponent_one_log_tail(self):
+        """The s=1 logarithmic tail branch draws valid, skewed keys."""
+        workload = ZipfKeyWorkload(48, random.Random(31), exponent=1.0)
+        keys = workload.keys(1000)
+        assert all(len(key) == 48 for key in keys)
+        low_half = sum(1 for key in keys if key[0] == "0")
+        assert low_half / len(keys) > 0.9  # 2^47 split leaves ~1/48 mass above
 
 
 class TestGenerateItems:
