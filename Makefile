@@ -4,7 +4,7 @@ PYTHON ?= python
 # Scale of `make bench`: fig4 (default) or smoke (CI-fast).
 SCALE ?= fig4
 
-.PHONY: install test lint check bench bench-experiments bench-paper bench-quick bench-regression check-parallel protocol-equivalence resilience-smoke replication-smoke swarm-smoke examples clean results
+.PHONY: install test lint check bench bench-experiments bench-paper bench-quick bench-regression bench-shm-smoke check-parallel protocol-equivalence resilience-smoke replication-smoke swarm-smoke examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -62,6 +62,13 @@ bench-regression:
 # replica distribution and the memory footprint.
 bench-array:
 	$(PYTHON) benchmarks/bench_array_smoke.py --scale $(SCALE)
+
+# Shared-memory snapshot gate: a --jobs 2 sweep shipping only the
+# GridSnapshot ref must stay bit-identical to serial, keep the pickled
+# trial spec tiny, attach at most once per worker, and leave no
+# pgrid_snap_* residue in /dev/shm (see benchmarks/check_shm.py).
+bench-shm-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/check_shm.py
 
 # Parallel-speedup gate over the committed BENCH_search.json: jobs=2
 # sweeps must beat serial on multi-core machines and stay bit-identical

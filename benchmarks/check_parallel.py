@@ -33,6 +33,85 @@ _ROOT = Path(__file__).resolve().parent.parent
 #: the old regressed behaviour (0.74x).
 MIN_SPEEDUP = 1.0
 
+#: Hard cap on the pickled snapshot-ref trial spec: the whole point of the
+#: shared-memory snapshot is that the spec carries a name + layout table,
+#: never grid arrays.  Generous headroom over the observed ~700 bytes.
+MAX_SNAPSHOT_SPEC_BYTES = 8_192
+
+#: ...and relative to shipping the grid: the ref must be a rounding error
+#: next to the arrays it replaces.
+MAX_SNAPSHOT_SPEC_RATIO = 0.05
+
+#: The snapshot jobs=2 sweep may trail the gridship jobs=2 *speedup* by at
+#: most this much — attach-once must never be slower than re-pickling the
+#: grid per trial (tolerance absorbs scheduler noise on small sweeps).
+SPEEDUP_TOLERANCE = 0.15
+
+
+def _check_snapshot_scaling(results: dict, cpu_count: int) -> list[str]:
+    """Gates over the ``snapshot_scaling`` section (absent in files from
+    numpy-less runs or pre-snapshot harnesses — skipped with a notice)."""
+    section = results.get("snapshot_scaling")
+    failures: list[str] = []
+    if not section or "skipped" in section:
+        reason = (section or {}).get("skipped", "section missing (stale file?)")
+        print(f"[check-parallel] snapshot scaling skipped: {reason}")
+        return failures
+    spec = section["pickled_trial_bytes"]
+    print(
+        f"[check-parallel] snapshot spec {spec['snapshot_ref']} B "
+        f"(gridship {spec['gridship']} B, ratio {spec['ratio']:.3%}); "
+        + ", ".join(
+            f"jobs={jobs} {row['speedup_vs_serial']:.2f}x "
+            f"attaches<={row['max_fresh_attaches_per_worker']}"
+            for jobs, row in section["jobs"].items()
+        )
+    )
+    if spec["snapshot_ref"] > MAX_SNAPSHOT_SPEC_BYTES:
+        failures.append(
+            f"snapshot trial spec pickles to {spec['snapshot_ref']} B > "
+            f"cap {MAX_SNAPSHOT_SPEC_BYTES} B — grid state is leaking into "
+            f"the spec"
+        )
+    if spec["ratio"] is not None and spec["ratio"] > MAX_SNAPSHOT_SPEC_RATIO:
+        failures.append(
+            f"snapshot spec is {spec['ratio']:.1%} of the gridship payload "
+            f"(cap {MAX_SNAPSHOT_SPEC_RATIO:.0%})"
+        )
+    for jobs, row in section["jobs"].items():
+        if row.get("bit_identical_to_serial") is not True:
+            failures.append(
+                f"snapshot sweep at jobs={jobs} was not bit-identical to serial"
+            )
+        if row.get("max_fresh_attaches_per_worker", 0) > 1:
+            failures.append(
+                f"jobs={jobs}: a worker attached the segment "
+                f"{row['max_fresh_attaches_per_worker']} times — the grid must "
+                f"cross the process boundary at most once per worker"
+            )
+    gridship = section.get("gridship", {})
+    if gridship.get("results_identical_to_snapshot_path") is not True:
+        failures.append(
+            "gridship baseline results differ from the snapshot path — the "
+            "two trial functions no longer compute the same thing"
+        )
+    jobs2 = section["jobs"].get("2")
+    if cpu_count >= 2 and jobs2 is not None:
+        snapshot_speedup = jobs2.get("speedup_vs_serial") or 0.0
+        gridship_speedup = gridship.get("speedup") or 0.0
+        if snapshot_speedup + SPEEDUP_TOLERANCE < gridship_speedup:
+            failures.append(
+                f"snapshot jobs=2 speedup {snapshot_speedup:.2f}x trails the "
+                f"gridship path's {gridship_speedup:.2f}x by more than "
+                f"{SPEEDUP_TOLERANCE:.2f}"
+            )
+    elif cpu_count < 2:
+        print(
+            "[check-parallel] single CPU recorded: snapshot speedup "
+            "comparison skipped"
+        )
+    return failures
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -62,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     failures = []
+    failures.extend(_check_snapshot_scaling(payload["results"], cpu_count))
     if bit_identical is not True:
         failures.append("parallel run was not bit-identical to the serial run")
     if cpu_count >= 2:

@@ -1,0 +1,138 @@
+"""Shared-memory snapshot smoke gate (what ``make bench-shm-smoke`` runs).
+
+End-to-end check of the zero-copy fan-out contract on a small grid:
+
+1. build once, export a :class:`~repro.fast.GridSnapshot`;
+2. run a ``--jobs 2`` search sweep shipping only the snapshot's ref —
+   results must be bit-identical to the serial run, the pickled trial
+   spec must stay under a hard byte cap, and no worker may attach the
+   segment more than once;
+3. tear everything down and assert ``/dev/shm`` holds no
+   ``pgrid_snap_*`` residue (segment leaks outlive the process and
+   accumulate across CI runs, so this is a hard failure).
+
+Exit code 0 = all gates passed.  Requires numpy; a numpy-less
+environment skips with code 0 so the target can sit in any job.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.fast import HAVE_NUMPY  # noqa: E402
+
+MAX_SPEC_BYTES = 8_192
+N_PEERS = 300
+TRIALS = 6
+N_QUERIES = 150
+MASTER_SEED = 20020101
+
+
+def _shm_residue() -> list[str]:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # non-Linux: nothing to scan
+        return []
+    return sorted(entry.name for entry in shm.glob("pgrid_snap_*"))
+
+
+def main() -> int:
+    if not HAVE_NUMPY:
+        print("[check-shm] numpy not available — skipping")
+        return 0
+
+    from repro.core.config import PGridConfig
+    from repro.experiments.common import run_snapshot_search_sweep
+    from repro.perf.parallel import shutdown_pool, warm_pool
+    from repro.sim.builder import construct_snapshot
+
+    before = _shm_residue()
+    if before:
+        print(
+            f"[check-shm] WARNING: stale segments before the run: {before}",
+            file=sys.stderr,
+        )
+
+    config = PGridConfig(maxl=6, refmax=4, recmax=2, recursion_fanout=2)
+    # Warm the pool *before* the snapshot exists so workers must go through
+    # a genuine attach (fork-inherited mappings would trivially pass).
+    warm_pool(2)
+    snapshot, report = construct_snapshot(
+        config,
+        N_PEERS,
+        seed=MASTER_SEED,
+        threshold_fraction=0.985,
+        max_exchanges=600 * N_PEERS,
+    )
+    failures: list[str] = []
+    try:
+        spec_bytes = len(
+            pickle.dumps(
+                {
+                    "snapshot": snapshot.ref(),
+                    "seed": 0,
+                    "n_queries": N_QUERIES,
+                    "key_length": config.maxl - 1,
+                }
+            )
+        )
+        print(
+            f"[check-shm] grid n={N_PEERS} converged={report.converged}; "
+            f"segment {snapshot.nbytes} B, trial spec {spec_bytes} B"
+        )
+        if spec_bytes > MAX_SPEC_BYTES:
+            failures.append(
+                f"trial spec pickles to {spec_bytes} B > cap {MAX_SPEC_BYTES} B"
+            )
+
+        serial = run_snapshot_search_sweep(
+            snapshot,
+            trials=TRIALS,
+            n_queries=N_QUERIES,
+            jobs=1,
+            master_seed=MASTER_SEED,
+        )
+        pooled = run_snapshot_search_sweep(
+            snapshot,
+            trials=TRIALS,
+            n_queries=N_QUERIES,
+            jobs=2,
+            master_seed=MASTER_SEED,
+        )
+        if [t["results"] for t in serial] != [t["results"] for t in pooled]:
+            failures.append("jobs=2 results are not bit-identical to serial")
+        attaches: dict[int, int] = {}
+        for trial in pooled:
+            worker = trial["worker"]
+            attaches[worker["pid"]] = max(
+                attaches.get(worker["pid"], 0), worker["fresh_attaches"]
+            )
+        print(f"[check-shm] worker fresh-attach counts: {attaches}")
+        if any(count > 1 for count in attaches.values()):
+            failures.append(
+                f"a worker attached the segment more than once: {attaches}"
+            )
+    finally:
+        snapshot.close()
+        snapshot.unlink()
+        shutdown_pool()
+
+    residue = [name for name in _shm_residue() if name not in before]
+    if residue:
+        failures.append(f"leaked shared-memory segments: {residue}")
+
+    if failures:
+        for line in failures:
+            print(f"[check-shm] FAIL {line}", file=sys.stderr)
+        return 1
+    print("[check-shm] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

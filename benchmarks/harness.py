@@ -505,6 +505,145 @@ def bench_search(scale: BenchScale, grid: PGrid) -> dict:
     }
 
 
+def bench_snapshot_scaling(scale: BenchScale) -> dict:
+    """Zero-copy snapshot fan-out versus pickling the grid per trial.
+
+    Builds one grid, exports it as a shared-memory ``GridSnapshot``, and
+    runs the same search sweep at ``--jobs`` 1/2/4/8 (capped by the CPU
+    count) shipping only the snapshot's handle; the pre-snapshot baseline
+    ships the full arrays inside every pickled trial spec.  Reported per
+    jobs level: wall-clock, speedup vs serial, bit-identity of results,
+    and the per-worker fresh-attach count the regression gate caps at 1
+    (the grid crosses the process boundary at most once per worker).
+    """
+    if not HAVE_NUMPY:
+        return {"skipped": "numpy not available"}
+    import pickle
+
+    from repro.experiments.common import (
+        _gridship_search_trial,
+        gridship_state,
+        run_snapshot_search_sweep,
+    )
+    from repro.perf.parallel import parallel_starmap
+    from repro.sim.builder import construct_snapshot
+
+    n_peers = min(scale.n_peers, 2_000)
+    config = PGridConfig(
+        maxl=scale.maxl,
+        refmax=scale.refmax,
+        recmax=scale.recmax,
+        recursion_fanout=scale.recursion_fanout,
+    )
+    snapshot, _report = construct_snapshot(
+        config,
+        n_peers,
+        seed=rngmod.derive_seed(scale.seed, "snapshot-bench"),
+        threshold_fraction=0.985,
+        max_exchanges=max(2_000_000, 600 * n_peers),
+    )
+    try:
+        trials = max(8, 2 * scale.trial_points)
+        n_queries = max(200, scale.n_searches // 10)
+        master = rngmod.derive_seed(scale.seed, "snapshot-sweep")
+        key_length = config.maxl - 1
+
+        state = gridship_state(snapshot)
+        spec_tail = {"seed": 1, "n_queries": n_queries, "key_length": key_length}
+        snapshot_trial_bytes = len(
+            pickle.dumps({"snapshot": snapshot.ref(), **spec_tail})
+        )
+        gridship_trial_bytes = len(pickle.dumps({"state": state, **spec_tail}))
+
+        cpu = os.cpu_count() or 1
+        jobs_levels = [jobs for jobs in (1, 2, 4, 8) if jobs <= cpu] or [1]
+        serial_results = None
+        serial_s = None
+        per_jobs: dict[str, dict] = {}
+        for jobs in jobs_levels:
+            if jobs > 1:
+                warm_pool(jobs)
+            start = time.perf_counter()
+            out = run_snapshot_search_sweep(
+                snapshot,
+                trials=trials,
+                n_queries=n_queries,
+                jobs=jobs,
+                master_seed=master,
+                key_length=key_length,
+            )
+            elapsed = time.perf_counter() - start
+            results = [trial["results"] for trial in out]
+            attaches = {}
+            for trial in out:
+                worker = trial["worker"]
+                attaches[worker["pid"]] = max(
+                    attaches.get(worker["pid"], 0), worker["fresh_attaches"]
+                )
+            if serial_results is None:
+                serial_results, serial_s = results, elapsed
+            per_jobs[str(jobs)] = {
+                "seconds": elapsed,
+                "speedup_vs_serial": serial_s / elapsed if elapsed else None,
+                "bit_identical_to_serial": results == serial_results,
+                "worker_count": len(attaches),
+                "max_fresh_attaches_per_worker": max(attaches.values()),
+            }
+
+        # Pre-snapshot baseline: grid arrays pickled into every trial spec.
+        ship_specs = [
+            {
+                "state": state,
+                "seed": rngmod.derive_seed(master, f"trial-{index}"),
+                "n_queries": n_queries,
+                "key_length": key_length,
+            }
+            for index in range(trials)
+        ]
+        start = time.perf_counter()
+        ship_serial = parallel_starmap(_gridship_search_trial, ship_specs, jobs=1)
+        ship_serial_s = time.perf_counter() - start
+        ship_jobs = min(2, cpu)
+        if ship_jobs > 1:
+            warm_pool(ship_jobs)
+        start = time.perf_counter()
+        ship_pooled = parallel_starmap(
+            _gridship_search_trial, ship_specs, jobs=ship_jobs
+        )
+        ship_pooled_s = time.perf_counter() - start
+        return {
+            "n_peers": n_peers,
+            "trials": trials,
+            "n_queries": n_queries,
+            "cpu_count": cpu,
+            "segment_bytes": snapshot.nbytes,
+            "pickled_trial_bytes": {
+                "snapshot_ref": snapshot_trial_bytes,
+                "gridship": gridship_trial_bytes,
+                "ratio": (
+                    snapshot_trial_bytes / gridship_trial_bytes
+                    if gridship_trial_bytes
+                    else None
+                ),
+            },
+            "jobs": per_jobs,
+            "gridship": {
+                "jobs": ship_jobs,
+                "serial_seconds": ship_serial_s,
+                "pooled_seconds": ship_pooled_s,
+                "speedup": (
+                    ship_serial_s / ship_pooled_s if ship_pooled_s else None
+                ),
+                "results_identical_to_snapshot_path": (
+                    [trial["results"] for trial in ship_pooled] == serial_results
+                ),
+            },
+        }
+    finally:
+        snapshot.close()
+        snapshot.unlink()
+
+
 def bench_array_search(scale: BenchScale, grid: PGrid) -> dict:
     """The batch query plane versus the object ``SearchEngine`` loop.
 
@@ -717,6 +856,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{search['parallel_trials']['speedup']:.2f}x, "
         f"bit_identical={search['parallel_trials']['bit_identical']}"
     )
+    snapshot_scaling = bench_snapshot_scaling(scale)
+    search["snapshot_scaling"] = snapshot_scaling
+    if "skipped" not in snapshot_scaling:
+        bytes_row = snapshot_scaling["pickled_trial_bytes"]
+        jobs_text = ", ".join(
+            f"jobs={jobs} {row['speedup_vs_serial']:.2f}x"
+            for jobs, row in snapshot_scaling["jobs"].items()
+        )
+        print(
+            f"[bench] snapshot scaling: {bytes_row['snapshot_ref']} B/trial "
+            f"shipped vs {bytes_row['gridship']} B gridship "
+            f"({bytes_row['ratio']:.3%}); {jobs_text}"
+        )
     path = _write(args.out_dir, "search", scale, search, engines=("object",))
     print(f"[bench] wrote {path}")
 

@@ -105,11 +105,13 @@ class Grid:
         search_config: SearchConfig | None = None,
         update_config: UpdateConfig | None = None,
         replication: ReplicationConfig | str | None = None,
+        shortcut_capacity: int | None = None,
     ) -> None:
         self.pgrid = pgrid
         self.report = report
         self.retry = retry
         self.healer = healer
+        self.shortcut_capacity = shortcut_capacity
         self.search_config = search_config or SearchConfig()
         self.update_config = update_config or UpdateConfig()
         self.replication = (
@@ -135,6 +137,9 @@ class Grid:
             )
             self.balancer.subscribe(self._path_resolver.invalidate)
             self.balancer.subscribe(self._drop_batch_engine)
+            # Conversion listeners fire before the zero-arg listeners, so
+            # the dense index map is still valid when shortcuts are dropped.
+            self.balancer.subscribe_conversion(self._on_replica_conversion)
         else:
             self.load_tracker = None
             self.load_probe = None
@@ -151,6 +156,22 @@ class Grid:
         self._batch_engine = None
         self._batch_index: dict[Address, int] = {}
         self._rebalance_engine = None
+        if shortcut_capacity is not None:
+            from repro.core.shortcuts import ShortcutSearchEngine
+            from repro.fast.shortcuts import ArrayShortcutCache
+
+            self.shortcut_engine: ShortcutSearchEngine | None = ShortcutSearchEngine(
+                pgrid, search=self.engine, capacity=shortcut_capacity, probe=probe
+            )
+            #: Array-core twin of the object shortcut layer; re-attached to
+            #: the batch engine on every rebuild (dense indices survive
+            #: conversion-triggered rebuilds — membership is unchanged).
+            self._array_shortcuts: ArrayShortcutCache | None = ArrayShortcutCache(
+                shortcut_capacity
+            )
+        else:
+            self.shortcut_engine = None
+            self._array_shortcuts = None
         self.updates = UpdateEngine(
             pgrid,
             search=self.engine,
@@ -183,6 +204,7 @@ class Grid:
         search_config: SearchConfig | None = None,
         update_config: UpdateConfig | None = None,
         replication: ReplicationConfig | str | None = None,
+        shortcut_capacity: int | None = None,
     ) -> "Grid":
         """Create *peers* peers and run construction to convergence.
 
@@ -218,6 +240,7 @@ class Grid:
             search_config=search_config,
             update_config=update_config,
             replication=replication,
+            shortcut_capacity=shortcut_capacity,
         )
 
     # -- population ------------------------------------------------------------------
@@ -243,6 +266,20 @@ class Grid:
         """Invalidate the cached batch-plane snapshot (balancer listener)."""
         self._batch_engine = None
         self._batch_index = {}
+
+    def _on_replica_conversion(self, address: Address, old_path: str, new_path: str) -> None:
+        """Drop shortcuts pointing at a converted peer (balancer listener).
+
+        The peer stays online but answers for a different replica group,
+        so every cached shortcut naming it — object core and array core —
+        is stale at once.
+        """
+        if self.shortcut_engine is not None:
+            self.shortcut_engine.invalidate_responder(address)
+        if self._array_shortcuts is not None:
+            index = self._batch_index.get(address)
+            if index is not None:
+                self._array_shortcuts.invalidate_responder(index)
 
     def _observe_search(self, key: str) -> None:
         """Credit one query against *key*'s replica group.
@@ -316,7 +353,24 @@ class Grid:
                 address: index
                 for index, address in enumerate(self._batch_engine.addresses)
             }
+            if self._array_shortcuts is not None:
+                self._batch_engine.shortcuts = self._array_shortcuts
         return self._batch_engine
+
+    def snapshot(self, *, p_online: float = 1.0):
+        """Export the current grid state as a shared-memory
+        :class:`~repro.fast.GridSnapshot` (requires numpy).
+
+        The returned snapshot is owned by the caller: ship its
+        :meth:`~repro.fast.GridSnapshot.ref` into parallel sweeps instead
+        of pickling the grid, and ``close()``/``unlink()`` it (or use it
+        as a context manager) when done.
+        """
+        from repro.fast import ArrayGrid, GridSnapshot
+
+        return GridSnapshot.from_arraygrid(
+            ArrayGrid.from_pgrid(self.pgrid), p_online=p_online
+        )
 
     def search_many(
         self, keys: list[str], starts: list[Address], *, core: str = "array"
@@ -355,9 +409,12 @@ class Grid:
         ``core="array"`` resolves it through the batch query plane
         instead of the object engine — useful to spot-check the bridged
         snapshot; for throughput use :meth:`search_many`, which is where
-        the vectorization pays.
+        the vectorization pays.  With ``shortcut_capacity`` set, both
+        cores consult their per-initiator shortcut cache first.
         """
         if core == "object":
+            if self.shortcut_engine is not None:
+                return self.shortcut_engine.query_from(start, key)
             return self.engine.query_from(start, key)
         if core != "array":
             raise InvalidConfigError(
@@ -380,10 +437,43 @@ class Grid:
         )
 
     def search_range(
-        self, low: str, high: str, *, start: Address = 0, recbreadth: int = 2
+        self,
+        low: str,
+        high: str,
+        *,
+        start: Address = 0,
+        recbreadth: int = 2,
+        core: str = "object",
     ) -> RangeSearchResult:
-        """Range query over ``[low, high]`` from *start*."""
-        return self.engine.query_range(start, low, high, recbreadth=recbreadth)
+        """Range query over ``[low, high]`` from *start*.
+
+        ``core="array"`` resolves the canonical cover through the batch
+        query plane's vectorized range kernel instead of the object
+        engine — same cover prefixes and accounting scheme, statistically
+        equivalent reach (both cores' enumeration walks are RNG-order
+        dependent; see ``repro.fast.query.search_range_many``).
+        """
+        if core == "object":
+            return self.engine.query_range(start, low, high, recbreadth=recbreadth)
+        if core != "array":
+            raise InvalidConfigError(
+                f"unknown core {core!r}: expected one of {', '.join(QUERY_CORES)}"
+            )
+        engine = self.batch_query_engine()
+        batch = engine.search_range_many(
+            [low], [high], [self._batch_index[start]], recbreadth=recbreadth
+        )
+        self._observe_search(low)
+        responders = [engine.addresses[int(i)] for i in batch.responders(0)]
+        return RangeSearchResult(
+            low=low,
+            high=high,
+            cover=list(batch.covers[0]),
+            responders=responders,
+            data_refs=list(batch.data_refs[0]),
+            messages=int(batch.messages[0]),
+            failed_attempts=int(batch.failed_attempts[0]),
+        )
 
     def update(
         self,

@@ -132,6 +132,13 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("snapshot", type=str)
     search.add_argument("key", type=str)
     search.add_argument("--start", type=int, default=0)
+    search.add_argument("--high", type=str, default=None,
+                        help="upper bound: range query over [KEY, HIGH] "
+                             "via the canonical trie cover (equal key "
+                             "widths; engine driver, both cores)")
+    search.add_argument("--recbreadth", type=int, default=2,
+                        help="fan-out per divergence level for --high "
+                             "range queries")
     search.add_argument("--p-online", type=float, default=1.0)
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--core", choices=("object", "array"),
@@ -422,11 +429,64 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_range_search(args: argparse.Namespace, grid: PGrid) -> int:
+    """``pgrid search KEY --high HIGH``: one range query, either core."""
+    unsupported = (
+        args.driver != "engine"
+        or args.trace
+        or args.retry_attempts > 1
+        or args.self_repair
+        or args.crash_fraction > 0.0
+        or args.stale_fraction > 0.0
+    )
+    if unsupported:
+        print(
+            "--high range queries support only the plain engine driver "
+            "(no --trace, retries, self-repair or fault injection)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.core == "array":
+        from repro.fast import ArrayGrid, BatchQueryEngine
+
+        engine = BatchQueryEngine.from_arraygrid(ArrayGrid.from_pgrid(grid))
+        dense = {address: i for i, address in enumerate(engine.addresses)}
+        batch = engine.search_range_many(
+            [args.key], [args.high], [dense[args.start]],
+            recbreadth=args.recbreadth,
+        )
+        cover = list(batch.covers[0])
+        responders = [engine.addresses[int(i)] for i in batch.responders(0)]
+        refs = list(batch.data_refs[0])
+        messages = int(batch.messages[0])
+        failed = int(batch.failed_attempts[0])
+    else:
+        result = SearchEngine(grid).query_range(
+            args.start, args.key, args.high, recbreadth=args.recbreadth
+        )
+        cover = list(result.cover)
+        responders = list(result.responders)
+        refs = list(result.data_refs)
+        messages = result.messages
+        failed = result.failed_attempts
+    cover_text = ",".join(prefix or "''" for prefix in cover)
+    print(
+        f"range=[{args.key}, {args.high}] cover={cover_text} "
+        f"responders={len(responders)} messages={messages} "
+        f"failed_attempts={failed}"
+    )
+    for ref in refs:
+        print(f"  data: key={ref.key} holder={ref.holder} version={ref.version}")
+    return 0 if responders else 1
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     grid = load_grid(args.snapshot, rng=rng)
     if args.p_online < 1.0:
         grid.online_oracle = BernoulliChurn(args.p_online, random.Random(args.seed + 1))
+    if args.high is not None:
+        return _run_range_search(args, grid)
     if args.core == "array":
         unsupported = (
             args.driver != "engine"
@@ -578,26 +638,46 @@ def _print_memory_footprint(config: PGridConfig, n_peers: int, seed: int) -> Non
     fixed query batch through both query planes so the memory trade-off
     can be read next to the throughput it buys.
     """
-    from repro.fast import ArrayGrid
+    from repro.fast import HAVE_NUMPY, ArrayGrid
     from repro.fast.mem import grid_memory_report
 
     grid = PGrid(config, rng=rngmod.derive(seed, "stats-memory"))
     grid.add_peers(n_peers)
     GridBuilder(grid).build(max_exchanges=500 * n_peers, raise_on_budget=False)
     agrid = ArrayGrid.from_pgrid(grid)
-    report = grid_memory_report(pgrid=grid, agrid=agrid)
-    print()
-    peak = report.get("peak_rss_bytes")
-    peak_text = f"{peak / 1e6:,.0f} MB" if peak is not None else "unknown"
-    print(f"memory: peak RSS {peak_text} (process, high-water mark)")
-    for label, key in (("object core", "object_core"), ("array core", "array_core")):
-        core = report.get(key)
-        if core:
+    snapshot = None
+    if HAVE_NUMPY:
+        from repro.fast import GridSnapshot
+
+        snapshot = GridSnapshot.from_arraygrid(agrid)
+    try:
+        report = grid_memory_report(pgrid=grid, agrid=agrid, snapshot=snapshot)
+        print()
+        peak = report.get("peak_rss_bytes")
+        peak_text = f"{peak / 1e6:,.0f} MB" if peak is not None else "unknown"
+        print(f"memory: peak RSS {peak_text} (process, high-water mark)")
+        for label, key in (
+            ("object core", "object_core"),
+            ("array core", "array_core"),
+        ):
+            core = report.get(key)
+            if core:
+                print(
+                    f"  {label}: {core['bytes_per_peer']:,.0f} B/peer "
+                    f"({core['bytes_total'] / 1e6:.1f} MB for "
+                    f"{core['peers']:,} peers, heap)"
+                )
+        shared = report.get("shared_memory")
+        if shared:
             print(
-                f"  {label}: {core['bytes_per_peer']:,.0f} B/peer "
-                f"({core['bytes_total'] / 1e6:.1f} MB for "
-                f"{core['peers']:,} peers)"
+                f"  shared memory: {shared['bytes_total'] / 1e6:.1f} MB in "
+                f"{shared['segments']} segment(s) — off-heap pages, mapped "
+                f"once per attached process (GridSnapshot)"
             )
+    finally:
+        if snapshot is not None:
+            snapshot.close()
+            snapshot.unlink()
     _print_query_throughput(grid, agrid, seed)
 
 

@@ -78,6 +78,17 @@ class ShortcutCache:
         """Drop the entry for *key* if present."""
         self._entries.pop(key, None)
 
+    def invalidate_responder(self, responder: Address) -> int:
+        """Drop every entry pointing at *responder*; returns the count.
+
+        Used when a peer's responsibility changes wholesale (replica
+        conversion) rather than one query going stale.
+        """
+        stale = [key for key, value in self._entries.items() if value == responder]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -117,6 +128,22 @@ class ShortcutSearchEngine:
             cache = ShortcutCache(self.capacity)
             self._caches[address] = cache
         return cache
+
+    def invalidate_responder(self, responder: Address) -> int:
+        """Drop *responder* from every initiator's cache.
+
+        The :class:`~repro.replication.balancer.ReplicaBalancer` calls
+        this (via its conversion listeners) when it converts a peer to a
+        different replica group: the peer still exists and is online,
+        but it is no longer responsible for the keys cached against it.
+        Returns the number of dropped entries, counted as invalidations.
+        """
+        removed = 0
+        for cache in self._caches.values():
+            removed += cache.invalidate_responder(responder)
+        if removed:
+            self.stats.invalidations += removed
+        return removed
 
     def query_from(self, start: Address, query: str) -> SearchResult:
         """Search with shortcut attempt first, Fig. 2 fallback."""

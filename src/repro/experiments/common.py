@@ -44,9 +44,12 @@ __all__ = [
     "section52_profile",
     "build_section52_grid",
     "build_section52_array_engine",
+    "build_section52_snapshot",
     "default_cache_dir",
+    "gridship_state",
     "run_experiment_points",
     "run_scenario_trials",
+    "run_snapshot_search_sweep",
 ]
 
 
@@ -267,6 +270,163 @@ def build_section52_array_engine(
         probe=probe,
         chunk=chunk,
     )
+
+
+def build_section52_snapshot(
+    profile: Section52Profile | None = None,
+    *,
+    p_online: float | None = None,
+):
+    """Build the §5.2 state once and export it as a shared-memory snapshot.
+
+    Same construction seeds as :func:`build_section52_array_engine` (the
+    two produce identical routing state), but instead of wrapping the
+    arrays in a process-local engine the state is published as a
+    :class:`~repro.fast.GridSnapshot`: sweeps hand its picklable
+    :meth:`~repro.fast.GridSnapshot.ref` to worker trials, which attach
+    the segment zero-copy instead of each unpickling a grid.  The caller
+    owns the snapshot (``close()``/``unlink()`` or context manager).
+    Requires numpy.
+    """
+    from repro.fast import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        raise RuntimeError("snapshot sweeps require numpy")
+    from repro.fast.batch import BatchGridBuilder
+    from repro.fast.snapshot import GridSnapshot
+
+    profile = profile or section52_profile()
+    builder = BatchGridBuilder(
+        n=profile.n_peers,
+        config=profile.config,
+        seed=rngmod.derive_seed(profile.seed, "construction-batch"),
+    )
+    builder.build(
+        threshold_fraction=profile.threshold_fraction,
+        max_exchanges=max(profile.max_exchanges, 600 * profile.n_peers),
+    )
+    return GridSnapshot.from_batch_builder(
+        builder,
+        p_online=p_online if p_online is not None else profile.p_online,
+    )
+
+
+def _run_snapshot_queries(
+    engine: Any, seed: int, n_queries: int, key_length: int
+) -> dict[str, Any]:
+    """Resolve one batch of uniform random queries; pure numbers out.
+
+    Shared by the snapshot-ref and grid-ship trial functions so their
+    ``"results"`` payloads are bit-identical when the underlying arrays
+    are — the sweep's equivalence gate compares exactly this dict.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    queries = rng.integers(0, 1 << key_length, size=n_queries, dtype=np.int64)
+    lengths = np.full(n_queries, key_length, dtype=np.int64)
+    starts = rng.integers(0, engine.n, size=n_queries, dtype=np.int64)
+    result = engine.search_many((queries, lengths), starts)
+    return {
+        "found": int(result.found.sum()),
+        "messages": int(result.messages.sum()),
+        "failed": int(result.failed_attempts.sum()),
+        "responder_checksum": int(result.responder[result.found].sum()),
+    }
+
+
+def _snapshot_search_trial(
+    snapshot: Any, seed: int, n_queries: int, key_length: int
+) -> dict[str, Any]:
+    """One search trial against an attached snapshot (module-level for
+    pickling; *snapshot* arrives as a resolved :class:`GridSnapshot` when
+    the spec carried a :class:`~repro.fast.SnapshotRef`)."""
+    from repro.fast.snapshot import fresh_attach_count
+
+    engine = snapshot.batch_query_engine(seed=seed)
+    results = _run_snapshot_queries(engine, seed, n_queries, key_length)
+    return {
+        "results": results,
+        "worker": {"pid": os.getpid(), "fresh_attaches": fresh_attach_count()},
+    }
+
+
+def gridship_state(snapshot: Any) -> dict[str, Any]:
+    """The pre-snapshot trial payload: the full grid arrays, copied out of
+    the segment so the pickled spec ships them to every worker — the
+    baseline :func:`run_snapshot_search_sweep` is benchmarked against."""
+    import numpy as np
+
+    return {
+        "pb": np.array(snapshot.view("path_bits")),
+        "pl": np.array(snapshot.view("path_len")),
+        "refs": np.array(snapshot.view("refs")),
+        "rl": np.array(snapshot.view("ref_len")),
+        "n": snapshot.n,
+        "config": snapshot.config,
+        "p_online": snapshot.p_online,
+    }
+
+
+def _gridship_search_trial(
+    state: dict[str, Any], seed: int, n_queries: int, key_length: int
+) -> dict[str, Any]:
+    """The pre-snapshot baseline: the full grid state rides inside the
+    pickled trial spec.  Kept for the benchmark's bytes/speedup
+    comparison; produces bit-identical ``"results"``."""
+    from repro.fast.query import BatchQueryEngine
+
+    engine = BatchQueryEngine(
+        pb=state["pb"],
+        pl=state["pl"],
+        refs=state["refs"],
+        rl=state["rl"],
+        n=state["n"],
+        config=state["config"],
+        seed=seed,
+        p_online=state["p_online"],
+    )
+    results = _run_snapshot_queries(engine, seed, n_queries, key_length)
+    return {
+        "results": results,
+        "worker": {"pid": os.getpid(), "fresh_attaches": 0},
+    }
+
+
+def run_snapshot_search_sweep(
+    snapshot: Any,
+    *,
+    trials: int,
+    n_queries: int,
+    jobs: int | None = 1,
+    master_seed: int | None = None,
+    key_length: int | None = None,
+) -> list[dict[str, Any]]:
+    """Fan *trials* independent search batches over the perf pool, shipping
+    only the snapshot's handle.
+
+    Each trial spec carries a :class:`~repro.fast.SnapshotRef` (a few
+    hundred bytes) instead of the grid; workers attach the shared segment
+    once per process and reuse it across trials.  Trial ``i`` uses seed
+    ``derive_seed(master, "trial-i")``, so the ``"results"`` sections are
+    bit-identical for any ``jobs`` (the ``"worker"`` sections — pid,
+    attach counts — legitimately differ between serial and pooled runs).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    master = snapshot.config.maxl if master_seed is None else master_seed
+    key_length = snapshot.config.maxl - 1 if key_length is None else key_length
+    ref = snapshot.ref()
+    specs = [
+        {
+            "snapshot": ref,
+            "seed": rngmod.derive_seed(master, f"trial-{index}"),
+            "n_queries": n_queries,
+            "key_length": key_length,
+        }
+        for index in range(trials)
+    ]
+    return parallel_starmap(_snapshot_search_trial, specs, jobs=jobs)
 
 
 # -- parallel trial execution -------------------------------------------------

@@ -29,28 +29,37 @@ from repro.fast.arraygrid import ArrayGrid
 from repro.fast.batch import BatchGridBuilder
 from repro.fast.builder import ArrayGridBuilder
 from repro.fast.engine import ArrayExchangeEngine
-from repro.fast.mem import grid_memory_report, peak_rss_bytes
+from repro.fast.mem import grid_memory_report, peak_rss_bytes, shared_memory_report
 from repro.fast.query import (
     BatchQueryEngine,
+    BatchRangeResult,
     BatchReachResult,
     BatchReadResult,
     BatchSearchResult,
 )
 from repro.fast.rngbuf import HAVE_NUMPY, BufferedReader, DirectReader, reader_for
+from repro.fast.shortcuts import ArrayShortcutCache
+from repro.fast.snapshot import GridSnapshot, SnapshotHandle, SnapshotRef
 
 __all__ = [
     "ArrayGrid",
     "ArrayGridBuilder",
     "ArrayExchangeEngine",
+    "ArrayShortcutCache",
     "BatchGridBuilder",
     "BatchQueryEngine",
+    "BatchRangeResult",
     "BatchReachResult",
     "BatchReadResult",
     "BatchSearchResult",
     "BufferedReader",
     "DirectReader",
+    "GridSnapshot",
+    "SnapshotHandle",
+    "SnapshotRef",
     "reader_for",
     "HAVE_NUMPY",
     "grid_memory_report",
     "peak_rss_bytes",
+    "shared_memory_report",
 ]

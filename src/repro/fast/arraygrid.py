@@ -195,6 +195,57 @@ class ArrayGrid:
                 agrid.store_items[i] = items
         return agrid
 
+    @classmethod
+    def from_buffers(
+        cls,
+        *,
+        n: int,
+        config: PGridConfig,
+        path_bits,
+        path_len,
+        refs2d,
+        ref_len,
+        table_depth,
+        addresses: list[Address],
+        buddies: dict[int, set[int]],
+        store_refs: dict[int, dict[tuple[int, int], dict[Address, tuple[int, bool]]]]
+        | None = None,
+        rng: random.Random | None = None,
+        online_oracle: Any = None,
+    ) -> "ArrayGrid":
+        """Wrap pre-packed buffers (typically a shared-memory
+        :class:`~repro.fast.snapshot.GridSnapshot`) as a query view.
+
+        No copies: ``refs2d`` is the ``(n * maxl, refmax)`` slab with
+        ``-1`` padding — its flattened form is layout-identical to the
+        list representation because reads never pass ``ref_len``.  The
+        numpy buffers may be read-only; treat the resulting grid as
+        immutable (run queries and statistics, not exchanges) and note
+        that ``store_items`` is empty by construction.
+        """
+        grid = object.__new__(cls)
+        grid.config = config
+        grid.rng = rng or random.Random()
+        grid.online_oracle = online_oracle or AlwaysOnline()
+        grid.n = n
+        grid.maxl = config.maxl
+        grid.refmax = config.refmax
+        grid.addresses = addresses
+        grid.addr_index = {address: i for i, address in enumerate(addresses)}
+        grid.path_bits = path_bits
+        grid.path_len = path_len
+        grid.refs = refs2d.reshape(-1)
+        grid.ref_len = ref_len
+        grid.table_depth = table_depth
+        grid.buddies = buddies
+        grid.store_refs = store_refs if store_refs is not None else {}
+        grid.store_items = {}
+        counts = [0] * n
+        for peer, entries in grid.store_refs.items():
+            counts[peer] = sum(len(holders) for holders in entries.values())
+        grid.store_counts = counts
+        return grid
+
     # -- bridge: arrays -> object core --------------------------------------------
 
     def write_back(self, grid: "PGrid") -> None:

@@ -21,7 +21,12 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     _resource = None
 
-__all__ = ["peak_rss_bytes", "object_grid_bytes", "grid_memory_report"]
+__all__ = [
+    "peak_rss_bytes",
+    "object_grid_bytes",
+    "grid_memory_report",
+    "shared_memory_report",
+]
 
 _INT_BOX = 28  # sys.getsizeof of a one-digit int
 
@@ -58,11 +63,52 @@ def object_grid_bytes(grid: Any) -> int:
     return total
 
 
+def shared_memory_report(snapshot: Any = None) -> dict[str, Any] | None:
+    """Shared-memory segment accounting: ``{"segments", "bytes_total",
+    "details"}`` or ``None`` when nothing is mapped.
+
+    Segment bytes live in ``/dev/shm``-backed pages shared across every
+    attached process — they are *not* part of any process's heap, which
+    is why :func:`grid_memory_report` reports them separately from the
+    per-core heap estimates.  Covers every segment this process maps
+    (owner or attached via :func:`repro.fast.snapshot.resolve`), plus
+    *snapshot* if given and not already registered.
+    """
+    try:
+        from repro.fast import snapshot as snapmod
+    except ImportError:  # pragma: no cover - snapshot module unavailable
+        return None
+    details = snapmod.attached_segments()
+    if snapshot is not None and not snapshot.closed:
+        if all(entry["name"] != snapshot.name for entry in details):
+            details.append(
+                {
+                    "name": snapshot.name,
+                    "bytes": snapshot.nbytes,
+                    "role": "owner" if snapshot.owner else "attached",
+                }
+            )
+    if not details:
+        return None
+    return {
+        "segments": len(details),
+        "bytes_total": sum(entry["bytes"] for entry in details),
+        "details": details,
+    }
+
+
 def grid_memory_report(
     pgrid: Any = None,
     agrid: Any = None,
+    snapshot: Any = None,
 ) -> dict[str, Any]:
-    """Peak RSS plus per-peer byte estimates for whichever cores are given."""
+    """Peak RSS plus per-peer byte estimates for whichever cores are given.
+
+    Heap estimates (``object_core`` / ``array_core``) and shared-memory
+    segment bytes (``shared_memory``) are reported separately: segments
+    are off-heap pages shared across processes, so counting them as heap
+    would double-charge every attached worker.
+    """
     report: dict[str, Any] = {"peak_rss_bytes": peak_rss_bytes()}
     if pgrid is not None and len(pgrid):
         total = object_grid_bytes(pgrid)
@@ -78,4 +124,7 @@ def grid_memory_report(
             "bytes_total": total,
             "bytes_per_peer": round(total / agrid.n, 1),
         }
+    shared = shared_memory_report(snapshot)
+    if shared is not None:
+        report["shared_memory"] = shared
     return report

@@ -50,7 +50,10 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.core import keys as keyspace
 from repro.core.config import PGridConfig, SearchConfig
+from repro.core.storage import DataRef
+from repro.protocol.search import key_in_range
 from repro.protocol.update import UpdateStrategy
 
 try:
@@ -67,6 +70,7 @@ __all__ = [
     "BatchSearchResult",
     "BatchReachResult",
     "BatchReadResult",
+    "BatchRangeResult",
 ]
 
 #: Sort-last marker for invalid entries in packed (key | index) rows.
@@ -176,6 +180,59 @@ class BatchReadResult:
         return float(self.messages.mean()) if len(self.messages) else 0.0
 
 
+class BatchRangeResult:
+    """Per-query outcome of one :meth:`BatchQueryEngine.search_range_many`.
+
+    Query *i*'s responders (dense indices, first-seen order across its
+    cover prefixes) are ``values[offsets[i]:offsets[i+1]]``; its matching
+    index entries are ``data_refs[i]`` (deduplicated ``(key, holder)``
+    keeping max version, range-filtered, sorted — the object core's
+    ``RangeSearchResult.data_refs`` contract); ``covers[i]`` is its
+    canonical prefix cover.
+    """
+
+    __slots__ = (
+        "offsets",
+        "values",
+        "messages",
+        "failed_attempts",
+        "covers",
+        "data_refs",
+    )
+
+    def __init__(
+        self, offsets, values, messages, failed_attempts, covers, data_refs
+    ) -> None:
+        self.offsets = offsets
+        self.values = values
+        self.messages = messages
+        self.failed_attempts = failed_attempts
+        self.covers = covers
+        self.data_refs = data_refs
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def responders(self, i: int):
+        """Dense responder indices of query *i* (first-seen order)."""
+        return self.values[self.offsets[i] : self.offsets[i + 1]]
+
+    def found(self, i: int) -> bool:
+        """Whether query *i* reached at least one responsible peer."""
+        return bool(self.offsets[i + 1] > self.offsets[i])
+
+    @property
+    def found_rate(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        hits = int(np.count_nonzero(self.offsets[1:] > self.offsets[:-1]))
+        return hits / len(self)
+
+    @property
+    def mean_messages(self) -> float:
+        return float(self.messages.mean()) if len(self.messages) else 0.0
+
+
 class BatchQueryEngine:
     """Batched DFS/BFS/update/read kernels over flat numpy grid state.
 
@@ -235,6 +292,9 @@ class BatchQueryEngine:
         # Side store for the §5.2 update/read experiments:
         # (peer, key bits, key len, holder) -> version.
         self._store: dict[tuple[int, int, int, int], int] = {}
+        #: Optional ArrayShortcutCache consulted by :meth:`search_many`
+        #: (attach via :meth:`attach_shortcuts` or assign directly).
+        self.shortcuts: Any = None
 
     # -- constructors --------------------------------------------------------------
 
@@ -377,18 +437,41 @@ class BatchQueryEngine:
 
     # -- depth-first search (Fig. 2) -----------------------------------------------
 
+    def attach_shortcuts(self, capacity: int = 128):
+        """Create and attach an :class:`~repro.fast.shortcuts.ArrayShortcutCache`
+        consulted by every subsequent :meth:`search_many`; returns it.
+        Attach an existing cache by assigning :attr:`shortcuts` (dense
+        indices stay stable across engine rebuilds)."""
+        from repro.fast.shortcuts import ArrayShortcutCache
+
+        self.shortcuts = ArrayShortcutCache(capacity)
+        return self.shortcuts
+
     def search_many(
         self,
         queries: Sequence[str],
         starts,
         *,
         max_messages: int | None = None,
+        shortcuts: Any = None,
     ) -> BatchSearchResult:
         """Resolve one Fig. 2 depth-first search per (query, start) pair.
 
         ``queries`` are binary strings (or a pre-packed ``(bits, lengths)``
         array pair); ``starts`` dense peer indices.  Queries advance in
         waves of at most ``chunk`` concurrent searches.
+
+        With a shortcut cache (the ``shortcuts`` argument, falling back
+        to the attached :attr:`shortcuts`), each query first tries its
+        origin's cached responder — object-core semantics
+        (:class:`repro.core.shortcuts.ShortcutSearchEngine`): a cached
+        peer that is online and still responsible answers for 0 messages
+        (itself) or 1; an unusable entry is invalidated and the query
+        falls through to the normal DFS; found misses are cached.  The
+        liveness of cached responders is drawn from this engine's RNG,
+        so cached runs are deterministic per seed but draw a different
+        stream than uncached runs (the usual statistical-equivalence
+        contract).
         """
         kb, kl = queries if isinstance(queries, tuple) else _pack_keys(queries)
         starts = np.asarray(starts, dtype=np.int64)
@@ -396,21 +479,73 @@ class BatchQueryEngine:
             raise ValueError(f"{len(kb)} queries but {len(starts)} starts")
         budget = max_messages if max_messages is not None else self.max_messages
         q = len(kb)
+        cache = shortcuts if shortcuts is not None else self.shortcuts
         found = np.zeros(q, dtype=bool)
         responder = np.full(q, -1, dtype=np.int64)
         messages = np.zeros(q, dtype=np.int64)
         failed = np.zeros(q, dtype=np.int64)
-        for lo in range(0, q, self.chunk):
-            hi = min(lo + self.chunk, q)
-            f, r, m, fa = self._dfs_chunk(kb[lo:hi], kl[lo:hi], starts[lo:hi], budget)
-            found[lo:hi] = f
-            responder[lo:hi] = r
-            messages[lo:hi] = m
-            failed[lo:hi] = fa
+        if cache is not None and q:
+            todo = self._shortcut_pass(
+                cache, kb, kl, starts, found, responder, messages
+            )
+        else:
+            todo = np.arange(q, dtype=np.int64)
+        for lo in range(0, len(todo), self.chunk):
+            sl = todo[lo : lo + self.chunk]
+            f, r, m, fa = self._dfs_chunk(kb[sl], kl[sl], starts[sl], budget)
+            found[sl] = f
+            responder[sl] = r
+            messages[sl] = m
+            failed[sl] = fa
+        if cache is not None and len(todo):
+            for i in todo.tolist():
+                if found[i]:
+                    cache.put(
+                        int(starts[i]), int(kb[i]), int(kl[i]), int(responder[i])
+                    )
         self._emit_batch(
             "batch_dfs", int(found.sum()), q, int(messages.sum()), int(failed.sum())
         )
         return BatchSearchResult(found, responder, messages, failed)
+
+    def _shortcut_pass(self, cache, kb, kl, starts, found, responder, messages):
+        """Resolve cached queries in place; returns indices still to DFS.
+
+        Usability is the object core's check, vectorized: the cached
+        responder must be online (one Bernoulli draw) and still in
+        prefix relation with the query.  Hits cost 0 messages when the
+        responder is the origin itself, else 1; unusable entries are
+        invalidated; both outcomes update ``cache.stats``.
+        """
+        q = len(kb)
+        cand = np.full(q, -1, dtype=np.int64)
+        for i in range(q):
+            hit = cache.get(int(starts[i]), int(kb[i]), int(kl[i]))
+            if hit is not None:
+                cand[i] = hit
+        has = np.flatnonzero(cand >= 0)
+        if has.size:
+            r = cand[has]
+            pb = self._pb
+            pl = self._pl
+            m = np.minimum(pl[r], kl[has])
+            responsible = (pb[r] >> (pl[r] - m)) == (kb[has] >> (kl[has] - m))
+            if self.p_online >= 1.0:
+                online = np.ones(has.size, dtype=bool)
+            else:
+                online = self._rng.random(has.size) < self.p_online
+            usable = responsible & online
+            hits = has[usable]
+            found[hits] = True
+            responder[hits] = r[usable]
+            messages[hits] = (r[usable] != starts[hits]).astype(np.int64)
+            for i in has[~usable].tolist():
+                cache.invalidate(int(starts[i]), int(kb[i]), int(kl[i]))
+            cache.stats.hits += int(usable.sum())
+            cache.stats.invalidations += int((~usable).sum())
+        todo = np.flatnonzero(~found)
+        cache.stats.misses += int(todo.size)
+        return todo
 
     def _dfs_chunk(self, kb, kl, starts, max_messages):
         """One chunk of concurrent depth-first searches, advanced per wave.
@@ -674,6 +809,309 @@ class BatchQueryEngine:
                 eq = np.concatenate(child_q)
                 ep = np.concatenate(child_p)
                 ec = np.concatenate(child_c)
+            else:
+                break
+        if resp_q:
+            rq = np.concatenate(resp_q)
+            rp = np.concatenate(resp_p)
+            order = np.argsort(rq, kind="stable")
+            rq = rq[order]
+            rp = rp[order]
+        else:
+            rq = np.empty(0, dtype=np.int64)
+            rp = np.empty(0, dtype=np.int64)
+        offsets = np.zeros(q + 1, dtype=np.int64)
+        np.add.at(offsets, rq + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        return offsets, rp, msgs, fails
+
+    # -- range queries over the order-preserving key space ---------------------------
+
+    def search_range_many(
+        self,
+        lows: Sequence[str],
+        highs: Sequence[str],
+        starts,
+        *,
+        recbreadth: int = 2,
+        max_messages: int | None = None,
+        with_refs: bool = True,
+    ) -> BatchRangeResult:
+        """Resolve one §2 range query per ``(low, high, start)`` triple.
+
+        Same orchestration as the object core's
+        :meth:`~repro.core.search.SearchEngine.query_range`: each range
+        decomposes into its canonical cover prefixes
+        (:func:`repro.core.keys.range_cover`); every ``(query, prefix)``
+        pair runs an independent subtree-enumerating breadth search
+        (fresh budget and visited set, like the per-prefix
+        ``query_breadth`` calls); responders are deduplicated first-seen
+        across a query's prefixes and their store entries are
+        range-filtered and deduplicated by ``(key, holder)`` keeping the
+        highest version.  ``with_refs=False`` skips the store fold for
+        reach/accounting-only sweeps.
+        """
+        if recbreadth < 1:
+            raise ValueError(f"recbreadth must be >= 1, got {recbreadth}")
+        if len(lows) != len(highs):
+            raise ValueError(f"{len(lows)} lows but {len(highs)} highs")
+        starts = np.asarray(starts, dtype=np.int64)
+        if len(starts) != len(lows):
+            raise ValueError(f"{len(lows)} ranges but {len(starts)} starts")
+        budget = max_messages if max_messages is not None else self.max_messages
+        q = len(lows)
+        covers = [keyspace.range_cover(low, high) for low, high in zip(lows, highs)]
+        # Flatten to independent (query, cover prefix) sub-searches;
+        # each query's subs are contiguous, in cover (left-to-right) order.
+        sub_base = np.zeros(q + 1, dtype=np.int64)
+        owner_l: list[int] = []
+        bits_l: list[int] = []
+        len_l: list[int] = []
+        start_l: list[int] = []
+        for i, cover in enumerate(covers):
+            for prefix in cover:
+                owner_l.append(i)
+                bits_l.append(int(prefix, 2) if prefix else 0)
+                len_l.append(len(prefix))
+                start_l.append(int(starts[i]))
+            sub_base[i + 1] = len(owner_l)
+        owner = np.asarray(owner_l, dtype=np.int64)
+        skb = np.asarray(bits_l, dtype=np.int64)
+        skl = np.asarray(len_l, dtype=np.int64)
+        sst = np.asarray(start_l, dtype=np.int64)
+        s = len(owner)
+        sub_off = np.zeros(s + 1, dtype=np.int64)
+        chunks = []
+        sub_msgs = np.zeros(s, dtype=np.int64)
+        sub_fail = np.zeros(s, dtype=np.int64)
+        for lo in range(0, s, self.chunk):
+            hi = min(lo + self.chunk, s)
+            off, vals, m, fa = self._range_chunk(
+                skb[lo:hi], skl[lo:hi], sst[lo:hi], recbreadth, budget
+            )
+            sub_off[lo + 1 : hi + 1] = off[1:] - off[:-1]
+            chunks.append(vals)
+            sub_msgs[lo:hi] = m
+            sub_fail[lo:hi] = fa
+        np.cumsum(sub_off, out=sub_off)
+        sub_vals = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        messages = np.zeros(q, dtype=np.int64)
+        failed = np.zeros(q, dtype=np.int64)
+        if s:
+            np.add.at(messages, owner, sub_msgs)
+            np.add.at(failed, owner, sub_fail)
+        # Store fold: index live entries by responding peer once per call
+        # (the side store mutates freely between calls).
+        by_peer: dict[int, list[tuple[int, int, int, int]]] = {}
+        if with_refs and self._store:
+            for (peer, bits, length, holder), version in self._store.items():
+                by_peer.setdefault(peer, []).append((bits, length, holder, version))
+        offsets = np.zeros(q + 1, dtype=np.int64)
+        values: list[int] = []
+        data_refs: list[list[DataRef]] = []
+        for i in range(q):
+            seen_r: set[int] = set()
+            best: dict[tuple[str, int], int] = {}
+            for sub in range(int(sub_base[i]), int(sub_base[i + 1])):
+                pbits = int(skb[sub])
+                plen = int(skl[sub])
+                for rp in sub_vals[sub_off[sub] : sub_off[sub + 1]].tolist():
+                    if rp not in seen_r:
+                        seen_r.add(rp)
+                        values.append(rp)
+                    if not with_refs:
+                        continue
+                    for bits, length, holder, version in by_peer.get(rp, ()):
+                        # in-prefix relation with the cover prefix, then
+                        # the [low, high] interval filter (run_range).
+                        mm = plen if plen < length else length
+                        if (bits >> (length - mm)) != (pbits >> (plen - mm)):
+                            continue
+                        key = format(bits, f"0{length}b") if length else ""
+                        if not key_in_range(key, lows[i], highs[i]):
+                            continue
+                        slot = (key, holder)
+                        if version > best.get(slot, -1):
+                            best[slot] = version
+            offsets[i + 1] = len(values)
+            data_refs.append(
+                [
+                    DataRef(key=key, holder=holder, version=version)
+                    for (key, holder), version in sorted(best.items())
+                ]
+            )
+        found = int(np.count_nonzero(offsets[1:] > offsets[:-1]))
+        self._emit_batch(
+            "batch_range", found, q, int(messages.sum()), int(failed.sum())
+        )
+        return BatchRangeResult(
+            offsets,
+            np.asarray(values, dtype=np.int64),
+            messages,
+            failed,
+            covers,
+            data_refs,
+        )
+
+    def _range_chunk(self, kb, kl, starts, recbreadth, max_messages):
+        """One chunk of subtree-enumerating breadth searches.
+
+        Same frontier discipline as :meth:`_breadth_chunk` with the
+        range extension (``protocol.search.breadth_step`` with
+        ``enumerate_subtree``): a responsible peer whose path extends
+        past the query prefix additionally fans out at every level below
+        the match point with an *empty* remaining query.  That breaks
+        the ``consumed == trie level`` invariant the exact-search kernel
+        relies on, so frontier entries carry the trie level and the
+        remaining query length separately.  Within a column, duplicate
+        ``(query, peer)`` contacts keep the first occurrence only — the
+        sequential recursion would have marked the peer seen before the
+        second parent tried it — which keeps message accounting exact in
+        the all-online closure case.
+        """
+        n = self.n
+        maxl = self.maxl
+        refmax = self.refmax
+        refs = self._refs
+        pb = self._pb
+        pl = self._pl
+        rng = self._rng
+        p = self.p_online
+        q = len(kb)
+
+        if q and (starts.min() < 0 or starts.max() >= n):
+            raise ValueError("start indices out of range")
+        msgs = np.zeros(q, dtype=np.int64)
+        fails = np.zeros(q, dtype=np.int64)
+        budget = np.full(q, max_messages, dtype=np.int64)
+        resp_q: list = []
+        resp_p: list = []
+        qidx = np.arange(q, dtype=np.int64)
+        seen = set((qidx * n + starts).tolist())
+        one = np.int64(1)
+
+        eq = qidx  # sub-search index
+        ep = starts.copy()  # peer at this visit
+        el = np.zeros(q, dtype=np.int64)  # trie level (path bits above)
+        er = kl.astype(np.int64).copy()  # remaining query bits
+        wave = 0
+        while eq.size:
+            slen = er
+            sfx = kb[eq] & ((one << slen) - one)
+            rlen = np.maximum(pl[ep] - el, 0)
+            rem = pb[ep] & ((one << rlen) - one)
+            m = np.minimum(slen, rlen)
+            x = (sfx >> (slen - m)) ^ (rem >> (rlen - m))
+            lc = m - self._bit_length(x)
+            term = (lc == slen) | (lc == rlen)
+            if term.any():
+                resp_q.append(eq[term])
+                resp_p.append(ep[term])
+            # Fan-out tasks: (sub-search, ref row, child level, child qlen).
+            parts_q: list = []
+            parts_row: list = []
+            parts_l: list = []
+            parts_r: list = []
+            div = ~term
+            if div.any():
+                nc = el[div] + lc[div]
+                parts_q.append(eq[div])
+                parts_row.append(ep[div] * maxl + nc)  # ref level nc+1
+                parts_l.append(nc)
+                parts_r.append(slen[div] - lc[div])
+            en = term & (lc == slen)
+            if en.any():
+                base = el[en] + lc[en]
+                count = pl[ep[en]] - base
+                pos = count > 0
+                if pos.any():
+                    bq = eq[en][pos]
+                    bp = ep[en][pos]
+                    bc = count[pos]
+                    total = int(bc.sum())
+                    block = np.cumsum(bc) - bc
+                    sub = np.arange(total, dtype=np.int64) - np.repeat(block, bc)
+                    sublevel = np.repeat(base[pos], bc) + 1 + sub
+                    parts_q.append(np.repeat(bq, bc))
+                    parts_row.append(np.repeat(bp, bc) * maxl + sublevel - 1)
+                    parts_l.append(sublevel)
+                    parts_r.append(np.zeros(total, dtype=np.int64))
+            contacts = offline = 0
+            child_q: list = []
+            child_p: list = []
+            child_l: list = []
+            child_r: list = []
+            if parts_q:
+                tq = np.concatenate(parts_q)
+                trow = np.concatenate(parts_row)
+                tl = np.concatenate(parts_l)
+                tr = np.concatenate(parts_r)
+                slot = refs[trow].astype(np.int64)
+                valid = slot != -1
+                cnt = valid.sum(axis=1)
+                keys = rng.integers(0, self._key_mod, size=slot.shape, dtype=np.int64)
+                pack = np.where(valid, (keys << self._vbits) | slot, _SENTINEL)
+                pack.sort(axis=1)
+                cand = pack & self._vmask
+                fwd = np.zeros(len(tq), dtype=np.int64)
+                for col in range(refmax):
+                    live = (col < cnt) & (fwd < recbreadth) & (budget[tq] > 0)
+                    if not live.any():
+                        break
+                    rows = np.flatnonzero(live)
+                    cc = cand[rows, col]
+                    keyv = tq[rows] * n + cc
+                    fresh = np.fromiter(
+                        (k not in seen for k in keyv.tolist()),
+                        dtype=bool,
+                        count=len(rows),
+                    )
+                    rows = rows[fresh]
+                    if not rows.size:
+                        continue
+                    cc = cc[fresh]
+                    keyv = keyv[fresh]
+                    _, first = np.unique(keyv, return_index=True)
+                    if len(first) < len(rows):
+                        first.sort()
+                        rows = rows[first]
+                        cc = cc[first]
+                        keyv = keyv[first]
+                    contacts += int(rows.size)
+                    if p >= 1.0:
+                        on_mask = np.ones(rows.size, dtype=bool)
+                    else:
+                        on_mask = rng.random(rows.size) < p
+                    off_rows = rows[~on_mask]
+                    if off_rows.size:
+                        np.add.at(fails, tq[off_rows], 1)
+                        offline += int(off_rows.size)
+                    on_rows = rows[on_mask]
+                    if on_rows.size:
+                        oq = tq[on_rows]
+                        np.subtract.at(budget, oq, 1)
+                        np.add.at(msgs, oq, 1)
+                        fwd[on_rows] += 1
+                        seen.update(keyv[on_mask].tolist())
+                        child_q.append(oq)
+                        child_p.append(cc[on_mask])
+                        child_l.append(tl[on_rows])
+                        child_r.append(tr[on_rows])
+            self._emit_wave(
+                "batch_range",
+                wave,
+                sum(len(c) for c in child_q),
+                contacts,
+                offline,
+            )
+            wave += 1
+            if child_q:
+                eq = np.concatenate(child_q)
+                ep = np.concatenate(child_p)
+                el = np.concatenate(child_l)
+                er = np.concatenate(child_r)
             else:
                 break
         if resp_q:

@@ -1,0 +1,98 @@
+"""Array-plane shortcut cache (the §6 query-adaptive optimization on
+the batch query engine).
+
+Mirrors :class:`repro.core.shortcuts.ShortcutCache` semantics on dense
+peer indices: one bounded LRU per *origin* (initiating peer index)
+mapping a packed query key to the responder index that last answered
+it.  :meth:`BatchQueryEngine.search_many
+<repro.fast.query.BatchQueryEngine.search_many>` consults it when
+attached — a usable hit costs 0 messages from the responder itself and
+1 otherwise, an unusable entry (responder offline or no longer
+responsible, e.g. after a :class:`~repro.replication.balancer.ReplicaBalancer`
+conversion) is invalidated and the query falls through to the normal
+DFS, and found misses are cached.  Hit/miss/invalidation counters use
+the same :class:`~repro.core.shortcuts.ShortcutStats` as the object
+core, so experiment reports are comparable across cores.
+
+This module is numpy-free on purpose — the cache is sparse bookkeeping;
+the vectorized usability check lives in the engine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.shortcuts import ShortcutStats
+
+__all__ = ["ArrayShortcutCache"]
+
+
+class ArrayShortcutCache:
+    """Per-origin bounded LRU over ``(key bits, key len) -> responder``.
+
+    Keys are packed integers (no string round-trips on the hot path);
+    origins and responders are dense peer indices, which stay stable
+    across batch-engine rebuilds because the address order is fixed.
+    """
+
+    __slots__ = ("capacity", "stats", "_caches")
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = ShortcutStats()
+        self._caches: dict[int, OrderedDict[tuple[int, int], int]] = {}
+
+    def get(self, origin: int, bits: int, length: int) -> int | None:
+        """Cached responder for *origin*'s query, refreshing LRU order."""
+        cache = self._caches.get(origin)
+        if cache is None:
+            return None
+        key = (bits, length)
+        if key not in cache:
+            return None
+        cache.move_to_end(key)
+        return cache[key]
+
+    def put(self, origin: int, bits: int, length: int, responder: int) -> None:
+        """Remember *responder*, evicting *origin*'s LRU entry if full."""
+        cache = self._caches.get(origin)
+        if cache is None:
+            cache = self._caches[origin] = OrderedDict()
+        key = (bits, length)
+        cache[key] = responder
+        cache.move_to_end(key)
+        while len(cache) > self.capacity:
+            cache.popitem(last=False)
+
+    def invalidate(self, origin: int, bits: int, length: int) -> None:
+        """Drop *origin*'s entry for the query if present."""
+        cache = self._caches.get(origin)
+        if cache is not None:
+            cache.pop((bits, length), None)
+
+    def invalidate_responder(self, responder: int) -> int:
+        """Drop every entry (any origin) pointing at *responder*.
+
+        The replication balancer's conversion listener calls this when a
+        peer changes replica group — its cached responsibility is stale.
+        Returns the number of dropped entries (counted as
+        invalidations).
+        """
+        removed = 0
+        for cache in self._caches.values():
+            stale = [key for key, value in cache.items() if value == responder]
+            for key in stale:
+                del cache[key]
+            removed += len(stale)
+        if removed:
+            self.stats.invalidations += removed
+        return removed
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        self._caches.clear()
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self._caches.values())

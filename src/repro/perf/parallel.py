@@ -32,6 +32,15 @@ count reuse it for free, and a larger request swaps in a bigger pool.
 region; :func:`shutdown_pool` (registered via :mod:`atexit`) reclaims
 the processes.
 
+The third per-call cost used to be *argument* pickling: sweeps that
+share one grid across trials shipped a full pickled grid per trial.
+Trial kwargs may now carry late-bound references — any value exposing
+``__trial_resolve__()`` (e.g. :class:`repro.fast.snapshot.SnapshotRef`)
+crosses the pool as its tiny picklable self and is resolved to the real
+object inside the worker, where shared-memory snapshots attach once per
+process and are cached.  Resolution also runs on the serial path, so
+results stay bit-identical for every ``jobs`` value.
+
 The second per-call cost is submission overhead: one future per trial
 means one pickle round-trip and one queue wake-up each, which dominates
 when trials are small and plentiful.  :func:`run_trials` therefore packs
@@ -84,10 +93,29 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _resolve_value(value: Any) -> Any:
+    """Late-bind snapshot-style trial arguments on the worker side.
+
+    Any kwarg exposing ``__trial_resolve__`` is replaced by its resolved
+    form right before the trial runs.  This is how grid state crosses
+    the pool boundary without being pickled: a
+    :class:`repro.fast.snapshot.SnapshotRef` pickles as a tiny handle
+    and resolves here to a per-process cached shared-memory attachment.
+    The protocol is duck-typed so this module stays dependency-free.
+    """
+    resolver = getattr(value, "__trial_resolve__", None)
+    return value if resolver is None else resolver()
+
+
 def _invoke(payload: tuple[Callable[..., Any], dict[str, Any]]) -> Any:
-    """Module-level trampoline so (fn, kwargs) pairs cross the pickle boundary."""
+    """Module-level trampoline so (fn, kwargs) pairs cross the pickle boundary.
+
+    Applies :func:`_resolve_value` to every kwarg — on the serial path
+    too, so a trial function sees identical arguments for every ``jobs``
+    value (the determinism contract extends to resolvable specs).
+    """
     fn, kwargs = payload
-    return fn(**kwargs)
+    return fn(**{name: _resolve_value(value) for name, value in kwargs.items()})
 
 
 #: Target chunks per worker.  >1 keeps the pool load-balanced when trial

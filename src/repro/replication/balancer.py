@@ -171,6 +171,7 @@ class ReplicaBalancer:
         self.probe = probe
         self.stats = BalanceStats()
         self._listeners: list[Callable[[], None]] = []
+        self._conversion_listeners: list[Callable[[Address, str, str], None]] = []
 
     @property
     def enabled(self) -> bool:
@@ -185,6 +186,17 @@ class ReplicaBalancer:
     def subscribe(self, listener: Callable[[], None]) -> None:
         """Call *listener* after every structural change."""
         self._listeners.append(listener)
+
+    def subscribe_conversion(
+        self, listener: Callable[[Address, str, str], None]
+    ) -> None:
+        """Call ``listener(address, old_path, new_path)`` per conversion.
+
+        Unlike :meth:`subscribe`'s blanket notifications, conversion
+        listeners learn *which* peer moved — what shortcut caches need
+        to invalidate exactly the stale responder instead of flushing.
+        """
+        self._conversion_listeners.append(listener)
 
     # -- protocol hooks ------------------------------------------------------
 
@@ -356,6 +368,8 @@ class ReplicaBalancer:
             self.probe.on_replication(
                 "convert", donor.address, old_path, model.path
             )
+        for converted in self._conversion_listeners:
+            converted(donor.address, old_path, model.path)
         for listener in self._listeners:
             listener()
 

@@ -224,3 +224,51 @@ def construct_grid(grid: PGrid, *, engine: str = "object", **build_kwargs) -> Co
     raise ValueError(
         f"unknown construction engine {engine!r}; expected 'object', 'array' or 'batch'"
     )
+
+
+def construct_snapshot(
+    config,
+    n_peers: int,
+    *,
+    seed: int = 0,
+    p_online: float = 1.0,
+    grid: PGrid | None = None,
+    **build_kwargs,
+):
+    """Build a grid and export it as a shared-memory ``GridSnapshot``.
+
+    The build-once/fan-out entry point for parallel sweeps: construct the
+    routing state a single time, publish it into a named shared-memory
+    segment, and let every worker process attach the segment instead of
+    unpickling its own copy (see :mod:`repro.fast.snapshot`).
+
+    Two modes:
+
+    * gridless (default): a :class:`~repro.fast.BatchGridBuilder` run —
+      no per-peer Python objects, so 100k+ peer grids are tractable;
+    * *grid* given: the already-built object-core :class:`PGrid` is
+      bridged through :class:`~repro.fast.ArrayGrid` instead (stores and
+      all), and *n_peers*/*seed*/*build_kwargs* are ignored.
+
+    Returns ``(snapshot, report)`` — *report* is the construction report
+    (``None`` in bridge mode).  The caller owns the snapshot and must
+    ``close()``/``unlink()`` it (or use it as a context manager).
+    Requires numpy.
+    """
+    from repro.fast import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        raise RuntimeError("construct_snapshot requires numpy")
+    from repro.fast.snapshot import GridSnapshot
+
+    if grid is not None:
+        from repro.fast.arraygrid import ArrayGrid
+
+        agrid = ArrayGrid.from_pgrid(grid)
+        return GridSnapshot.from_arraygrid(agrid, p_online=p_online), None
+    from repro.fast.batch import BatchGridBuilder
+
+    builder = BatchGridBuilder(n=n_peers, config=config, seed=seed)
+    report = builder.build(**build_kwargs)
+    snapshot = GridSnapshot.from_batch_builder(builder, p_online=p_online)
+    return snapshot, report

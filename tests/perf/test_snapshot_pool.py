@@ -1,0 +1,147 @@
+"""The snapshot fan-out path through the trial executor.
+
+Two layers under test: the numpy-free ``__trial_resolve__`` duck
+protocol in :mod:`repro.perf.parallel` (any kwarg exposing it is
+late-bound on the worker side, serial path included), and the
+shared-memory :class:`~repro.fast.GridSnapshot` riding that protocol —
+sweeps shipping only a :class:`~repro.fast.SnapshotRef` must stay
+bit-identical to serial while each worker attaches the segment at most
+once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PGridConfig
+from repro.fast import HAVE_NUMPY
+from repro.perf.parallel import (
+    TrialSpec,
+    parallel_starmap,
+    run_trials,
+    shutdown_pool,
+    warm_pool,
+)
+
+
+class _Lazy:
+    """Minimal resolvable kwarg: pickles as itself, resolves to *value*."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __trial_resolve__(self) -> int:
+        return self.value
+
+
+def _identity(payload):
+    return payload
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestResolveProtocol:
+    def test_serial_path_resolves_too(self):
+        # Resolution must not be a parallel-only step, or serial and
+        # pooled runs would see different arguments.
+        assert run_trials(
+            _identity, [TrialSpec(kwargs={"payload": _Lazy(7)})], jobs=1
+        ) == [7]
+
+    def test_parallel_path_resolves(self):
+        specs = [TrialSpec(kwargs={"payload": _Lazy(v)}) for v in range(6)]
+        try:
+            assert run_trials(_identity, specs, jobs=2) == list(range(6))
+        finally:
+            shutdown_pool()
+
+    def test_only_resolvable_kwargs_are_touched(self):
+        assert parallel_starmap(
+            _add, [{"a": _Lazy(1), "b": 2}], jobs=1
+        ) == [3]
+
+    def test_plain_values_pass_through_unchanged(self):
+        payload = {"nested": [1, 2]}
+        [result] = run_trials(
+            _identity, [TrialSpec(kwargs={"payload": payload})], jobs=1
+        )
+        assert result is payload
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestSnapshotSweep:
+    CONFIG = PGridConfig(maxl=5, refmax=3, recmax=2, recursion_fanout=2)
+
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        from repro.sim.builder import construct_snapshot
+
+        snap, report = construct_snapshot(
+            self.CONFIG,
+            200,
+            seed=31,
+            threshold_fraction=0.985,
+            max_exchanges=600 * 200,
+        )
+        assert report.converged
+        yield snap
+        snap.close()
+        snap.unlink()
+
+    def test_ref_pickles_small_and_resolves_to_owner(self, snapshot):
+        import pickle
+
+        from repro.fast.snapshot import resolve
+
+        ref = snapshot.ref()
+        assert len(pickle.dumps(ref)) < 4096
+        assert ref.__trial_resolve__() is snapshot
+        assert resolve(snapshot.handle) is snapshot
+
+    def test_pooled_sweep_bit_identical_to_serial(self, snapshot):
+        from repro.experiments.common import run_snapshot_search_sweep
+
+        try:
+            serial = run_snapshot_search_sweep(
+                snapshot, trials=6, n_queries=40, jobs=1, master_seed=5
+            )
+            pooled = run_snapshot_search_sweep(
+                snapshot, trials=6, n_queries=40, jobs=2, master_seed=5
+            )
+        finally:
+            shutdown_pool()
+        assert [t["results"] for t in serial] == [t["results"] for t in pooled]
+
+    def test_workers_attach_at_most_once(self, snapshot):
+        # Workers warmed *before* the sweep run many trials each; the
+        # per-process attach cache must collapse them to one fresh attach
+        # per worker (or zero, when the worker forked after the snapshot
+        # was created and inherited the owner mapping).
+        from repro.experiments.common import run_snapshot_search_sweep
+
+        try:
+            warm_pool(2)
+            pooled = run_snapshot_search_sweep(
+                snapshot, trials=8, n_queries=25, jobs=2, master_seed=6
+            )
+        finally:
+            shutdown_pool()
+        per_worker: dict[int, int] = {}
+        for trial in pooled:
+            worker = trial["worker"]
+            per_worker[worker["pid"]] = max(
+                per_worker.get(worker["pid"], 0), worker["fresh_attaches"]
+            )
+        assert per_worker, "no worker reported back"
+        assert all(count <= 1 for count in per_worker.values()), per_worker
+
+    def test_serial_trials_report_zero_attaches(self, snapshot):
+        from repro.experiments.common import run_snapshot_search_sweep
+
+        serial = run_snapshot_search_sweep(
+            snapshot, trials=2, n_queries=10, jobs=1, master_seed=7
+        )
+        # In-process the ref resolves straight to the owner snapshot.
+        assert all(t["worker"]["fresh_attaches"] == 0 for t in serial)

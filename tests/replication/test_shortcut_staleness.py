@@ -1,0 +1,146 @@
+"""Shortcut-cache staleness under replica conversion.
+
+When the :class:`~repro.replication.ReplicaBalancer` converts a peer to
+a hot replica group, the peer stays online but answers for different
+keys — every shortcut naming it, in the object-core
+:class:`~repro.core.shortcuts.ShortcutSearchEngine` *and* the
+array-plane :class:`~repro.fast.shortcuts.ArrayShortcutCache`, is stale
+at once.  The facade wires the balancer's conversion listeners to both
+caches (``Grid._on_replica_conversion``); these tests pin that contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Grid
+from repro.fast import HAVE_NUMPY
+from repro.replication import ReplicationConfig
+from tests.conftest import build_grid
+
+#: Balancer config that converts on the first meeting once load is skewed.
+EAGER = ReplicationConfig(
+    replicate_threshold=1.0, retract_floor=0.25, min_observations=0
+)
+
+
+def _hot_and_donor(pgrid):
+    """A hot path and a donor address from a different, larger group."""
+    groups = pgrid.replica_groups()
+    sized = sorted(
+        (path for path in groups if path), key=lambda p: (len(groups[p]), p)
+    )
+    hot = sized[0]
+    for path in reversed(sized):
+        if path != hot and len(groups[path]) >= 2:
+            return hot, groups[path][0], groups[hot][0]
+    raise AssertionError("grid has no donor group — pick another seed")
+
+
+@pytest.fixture
+def facade():
+    return Grid(
+        build_grid(48, maxl=4, refmax=2, seed=9),
+        replication=EAGER,
+        shortcut_capacity=16,
+    )
+
+
+def _skew_load(facade, hot: str) -> None:
+    for _ in range(100):
+        facade.load_tracker.observe(hot)
+
+
+class TestObjectCacheStaleness:
+    def test_conversion_drops_entries_naming_the_donor(self, facade):
+        hot, donor, hot_member = _hot_and_donor(facade.pgrid)
+        engine = facade.shortcut_engine
+        donor_path = facade.pgrid.peer(donor).path
+        # A real search whose responder is pinned to the donor, so the
+        # cache holds a live entry naming it.
+        engine.cache_for(0).put(donor_path, donor)
+        engine.cache_for(5).put(donor_path, donor)
+        _skew_load(facade, hot)
+        assert facade.balancer.after_meeting(donor, hot_member) is True
+
+        assert engine.cache_for(0).get(donor_path) is None
+        assert engine.cache_for(5).get(donor_path) is None
+        assert engine.stats.invalidations == 2
+
+    def test_stale_shortcut_would_have_answered_wrong(self, facade):
+        # The donor is still online after conversion — the liveness check
+        # alone would NOT catch the staleness; only the conversion
+        # listener (or the responsibility check on use) does.
+        hot, donor, hot_member = _hot_and_donor(facade.pgrid)
+        donor_path = facade.pgrid.peer(donor).path
+        _skew_load(facade, hot)
+        facade.balancer.after_meeting(donor, hot_member)
+        assert facade.pgrid.is_online(donor)
+        assert facade.pgrid.peer(donor).path == hot
+        assert not facade.pgrid.peer(donor).responsible_for(donor_path + "0")
+
+    def test_search_after_conversion_repopulates_fresh(self, facade):
+        hot, donor, hot_member = _hot_and_donor(facade.pgrid)
+        donor_path = facade.pgrid.peer(donor).path
+        query = (donor_path + "0" * 8)[: facade.pgrid.config.maxl]
+        engine = facade.shortcut_engine
+        engine.cache_for(0).put(query, donor)
+        _skew_load(facade, hot)
+        facade.balancer.after_meeting(donor, hot_member)
+
+        result = facade.search(query, start=0)
+        assert result.found
+        assert result.responder != donor
+        assert engine.cache_for(0).get(query) == result.responder
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestArrayCacheStaleness:
+    def test_conversion_drops_dense_entries_naming_the_donor(self, facade):
+        hot, donor, hot_member = _hot_and_donor(facade.pgrid)
+        facade.batch_query_engine()  # builds the dense index map
+        dense_donor = facade._batch_index[donor]
+        cache = facade._array_shortcuts
+        cache.put(0, 0b101, 3, dense_donor)
+        cache.put(3, 0b011, 3, dense_donor)
+        cache.put(3, 0b111, 3, dense_donor + 1)  # unrelated entry survives
+        _skew_load(facade, hot)
+        assert facade.balancer.after_meeting(donor, hot_member) is True
+
+        assert cache.get(0, 0b101, 3) is None
+        assert cache.get(3, 0b011, 3) is None
+        assert cache.get(3, 0b111, 3) == dense_donor + 1
+        assert cache.stats.invalidations == 2
+
+    def test_batch_engine_rebuild_keeps_the_cache(self, facade):
+        # Conversion also drops the cached batch-plane snapshot (routing
+        # changed), but the shortcut cache survives the rebuild: dense
+        # indices are stable because membership is unchanged.
+        hot, donor, hot_member = _hot_and_donor(facade.pgrid)
+        engine_before = facade.batch_query_engine()
+        cache = facade._array_shortcuts
+        assert engine_before.shortcuts is cache
+        _skew_load(facade, hot)
+        facade.balancer.after_meeting(donor, hot_member)
+        assert facade._batch_engine is None  # snapshot invalidated
+        engine_after = facade.batch_query_engine()
+        assert engine_after is not engine_before
+        assert engine_after.shortcuts is cache
+
+    def test_both_caches_invalidate_on_one_conversion(self, facade):
+        hot, donor, hot_member = _hot_and_donor(facade.pgrid)
+        donor_path = facade.pgrid.peer(donor).path
+        facade.batch_query_engine()
+        dense_donor = facade._batch_index[donor]
+        facade.shortcut_engine.cache_for(0).put(donor_path, donor)
+        facade._array_shortcuts.put(0, int(donor_path, 2), len(donor_path), dense_donor)
+        _skew_load(facade, hot)
+        facade.balancer.after_meeting(donor, hot_member)
+
+        assert facade.shortcut_engine.stats.invalidations == 1
+        assert facade._array_shortcuts.stats.invalidations == 1
+        assert facade.shortcut_engine.cache_for(0).get(donor_path) is None
+        assert (
+            facade._array_shortcuts.get(0, int(donor_path, 2), len(donor_path))
+            is None
+        )
